@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig 4 experiment: one full-system simulation per
+//! (system, tile-size) point, at reduced problem size so a criterion sample
+//! completes quickly. The printed figure itself comes from the `fig4`
+//! binary; this bench tracks the *simulator's* performance on the same
+//! experiment and guards against regressions in the hot paths (cache
+//! probes, AMU lookups, pinning refresh).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use xmem_sim::{run_kernel, SystemKind};
+
+fn params(tile: u64) -> KernelParams {
+    KernelParams {
+        n: 32,
+        tile_bytes: tile,
+        steps: 3,
+        reuse: 200,
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_tile_sweep");
+    group.sample_size(10);
+    for &tile in &[1u64 << 10, 8 << 10, 32 << 10] {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{}KB", tile >> 10)),
+                &tile,
+                |b, &tile| {
+                    b.iter(|| {
+                        run_kernel(PolybenchKernel::Gemm, &params(tile), 8 << 10, kind)
+                            .cycles()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig 5 experiment: the same tuned binary across
+//! shrinking cache sizes, Baseline vs. XMem. Tracks full-system simulation
+//! throughput for the portability configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use xmem_sim::{run_kernel, SystemKind};
+
+fn bench_fig5(c: &mut Criterion) {
+    let p = KernelParams {
+        n: 32,
+        tile_bytes: 8 << 10, // tuned for the 16 KB cache below
+        steps: 3,
+        reuse: 200,
+    };
+    let mut group = c.benchmark_group("fig5_portability");
+    group.sample_size(10);
+    for &l3 in &[16u64 << 10, 8 << 10, 4 << 10] {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("L3={}KB", l3 >> 10)),
+                &l3,
+                |b, &l3| {
+                    b.iter(|| run_kernel(PolybenchKernel::Syrk, &p, l3, kind).cycles())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

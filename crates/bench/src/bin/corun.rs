@@ -1,0 +1,98 @@
+//! Co-run experiment: the scenario that motivates use case 1 (§5.1 —
+//! "the available cache space at runtime is less than what the program was
+//! optimized for ... as a result of co-running applications").
+//!
+//! A tiled kernel tuned for the whole shared L3 runs alongside 0–3
+//! streaming co-runners on the multi-core machine (shared L3 + DRAM).
+//! Baseline vs. XMem: with XMem, the kernel's tile is pinned (and the hogs
+//! honestly declare zero reuse), so the kernel keeps its working set.
+//!
+//! ```text
+//! cargo run --release -p xmem-bench --bin corun [--quick]
+//! ```
+
+use workloads::hog::stream_hog;
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use workloads::sink::{LogSink, TraceEvent};
+use xmem_bench::{geomean, print_table, quick_mode};
+use xmem_sim::{run_corun, MultiCoreConfig, SystemKind};
+
+fn kernel_log(kernel: PolybenchKernel, n: usize, tile: u64) -> Vec<TraceEvent> {
+    let mut log = LogSink::new();
+    kernel.generate(
+        &KernelParams {
+            n,
+            tile_bytes: tile,
+            steps: 6,
+            reuse: 200,
+        },
+        &mut log,
+    );
+    log.into_events()
+}
+
+fn hog_log(bytes: u64, accesses: u64) -> Vec<TraceEvent> {
+    let mut log = LogSink::new();
+    stream_hog(&mut log, bytes, accesses, 24);
+    log.into_events()
+}
+
+fn main() {
+    let n = if quick_mode() { 48 } else { 80 };
+    let l3 = 32 << 10;
+    let tile = 16 << 10; // half the shared L3: fits alone, contested co-run
+    let kernels = [
+        PolybenchKernel::Gemm,
+        PolybenchKernel::Syrk,
+        PolybenchKernel::Trmm,
+        PolybenchKernel::Jacobi2d,
+    ];
+    println!("# Co-run: kernel + N streaming hogs on a shared {}KB L3", l3 >> 10);
+    println!("# Values: kernel slowdown vs. running alone on the Baseline.\n");
+
+    let headers: Vec<String> = [
+        "kernel", "solo", "+1 hog B", "+1 hog X", "+3 hogs B", "+3 hogs X",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut base3 = Vec::new();
+    let mut xmem3 = Vec::new();
+
+    for kernel in kernels {
+        let klog = kernel_log(kernel, n, tile);
+        let solo_cfg = MultiCoreConfig::scaled_corun(1, l3, SystemKind::Baseline);
+        let solo = run_corun(&solo_cfg, std::slice::from_ref(&klog));
+        let reference = solo.cycles(0) as f64;
+
+        let mut row = vec![kernel.name().to_string(), "1.00".to_string()];
+        for hogs in [1usize, 3] {
+            for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+                let mut logs = vec![klog.clone()];
+                for _ in 0..hogs {
+                    logs.push(hog_log(256 << 10, 60_000));
+                }
+                let cfg = MultiCoreConfig::scaled_corun(1 + hogs, l3, kind);
+                let report = run_corun(&cfg, &logs);
+                let slowdown = report.cycles(0) as f64 / reference;
+                row.push(format!("{slowdown:.2}"));
+                if hogs == 3 {
+                    if kind == SystemKind::Baseline {
+                        base3.push(slowdown);
+                    } else {
+                        xmem3.push(slowdown);
+                    }
+                }
+            }
+        }
+        rows.push(row);
+    }
+    print_table(&headers, &rows);
+    println!();
+    println!(
+        "with 3 hogs: Baseline slowdown {:+.0}%, XMem {:+.0}% — XMem retains the tile under contention",
+        (geomean(&base3) - 1.0) * 100.0,
+        (geomean(&xmem3) - 1.0) * 100.0,
+    );
+}

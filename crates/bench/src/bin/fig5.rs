@@ -1,0 +1,81 @@
+//! Figure 5: performance portability under shrinking cache space (§5.4).
+//!
+//! For each kernel, the tile size is tuned for the large L3 (the paper's
+//! 2 MB analogue), then the *same binary* runs with that L3, half of it, and
+//! a quarter of it. The figure reports the worst execution time across the
+//! three cache sizes, normalized to the Baseline on the large cache.
+//!
+//! Paper result: worst-case slowdown 55% for the Baseline vs. 6% for XMem.
+//!
+//! ```text
+//! cargo run --release -p xmem-bench --bin fig5 [--quick]
+//! ```
+
+use workloads::polybench::PolybenchKernel;
+use xmem_bench::{fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, FIG5_L3, UC1_N};
+use xmem_sim::{run_kernel, SystemKind};
+
+fn main() {
+    let n = if quick_mode() { 48 } else { UC1_N };
+    let l3_full = FIG5_L3;
+    let cache_sizes = [l3_full, l3_full / 2, l3_full / 4];
+    println!(
+        "# Figure 5: max execution time across L3 = {{{}, {}, {}}}, tile tuned for {}",
+        fmt_bytes(cache_sizes[0]),
+        fmt_bytes(cache_sizes[1]),
+        fmt_bytes(cache_sizes[2]),
+        fmt_bytes(l3_full),
+    );
+    println!("# Normalized to Baseline at the tuned cache size.\n");
+
+    let headers: Vec<String> = ["kernel", "tuned tile", "Baseline max", "XMem max"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let mut base_max = Vec::new();
+    let mut xmem_max = Vec::new();
+
+    for kernel in PolybenchKernel::all() {
+        // Tune per the sizing heuristic the paper describes (§5.4: "many
+        // optimizations typically size the tile to be as big as what can
+        // fit in the available cache space" [65, 78]): the largest sweep
+        // tile that fits the full cache.
+        let tuned_tile = fig4_tiles()
+            .into_iter()
+            .filter(|&t| t <= l3_full)
+            .max()
+            .expect("non-empty sweep");
+        let p = uc1_params(n, tuned_tile);
+        let reference =
+            run_kernel(kernel, &p, l3_full, SystemKind::Baseline).cycles() as f64;
+
+        let worst = |kind: SystemKind| -> f64 {
+            cache_sizes
+                .iter()
+                .map(|&l3| run_kernel(kernel, &p, l3, kind).cycles() as f64 / reference)
+                .fold(0.0f64, f64::max)
+        };
+        let b = worst(SystemKind::Baseline);
+        let x = worst(SystemKind::Xmem);
+        base_max.push(b);
+        xmem_max.push(x);
+        rows.push(vec![
+            kernel.name().to_string(),
+            fmt_bytes(tuned_tile),
+            format!("{b:.2}"),
+            format!("{x:.2}"),
+        ]);
+    }
+    print_table(&headers, &rows);
+
+    println!();
+    println!(
+        "worst-case slowdown with less cache: Baseline {:+.0}%  [paper: +55%]",
+        (geomean(&base_max) - 1.0) * 100.0
+    );
+    println!(
+        "worst-case slowdown with less cache: XMem     {:+.0}%  [paper: +6%]",
+        (geomean(&xmem_max) - 1.0) * 100.0
+    );
+}

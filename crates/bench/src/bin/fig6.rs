@@ -1,0 +1,76 @@
+//! Figure 6: effect of prefetching vs. full coordination across memory
+//! bandwidths (§5.4).
+//!
+//! At the largest tile size, two XMem design points run against the
+//! Baseline under 2 / 1 / 0.5 GB/s of per-core memory bandwidth:
+//! *XMem-Pref* (guided prefetching only, DRRIP cache management) and *XMem*
+//! (pinning + prefetching). The paper finds both help, with XMem ahead of
+//! XMem-Pref by 13% / 19.5% / 31% as bandwidth shrinks — pinning saves
+//! memory traffic, which matters more when bandwidth is scarce.
+//!
+//! ```text
+//! cargo run --release -p xmem-bench --bin fig6 [--quick]
+//! ```
+
+use workloads::polybench::PolybenchKernel;
+use xmem_bench::{fig4_tiles, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
+use xmem_sim::{run_kernel_bw, SystemKind};
+
+fn main() {
+    let n = if quick_mode() { 48 } else { UC1_N };
+    let l3 = UC1_L3;
+    let tile = *fig4_tiles().last().expect("non-empty sweep");
+    let bandwidths = [4.0, 2.0, 1.0, 0.5];
+    println!("# Figure 6: speedup over Baseline at the largest tile size");
+    println!("# (per-core bandwidth sweep: 4 / 2 / 1 / 0.5 GB/s; the paper reports 2/1/0.5)\n");
+
+    let headers: Vec<String> = [
+        "kernel",
+        "Pref@4",
+        "XMem@4",
+        "Pref@2",
+        "XMem@2",
+        "Pref@1",
+        "XMem@1",
+        "Pref@0.5",
+        "XMem@0.5",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
+    let mut pref_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
+    let mut xmem_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
+
+    for kernel in PolybenchKernel::all() {
+        let p = uc1_params(n, tile);
+        let mut row = vec![kernel.name().to_string()];
+        for (bi, &bw) in bandwidths.iter().enumerate() {
+            let base = run_kernel_bw(kernel, &p, l3, SystemKind::Baseline, bw);
+            let pref = run_kernel_bw(kernel, &p, l3, SystemKind::XmemPref, bw);
+            let xmem = run_kernel_bw(kernel, &p, l3, SystemKind::Xmem, bw);
+            let s_pref = pref.speedup_over(&base);
+            let s_xmem = xmem.speedup_over(&base);
+            pref_speedups[bi].push(s_pref);
+            xmem_speedups[bi].push(s_xmem);
+            gaps[bi].push(s_xmem / s_pref);
+            row.push(format!("{s_pref:.2}"));
+            row.push(format!("{s_xmem:.2}"));
+        }
+        // Reorder: the row currently holds [name, p2, x2, p1, x1, p.5, x.5]
+        // in bandwidth-major order already.
+        rows.push(row);
+    }
+    print_table(&headers, &rows);
+
+    println!();
+    for (bi, &bw) in bandwidths.iter().enumerate() {
+        println!(
+            "{bw} GB/s: XMem-Pref x{:.2}, XMem x{:.2}, XMem over XMem-Pref {:+.1}%   [paper gap: +13% / +19.5% / +31%]",
+            geomean(&pref_speedups[bi]),
+            geomean(&xmem_speedups[bi]),
+            (geomean(&gaps[bi]) - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! `xmemcli` — run any experiment from the command line.
+//!
+//! ```text
+//! xmemcli kernel gemm --n 96 --tile 64K --l3 32K --system xmem [--tlb]
+//! xmemcli placement milc --system xmem [--accesses 150000]
+//! xmemcli record gemm --out /tmp/gemm.trace --n 48 --tile 8K
+//! xmemcli replay /tmp/gemm.trace --l3 32K --system baseline
+//! xmemcli list
+//! ```
+
+use std::fs::File;
+use std::process::exit;
+use workloads::placement::PlacementWorkload;
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use workloads::sink::LogSink;
+use workloads::trace_file::{read_trace, replay, write_trace};
+use xmem_sim::{run_placement, run_workload, RunReport, SystemConfig, SystemKind, Uc2System};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         xmemcli kernel <name> [--n N] [--tile BYTES] [--l3 BYTES] [--steps K]\n          \
+         [--system baseline|pref|xmem] [--bw GBPS] [--tlb]\n  \
+         xmemcli placement <name> [--system baseline|xmem|ideal] [--accesses N]\n  \
+         xmemcli record <kernel> --out FILE [--n N] [--tile BYTES] [--steps K]\n  \
+         xmemcli replay <FILE> [--l3 BYTES] [--system ...] [--tlb]\n  \
+         xmemcli list"
+    );
+    exit(2)
+}
+
+/// Parses "64K", "2M", or plain bytes.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+#[derive(Debug)]
+struct Flags {
+    n: usize,
+    tile: u64,
+    l3: u64,
+    steps: usize,
+    system: SystemKind,
+    uc2: Uc2System,
+    bw: Option<f64>,
+    tlb: bool,
+    accesses: Option<u64>,
+    out: Option<String>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            n: 96,
+            tile: 16 << 10,
+            l3: 32 << 10,
+            steps: 12,
+            system: SystemKind::Baseline,
+            uc2: Uc2System::Baseline,
+            bw: None,
+            tlb: false,
+            accesses: None,
+            out: None,
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags::default();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => f.n = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--tile" => f.tile = parse_bytes(&value(args, &mut i)).unwrap_or_else(|| usage()),
+            "--l3" => f.l3 = parse_bytes(&value(args, &mut i)).unwrap_or_else(|| usage()),
+            "--steps" => f.steps = value(args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--bw" => f.bw = Some(value(args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--accesses" => {
+                f.accesses = Some(value(args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => f.out = Some(value(args, &mut i)),
+            "--tlb" => f.tlb = true,
+            "--system" => match value(args, &mut i).as_str() {
+                "baseline" => {
+                    f.system = SystemKind::Baseline;
+                    f.uc2 = Uc2System::Baseline;
+                }
+                "pref" => f.system = SystemKind::XmemPref,
+                "xmem" => {
+                    f.system = SystemKind::Xmem;
+                    f.uc2 = Uc2System::Xmem;
+                }
+                "ideal" => f.uc2 = Uc2System::IdealRbl,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+        i += 1;
+    }
+    f
+}
+
+fn kernel_by_name(name: &str) -> PolybenchKernel {
+    PolybenchKernel::extended()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown kernel '{name}'; see `xmemcli list`");
+            exit(2)
+        })
+}
+
+fn print_report(r: &RunReport) {
+    println!("cycles:           {}", r.cycles());
+    println!("instructions:     {}", r.core.instructions);
+    println!("ipc:              {:.3}", r.core.ipc());
+    println!("avg load latency: {:.1} cyc", r.core.avg_load_latency());
+    println!(
+        "L1/L2/L3 hit:     {:.1}% / {:.1}% / {:.1}%",
+        r.l1.hit_rate() * 100.0,
+        r.l2.hit_rate() * 100.0,
+        r.l3.hit_rate() * 100.0
+    );
+    println!(
+        "DRAM:             {} reads ({} demand), {} writes, row-hit {:.1}%",
+        r.dram.reads,
+        r.dram.demand_reads,
+        r.dram.writes,
+        r.dram.row_hit_rate() * 100.0
+    );
+    println!(
+        "demand read lat:  avg {:.0}, p50 {}, p99 {} cyc",
+        r.dram.avg_demand_read_latency(),
+        r.dram.demand_read_hist.percentile(0.5),
+        r.dram.demand_read_hist.percentile(0.99)
+    );
+    println!(
+        "XMem:             {} instructions ({:.4}% overhead), ALB {:.1}% of {} lookups",
+        r.xmem_instructions,
+        r.instruction_overhead * 100.0,
+        r.alb.hit_rate() * 100.0,
+        r.alb.lookups()
+    );
+}
+
+fn sys_config(f: &Flags) -> SystemConfig {
+    let mut cfg = SystemConfig::scaled_use_case1(f.l3, f.system);
+    if let Some(bw) = f.bw {
+        cfg = cfg.with_per_core_bandwidth(bw);
+    }
+    if f.tlb {
+        cfg = cfg.with_tlb();
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            println!("kernels:");
+            for k in PolybenchKernel::extended() {
+                println!("  {}", k.name());
+            }
+            println!("placement workloads:");
+            for w in PlacementWorkload::all() {
+                println!("  {}", w.name);
+            }
+        }
+        "kernel" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let f = parse_flags(&args[2..]);
+            let kernel = kernel_by_name(name);
+            let p = KernelParams {
+                n: f.n,
+                tile_bytes: f.tile,
+                steps: f.steps,
+                reuse: 200,
+            };
+            let cfg = sys_config(&f);
+            println!(
+                "# {} n={} tile={} l3={} system={}\n",
+                name,
+                f.n,
+                f.tile,
+                f.l3,
+                f.system.name()
+            );
+            let report = run_workload(&cfg, |s| kernel.generate(&p, s));
+            print_report(&report);
+        }
+        "placement" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let f = parse_flags(&args[2..]);
+            let mut w = PlacementWorkload::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown workload '{name}'; see `xmemcli list`");
+                exit(2)
+            });
+            if let Some(a) = f.accesses {
+                w.accesses = a;
+            }
+            println!("# {} system={}\n", name, f.uc2.name());
+            let report = run_placement(&w, f.uc2);
+            print_report(&report);
+        }
+        "record" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let f = parse_flags(&args[2..]);
+            let Some(out) = f.out.clone() else { usage() };
+            let kernel = kernel_by_name(name);
+            let p = KernelParams {
+                n: f.n,
+                tile_bytes: f.tile,
+                steps: f.steps,
+                reuse: 200,
+            };
+            let mut log = LogSink::new();
+            kernel.generate(&p, &mut log);
+            let events = log.into_events();
+            let file = File::create(&out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            write_trace(&events, file).unwrap_or_else(|e| {
+                eprintln!("write failed: {e}");
+                exit(1)
+            });
+            println!("recorded {} events to {out}", events.len());
+        }
+        "replay" => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let f = parse_flags(&args[2..]);
+            let file = File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                exit(1)
+            });
+            let events = read_trace(file).unwrap_or_else(|e| {
+                eprintln!("bad trace: {e}");
+                exit(1)
+            });
+            let cfg = sys_config(&f);
+            println!(
+                "# replay {path} ({} events) l3={} system={}\n",
+                events.len(),
+                f.l3,
+                f.system.name()
+            );
+            let report = run_workload(&cfg, |s| replay(&events, s));
+            print_report(&report);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,42 @@
+//! # cache-sim — caches, replacement policies, prefetchers, and the XMem
+//! cache-management mechanism
+//!
+//! The cache substrate for the XMem reproduction (use case 1, §5 of the
+//! paper):
+//!
+//! * [`cache::Cache`] — set-associative, write-back, with LRU / SRRIP /
+//!   BRRIP / DRRIP replacement and pin-aware insertion (75% cap, aging).
+//! * [`prefetch::MultiStridePrefetcher`] — the Table 3 baseline prefetcher.
+//! * [`pin`] — the greedy atom-pinning algorithm of §5.2(2).
+//! * [`hierarchy::Hierarchy`] — L1→L2→L3→DRAM with three operating modes
+//!   (Baseline / XMem-Pref / XMem) matching the paper's evaluated systems.
+//!
+//! ```
+//! use cache_sim::hierarchy::{Hierarchy, HierarchyConfig};
+//! use dram_sim::{AddressMapping, Dram, DramConfig};
+//!
+//! let mut h = Hierarchy::new(
+//!     HierarchyConfig::westmere_like(),
+//!     Dram::new(DramConfig::ddr3_1066(3.6), AddressMapping::scheme1()),
+//! );
+//! let miss = h.access(0x1000, false, 0, None);
+//! let hit = h.access(0x1000, false, miss, None);
+//! assert!(hit < miss);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod config;
+pub mod dram_cache;
+pub mod hierarchy;
+pub mod pin;
+pub mod prefetch;
+
+pub use crate::cache::{Cache, CacheStats, Eviction, InsertPriority};
+pub use crate::config::{CacheConfig, ReplacementPolicy};
+pub use crate::dram_cache::{DramCache, DramCacheConfig, DramCacheStats};
+pub use crate::hierarchy::{Hierarchy, HierarchyConfig, XmemContext, XmemMode};
+pub use crate::pin::{select_pinned, PinCandidate, PIN_FRACTION};
+pub use crate::prefetch::{MultiStridePrefetcher, PrefetchRequest, PrefetchStats};

@@ -1,0 +1,137 @@
+//! The greedy atom-pinning algorithm of §5.2(2).
+//!
+//! "The algorithm takes the active atoms in all the cores (each time there
+//! is a change in active atoms), and sorts the atoms based on the reuse
+//! values. Starting from the atom with the highest reuse, the cache decides
+//! if it has enough space to keep the data specified by each atom. When the
+//! total data size kept in the cache reaches the pinning size limit (we use
+//! 75% of the cache size so the cache still has space to handle other
+//! data), the algorithm stops and returns the list of atoms to be pinned."
+
+use xmem_core::atom::AtomId;
+
+/// One candidate atom for pinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PinCandidate {
+    /// The atom.
+    pub atom: AtomId,
+    /// Its reuse value (from the cache PAT).
+    pub reuse: u8,
+    /// Its current working-set size (bytes mapped, from the AMU).
+    pub size_bytes: u64,
+}
+
+/// Fraction of cache capacity available for pinning (the paper's 75%).
+pub const PIN_FRACTION: f64 = 0.75;
+
+/// Runs the greedy algorithm, returning the atoms to pin (highest reuse
+/// first). Candidates with zero reuse are never pinned.
+///
+/// Atoms are considered in descending reuse order; an atom that does not fit
+/// in the remaining budget stops the scan (greedy prefix, per the paper's
+/// "the algorithm stops"), with one refinement: an atom *larger than the
+/// whole budget on its own* is partially pinnable in hardware (the per-set
+/// 75% cap does the limiting), so the first atom is always accepted.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::pin::{select_pinned, PinCandidate};
+/// use xmem_core::atom::AtomId;
+///
+/// let candidates = [
+///     PinCandidate { atom: AtomId::new(0), reuse: 200, size_bytes: 512 << 10 },
+///     PinCandidate { atom: AtomId::new(1), reuse: 100, size_bytes: 512 << 10 },
+///     PinCandidate { atom: AtomId::new(2), reuse: 50,  size_bytes: 512 << 10 },
+/// ];
+/// // 1 MB cache → 768 KB budget: the first atom fits, the second does not.
+/// let pinned = select_pinned(&candidates, 1 << 20);
+/// assert_eq!(pinned, vec![AtomId::new(0)]);
+/// ```
+pub fn select_pinned(candidates: &[PinCandidate], cache_bytes: u64) -> Vec<AtomId> {
+    let budget = (cache_bytes as f64 * PIN_FRACTION) as u64;
+    let mut sorted: Vec<&PinCandidate> = candidates.iter().filter(|c| c.reuse > 0).collect();
+    // Sort by reuse descending; tie-break on atom ID for determinism.
+    sorted.sort_by(|a, b| b.reuse.cmp(&a.reuse).then(a.atom.cmp(&b.atom)));
+
+    let mut pinned = Vec::new();
+    let mut used = 0u64;
+    for c in sorted {
+        if used + c.size_bytes <= budget {
+            used += c.size_bytes;
+            pinned.push(c.atom);
+        } else if pinned.is_empty() {
+            // Oversized top atom: pin it anyway; the per-set cap limits how
+            // much of it actually stays (this is what mitigates thrashing
+            // when the tile exceeds the available cache, §5.1).
+            pinned.push(c.atom);
+            break;
+        } else {
+            break;
+        }
+    }
+    pinned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u8, reuse: u8, kb: u64) -> PinCandidate {
+        PinCandidate {
+            atom: AtomId::new(id),
+            reuse,
+            size_bytes: kb << 10,
+        }
+    }
+
+    #[test]
+    fn highest_reuse_first() {
+        let pinned = select_pinned(
+            &[cand(0, 10, 100), cand(1, 200, 100), cand(2, 50, 100)],
+            1 << 20,
+        );
+        assert_eq!(
+            pinned,
+            vec![AtomId::new(1), AtomId::new(2), AtomId::new(0)]
+        );
+    }
+
+    #[test]
+    fn stops_at_budget() {
+        // Budget = 768 KB of a 1 MB cache.
+        let pinned = select_pinned(
+            &[cand(0, 200, 500), cand(1, 100, 500), cand(2, 50, 100)],
+            1 << 20,
+        );
+        // 500 fits; 500 more would exceed 768 → stop (greedy prefix).
+        assert_eq!(pinned, vec![AtomId::new(0)]);
+    }
+
+    #[test]
+    fn zero_reuse_never_pinned() {
+        let pinned = select_pinned(&[cand(0, 0, 10), cand(1, 0, 10)], 1 << 20);
+        assert!(pinned.is_empty());
+    }
+
+    #[test]
+    fn oversized_single_atom_still_pinned() {
+        // A 4 MB tile against a 1 MB cache: pin it (partially retained by
+        // the per-set cap).
+        let pinned = select_pinned(&[cand(0, 200, 4 << 10)], 1 << 20);
+        assert_eq!(pinned, vec![AtomId::new(0)]);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let a = select_pinned(&[cand(3, 7, 10), cand(1, 7, 10)], 1 << 20);
+        let b = select_pinned(&[cand(1, 7, 10), cand(3, 7, 10)], 1 << 20);
+        assert_eq!(a, b);
+        assert_eq!(a[0], AtomId::new(1));
+    }
+
+    #[test]
+    fn empty_candidates() {
+        assert!(select_pinned(&[], 1 << 20).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Approximation in memory — Table 1's "Approximation in memory" use case.
+//!
+//! "Enables (i) each memory component to track how approximable data is (at
+//! a fine granularity) to inform approximation techniques; (ii) data
+//! placement in heterogeneous reliability memories."
+//!
+//! The model: atoms whose [`DataProps::APPROXIMABLE`] bit is set may have
+//! their floating-point payloads stored with truncated mantissas,
+//! shrinking their memory footprint in exchange for bounded relative
+//! error. Atoms without the bit are always stored exactly — the XMem
+//! attribute is what makes the technique *safe to apply automatically*.
+//!
+//! [`DataProps::APPROXIMABLE`]: xmem_core::attrs::DataProps::APPROXIMABLE
+
+use xmem_core::attrs::{AtomAttributes, DataProps, DataType};
+
+/// How many low mantissa bytes of each `f64` are dropped (0–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TruncationLevel(pub u8);
+
+impl TruncationLevel {
+    /// No truncation: exact storage.
+    pub const EXACT: TruncationLevel = TruncationLevel(0);
+
+    /// Bytes stored per `f64` value.
+    pub fn stored_bytes(self) -> usize {
+        8 - self.0.min(6) as usize
+    }
+
+    /// Worst-case relative error bound for normalized doubles: dropping
+    /// `8k` mantissa bits loses at most `2^(8k-52)` of the value.
+    pub fn relative_error_bound(self) -> f64 {
+        if self.0 == 0 {
+            0.0
+        } else {
+            2f64.powi(8 * self.0.min(6) as i32 - 52)
+        }
+    }
+}
+
+/// Decides the truncation level for an atom: approximable FP data may be
+/// truncated to `requested`; everything else is stored exactly.
+pub fn level_for(attrs: &AtomAttributes, requested: TruncationLevel) -> TruncationLevel {
+    let fp = matches!(
+        attrs.data_type(),
+        Some(DataType::Float32) | Some(DataType::Float64)
+    );
+    if fp && attrs.props().contains(DataProps::APPROXIMABLE) {
+        requested
+    } else {
+        TruncationLevel::EXACT
+    }
+}
+
+/// Stores a slice of doubles at the given truncation level, returning the
+/// (approximated values, bytes occupied).
+pub fn store(values: &[f64], level: TruncationLevel) -> (Vec<f64>, usize) {
+    let drop = level.0.min(6) as u32;
+    let mask: u64 = if drop == 0 {
+        u64::MAX
+    } else {
+        u64::MAX << (8 * drop)
+    };
+    let approx = values
+        .iter()
+        .map(|v| f64::from_bits(v.to_bits() & mask))
+        .collect();
+    (approx, values.len() * level.stored_bytes())
+}
+
+/// Maximum relative error between `exact` and `approx` (0 for empty input).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_relative_error(exact: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "mismatched lengths");
+    exact
+        .iter()
+        .zip(approx)
+        .map(|(e, a)| {
+            if *e == 0.0 {
+                a.abs()
+            } else {
+                ((e - a) / e).abs()
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_core::attrs::AtomAttributes;
+
+    fn values() -> Vec<f64> {
+        (1..100).map(|i| (i as f64) * 0.731 + 3.0).collect()
+    }
+
+    #[test]
+    fn exact_level_is_lossless() {
+        let v = values();
+        let (a, bytes) = store(&v, TruncationLevel::EXACT);
+        assert_eq!(a, v);
+        assert_eq!(bytes, v.len() * 8);
+    }
+
+    #[test]
+    fn truncation_error_within_bound_and_size_shrinks() {
+        let v = values();
+        for k in 1..=6u8 {
+            let level = TruncationLevel(k);
+            let (a, bytes) = store(&v, level);
+            let err = max_relative_error(&v, &a);
+            assert!(
+                err <= level.relative_error_bound(),
+                "k={k}: err {err:e} > bound {:e}",
+                level.relative_error_bound()
+            );
+            assert_eq!(bytes, v.len() * (8 - k as usize));
+        }
+    }
+
+    #[test]
+    fn error_grows_monotonically_with_truncation() {
+        let v = values();
+        let mut last = 0.0;
+        for k in 0..=6u8 {
+            let (a, _) = store(&v, TruncationLevel(k));
+            let err = max_relative_error(&v, &a);
+            assert!(err >= last, "k={k}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn only_approximable_fp_atoms_get_truncated() {
+        let req = TruncationLevel(4);
+        let approximable = AtomAttributes::builder()
+            .data_type(DataType::Float64)
+            .props(DataProps::APPROXIMABLE)
+            .build();
+        assert_eq!(level_for(&approximable, req), req);
+
+        // FP but not approximable: exact.
+        let exact_fp = AtomAttributes::builder()
+            .data_type(DataType::Float64)
+            .build();
+        assert_eq!(level_for(&exact_fp, req), TruncationLevel::EXACT);
+
+        // Approximable but integer (indices!): never truncated.
+        let int = AtomAttributes::builder()
+            .data_type(DataType::Int64)
+            .props(DataProps::APPROXIMABLE)
+            .build();
+        assert_eq!(level_for(&int, req), TruncationLevel::EXACT);
+    }
+
+    #[test]
+    fn zero_values_handled() {
+        let v = vec![0.0, 1.0, -2.5];
+        let (a, _) = store(&v, TruncationLevel(3));
+        assert_eq!(a[0], 0.0);
+        assert!(max_relative_error(&v, &a) < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! A trace-driven, limited-window out-of-order core timing model.
+//!
+//! The model reproduces the first-order timing behaviour of the paper's
+//! Westmere-like configuration (Table 3: 3.6 GHz, 4-wide issue, 128-entry
+//! ROB, 32-entry load queue):
+//!
+//! * the **front end** retires up to `issue_width` instructions per cycle;
+//! * an op cannot issue until the op `rob_entries` before it has completed
+//!   (in-order retirement from a finite reorder buffer);
+//! * at most `lq_entries` loads are in flight (load-queue limit) — this is
+//!   what bounds memory-level parallelism;
+//! * a *dependent* load additionally waits for the previous load's value
+//!   (pointer chasing serializes).
+//!
+//! This class of "interval" model is standard for memory-system studies: the
+//! quantities the XMem results depend on (miss overlap, effective MLP,
+//! exposed memory latency) are captured, while pipeline details that don't
+//! affect them are abstracted away (see DESIGN.md for the substitution
+//! argument).
+
+use crate::trace::{MemoryModel, Op};
+use std::collections::VecDeque;
+
+/// Core configuration (Table 3 defaults via [`CoreConfig::westmere_like`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries (maximum loads in flight).
+    pub lq_entries: usize,
+    /// Core frequency in GHz (used to convert cycles to wall time).
+    pub freq_ghz: f64,
+}
+
+impl CoreConfig {
+    /// The paper's Westmere-like configuration (Table 3).
+    pub fn westmere_like() -> Self {
+        CoreConfig {
+            issue_width: 4,
+            rob_entries: 128,
+            lq_entries: 32,
+            freq_ghz: 3.6,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::westmere_like()
+    }
+}
+
+/// Statistics from one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions executed (compute + loads + stores).
+    pub instructions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Sum of load latencies in cycles (for average-latency reporting).
+    pub total_load_latency: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average load latency in cycles.
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.total_load_latency as f64 / self.loads as f64
+        }
+    }
+
+    /// Wall-clock seconds at `freq_ghz`.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e9)
+    }
+}
+
+/// The core timing model.
+///
+/// Two driving styles are supported:
+///
+/// * **pull**: [`Core::run`] consumes an op iterator;
+/// * **push**: [`Core::step`] feeds one op at a time (used when the trace
+///   generator performs side effects — e.g. XMem calls — between ops), with
+///   [`Core::stats`] available at any point.
+///
+/// # Examples
+///
+/// ```
+/// use cpu_sim::core::{Core, CoreConfig};
+/// use cpu_sim::trace::{FixedLatency, Op};
+///
+/// let mut core = Core::new(CoreConfig::westmere_like());
+/// let ops = vec![Op::Compute(400), Op::load(0x1000), Op::Compute(400)];
+/// let stats = core.run(ops, &mut FixedLatency { latency: 4 });
+/// assert_eq!(stats.instructions, 801);
+/// // 801 instructions at 4-wide ≈ 200 cycles; the L1-hit load hides.
+/// assert!(stats.cycles >= 200 && stats.cycles < 220);
+/// ```
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    stats: CoreStats,
+    /// Issue slots consumed so far; front-end time = issued / width.
+    issued: u64,
+    /// Sequence number of the next op (computes advance it by n).
+    seq: u64,
+    /// In-flight or completed loads as (seq, completion), ordered by seq.
+    loads: VecDeque<(u64, u64)>,
+    /// Max completion among ops already forced out of the ROB window.
+    retire_frontier: u64,
+    /// Completion time of the most recent load (for dependent loads).
+    last_load_completion: u64,
+    /// Latest completion seen (defines final cycle count).
+    max_completion: u64,
+}
+
+impl Core {
+    /// Creates a core with the given configuration.
+    pub fn new(config: CoreConfig) -> Self {
+        assert!(config.issue_width > 0, "issue width must be non-zero");
+        assert!(config.rob_entries > 0, "ROB must be non-empty");
+        assert!(config.lq_entries > 0, "load queue must be non-empty");
+        Core {
+            stats: CoreStats::default(),
+            issued: 0,
+            seq: 0,
+            loads: VecDeque::with_capacity(config.lq_entries + 1),
+            retire_frontier: 0,
+            last_load_completion: 0,
+            max_completion: 0,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Resets all execution state and statistics.
+    pub fn reset(&mut self) {
+        *self = Core::new(self.config);
+    }
+
+    /// The core's current notion of time (cycle at which everything issued
+    /// so far will have completed).
+    pub fn now(&self) -> u64 {
+        let frontend = self.issued.div_ceil(self.config.issue_width as u64);
+        frontend.max(self.max_completion).max(self.retire_frontier)
+    }
+
+    /// Statistics as of the ops stepped so far.
+    pub fn stats(&self) -> CoreStats {
+        let mut s = self.stats;
+        s.cycles = self.now();
+        s
+    }
+
+    /// Feeds one op through the model.
+    pub fn step<M>(&mut self, op: Op, mem: &mut M)
+    where
+        M: MemoryModel + ?Sized,
+    {
+        let width = self.config.issue_width as u64;
+        let rob = self.config.rob_entries as u64;
+        let lq = self.config.lq_entries;
+        match op {
+            Op::Compute(n) => {
+                self.issued += n as u64;
+                self.seq += n as u64;
+                self.stats.instructions += n as u64;
+                // Compute completes at the front end; it never extends the
+                // critical path beyond issue bandwidth.
+            }
+            Op::Load { addr, dep } => {
+                // Drop loads that have left the ROB window, feeding the
+                // retire frontier.
+                while let Some(&(s, c)) = self.loads.front() {
+                    if s + rob <= self.seq || self.loads.len() >= lq {
+                        self.retire_frontier = self.retire_frontier.max(c);
+                        self.loads.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                let ft = self.issued / width;
+                let mut start = ft.max(self.retire_frontier);
+                if dep {
+                    start = start.max(self.last_load_completion);
+                }
+                let latency = mem.access(addr, false, start);
+                let completion = start + latency;
+                self.loads.push_back((self.seq, completion));
+                self.last_load_completion = completion;
+                self.max_completion = self.max_completion.max(completion);
+                self.stats.total_load_latency += latency;
+                self.stats.loads += 1;
+                self.stats.instructions += 1;
+                self.issued += 1;
+                self.seq += 1;
+            }
+            Op::Store { addr } => {
+                let ft = self.issued / width;
+                let start = ft.max(self.retire_frontier);
+                // Stores retire through the write buffer: their latency is
+                // off the critical path, but the access still updates the
+                // memory model's state (fills, bank timings, traffic).
+                let _ = mem.access(addr, true, start);
+                self.stats.stores += 1;
+                self.stats.instructions += 1;
+                self.issued += 1;
+                self.seq += 1;
+            }
+        }
+    }
+
+    /// Runs an op stream to completion against `mem`, returning statistics.
+    ///
+    /// Resets the core first: each `run` is an independent program. The
+    /// model is deterministic: the same trace and memory model produce the
+    /// same statistics.
+    pub fn run<I, M>(&mut self, ops: I, mem: &mut M) -> CoreStats
+    where
+        I: IntoIterator<Item = Op>,
+        M: MemoryModel + ?Sized,
+    {
+        self.reset();
+        for op in ops {
+            self.step(op, mem);
+        }
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::FixedLatency;
+
+    fn core() -> Core {
+        Core::new(CoreConfig::westmere_like())
+    }
+
+    #[test]
+    fn compute_only_bound_by_issue_width() {
+        let stats = core().run(vec![Op::Compute(4000)], &mut FixedLatency { latency: 1 });
+        assert_eq!(stats.cycles, 1000);
+        assert_eq!(stats.instructions, 4000);
+        assert!((stats.ipc() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_long_load_exposed() {
+        let stats = core().run(vec![Op::load(0)], &mut FixedLatency { latency: 200 });
+        assert_eq!(stats.cycles, 200);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.avg_load_latency(), 200.0);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // 8 independent misses of 100 cycles: with MLP they overlap almost
+        // fully (issue 2 per cycle is not the limit; LQ is 32).
+        let ops: Vec<Op> = (0..8).map(|i| Op::load(i * 64)).collect();
+        let stats = core().run(ops, &mut FixedLatency { latency: 100 });
+        assert!(stats.cycles < 8 * 100 / 2, "cycles = {}", stats.cycles);
+        assert!(stats.cycles >= 100);
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        let ops: Vec<Op> = (0..8).map(|i| Op::load_dep(i * 64)).collect();
+        let stats = core().run(ops, &mut FixedLatency { latency: 100 });
+        assert_eq!(stats.cycles, 800);
+    }
+
+    #[test]
+    fn lq_limits_mlp() {
+        // 64 independent misses, LQ = 32: second half waits for first half.
+        let cfg = CoreConfig {
+            lq_entries: 32,
+            rob_entries: 1024,
+            ..CoreConfig::westmere_like()
+        };
+        let ops: Vec<Op> = (0..64).map(|i| Op::load(i * 64)).collect();
+        let stats = Core::new(cfg).run(ops, &mut FixedLatency { latency: 100 });
+        // Two waves of ~100 cycles each.
+        assert!(stats.cycles >= 200, "cycles = {}", stats.cycles);
+        assert!(stats.cycles < 320, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn rob_limits_overlap_across_compute() {
+        // A miss followed by > ROB worth of compute, then another miss: the
+        // second miss cannot start until the first retires.
+        let cfg = CoreConfig {
+            rob_entries: 128,
+            ..CoreConfig::westmere_like()
+        };
+        let ops = vec![Op::load(0), Op::Compute(256), Op::load(64)];
+        let stats = Core::new(cfg).run(ops, &mut FixedLatency { latency: 300 });
+        // First load completes at 300; second starts no earlier than 300.
+        assert!(stats.cycles >= 600, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn stores_do_not_stall() {
+        let ops: Vec<Op> = (0..16).map(|i| Op::store(i * 64)).collect();
+        let stats = core().run(ops, &mut FixedLatency { latency: 500 });
+        assert_eq!(stats.stores, 16);
+        assert!(stats.cycles <= 8, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ops: Vec<Op> = (0..100)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Op::load(i * 64)
+                } else {
+                    Op::Compute(5)
+                }
+            })
+            .collect();
+        let a = core().run(ops.clone(), &mut FixedLatency { latency: 30 });
+        let b = core().run(ops, &mut FixedLatency { latency: 30 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let stats = CoreStats {
+            cycles: 3_600_000_000,
+            ..Default::default()
+        };
+        assert!((stats.seconds(3.6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width")]
+    fn zero_width_rejected() {
+        let _ = Core::new(CoreConfig {
+            issue_width: 0,
+            ..CoreConfig::westmere_like()
+        });
+    }
+}

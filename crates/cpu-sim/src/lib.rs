@@ -1,0 +1,30 @@
+//! # cpu-sim — trace-driven core timing model
+//!
+//! The CPU substrate for the XMem reproduction: a limited-window
+//! out-of-order core model ([`core::Core`]) driven by lazy op traces
+//! ([`trace::Op`]) against any [`trace::MemoryModel`].
+//!
+//! The model captures what memory-system studies need — issue bandwidth,
+//! ROB-bounded miss overlap, load-queue-bounded MLP, and dependent-load
+//! serialization — at a fraction of the cost of a full pipeline simulator.
+//!
+//! ```
+//! use cpu_sim::core::{Core, CoreConfig};
+//! use cpu_sim::trace::{FixedLatency, Op};
+//!
+//! let mut core = Core::new(CoreConfig::westmere_like());
+//! let trace = (0..64).map(|i| Op::load(i * 64));
+//! let stats = core.run(trace, &mut FixedLatency { latency: 30 });
+//! assert_eq!(stats.loads, 64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod core;
+pub mod stats;
+pub mod trace;
+
+pub use crate::core::{Core, CoreConfig, CoreStats};
+pub use crate::stats::LatencyHistogram;
+pub use crate::trace::{FixedLatency, MemoryModel, Op};

@@ -1,0 +1,116 @@
+//! Operation traces: the instruction stream the core model executes.
+//!
+//! Workloads are *trace generators*: lazy iterators of [`Op`] values. Only
+//! the events that matter for memory-system studies are modeled — bulk
+//! compute (which occupies issue slots), loads (which may miss and stall),
+//! and stores (which drain through the write buffer). This is the standard
+//! abstraction level for memory-hierarchy simulation (the paper's zsim
+//! substrate drives its cache models the same way).
+
+/// One event in an instruction trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `n` back-to-back non-memory instructions.
+    Compute(u32),
+    /// A load from a virtual address.
+    Load {
+        /// Virtual address of the load.
+        addr: u64,
+        /// If `true`, this load consumes the value of the previous load and
+        /// cannot issue until it completes (pointer chasing). Independent
+        /// loads (`dep == false`) overlap, which is what creates
+        /// memory-level parallelism.
+        dep: bool,
+    },
+    /// A store to a virtual address.
+    Store {
+        /// Virtual address of the store.
+        addr: u64,
+    },
+}
+
+impl Op {
+    /// Convenience constructor for an independent load.
+    #[inline]
+    pub const fn load(addr: u64) -> Op {
+        Op::Load { addr, dep: false }
+    }
+
+    /// Convenience constructor for a dependent (serialized) load.
+    #[inline]
+    pub const fn load_dep(addr: u64) -> Op {
+        Op::Load { addr, dep: true }
+    }
+
+    /// Convenience constructor for a store.
+    #[inline]
+    pub const fn store(addr: u64) -> Op {
+        Op::Store { addr }
+    }
+
+    /// Number of instructions this event represents.
+    #[inline]
+    pub const fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute(n) => *n as u64,
+            Op::Load { .. } | Op::Store { .. } => 1,
+        }
+    }
+
+    /// Whether the event touches memory.
+    #[inline]
+    pub const fn is_memory(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. })
+    }
+}
+
+/// The interface between the core model and the memory hierarchy.
+///
+/// `access` is called once per load/store, with the core's issue time; it
+/// returns the access latency in core cycles. Implementations are expected
+/// to update their internal state (fills, replacements, bank timings).
+pub trait MemoryModel {
+    /// Performs an access at cycle `now`, returning its latency in cycles.
+    fn access(&mut self, addr: u64, is_write: bool, now: u64) -> u64;
+}
+
+/// A fixed-latency memory, useful for tests and core-model studies.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatency {
+    /// Latency of every access in cycles.
+    pub latency: u64,
+}
+
+impl MemoryModel for FixedLatency {
+    fn access(&mut self, _addr: u64, _is_write: bool, _now: u64) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_instruction_counts() {
+        assert_eq!(Op::Compute(17).instructions(), 17);
+        assert_eq!(Op::load(0).instructions(), 1);
+        assert_eq!(Op::store(0).instructions(), 1);
+    }
+
+    #[test]
+    fn op_memory_classification() {
+        assert!(!Op::Compute(1).is_memory());
+        assert!(Op::load(8).is_memory());
+        assert!(Op::store(8).is_memory());
+        assert!(Op::load_dep(8).is_memory());
+        assert!(matches!(Op::load_dep(8), Op::Load { dep: true, .. }));
+    }
+
+    #[test]
+    fn fixed_latency_model() {
+        let mut m = FixedLatency { latency: 7 };
+        assert_eq!(m.access(0x100, false, 0), 7);
+        assert_eq!(m.access(0x200, true, 50), 7);
+    }
+}

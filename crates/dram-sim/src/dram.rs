@@ -1,0 +1,428 @@
+//! The banked DRAM timing model.
+//!
+//! Each bank tracks its open row and the time it becomes ready; each channel
+//! tracks when its data bus frees up. An access arriving at time `t` pays:
+//!
+//! * **row hit** (`tCL` + burst) if the bank's open row matches,
+//! * **row miss** (`tRCD + tCL` + burst) if the bank is precharged,
+//! * **row conflict** (`tRP + tRCD + tCL` + burst) if another row is open,
+//!
+//! plus any queueing behind the bank's previous access and the channel bus.
+//! Requests that arrive while a bank or bus is busy naturally queue — this
+//! is how bank conflicts and limited bandwidth appear in end-to-end latency.
+//!
+//! Scheduling note: requests are processed in arrival order with an open-row
+//! policy, which captures the first-order effect of FR-FCFS (row hits are
+//! cheap and banks pipeline). The standalone [`crate::frfcfs`] module
+//! implements the full reordering scheduler for batch studies and ablation.
+
+use crate::config::{DramConfig, RowPolicy};
+use crate::mapping::AddressMapping;
+use cpu_sim::stats::LatencyHistogram;
+
+/// Per-bank state: the open row and when the bank can next start a command.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_at: u64,
+    /// Earliest time the open row may be precharged (tRAS constraint).
+    ras_until: u64,
+}
+
+/// Classification of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Same row already open.
+    Hit,
+    /// Bank precharged, row had to be activated.
+    Miss,
+    /// Different row open, precharge + activate.
+    Conflict,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Log2 histogram of demand-read latencies (p50/p99 for Fig 8-style
+    /// reporting).
+    pub demand_read_hist: LatencyHistogram,
+    /// Read accesses served (demand + prefetch).
+    pub reads: u64,
+    /// Of which: demand reads (on the core's critical path).
+    pub demand_reads: u64,
+    /// Sum of demand-read latencies in cycles.
+    pub total_demand_read_latency: u64,
+    /// Write accesses served.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row misses (bank was precharged).
+    pub row_misses: u64,
+    /// Row conflicts (wrong row open).
+    pub row_conflicts: u64,
+    /// Sum of read latencies in cycles (arrival → data returned).
+    pub total_read_latency: u64,
+    /// Sum of write latencies in cycles.
+    pub total_write_latency: u64,
+}
+
+impl DramStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of accesses that hit in a row buffer.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean read latency in cycles, over all reads.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean latency of demand reads only (what the core waits on; prefetch
+    /// reads are off the critical path and issued in bursts).
+    pub fn avg_demand_read_latency(&self) -> f64 {
+        if self.demand_reads == 0 {
+            0.0
+        } else {
+            self.total_demand_read_latency as f64 / self.demand_reads as f64
+        }
+    }
+
+    /// Mean write latency in cycles.
+    pub fn avg_write_latency(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.total_write_latency as f64 / self.writes as f64
+        }
+    }
+}
+
+/// The DRAM device model.
+///
+/// # Examples
+///
+/// ```
+/// use dram_sim::{AddressMapping, Dram, DramConfig};
+///
+/// let cfg = DramConfig::ddr3_1066(3.6);
+/// let mut dram = Dram::new(cfg, AddressMapping::scheme5());
+/// // Two lines in the same row: the second is a row hit.
+/// let first = dram.access(0, false, 0);
+/// let second = dram.access(64, false, first);
+/// assert!(second < first);
+/// assert_eq!(dram.stats().row_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    mapping: AddressMapping,
+    banks: Vec<BankState>,
+    bus_free: Vec<u64>,
+    stats: DramStats,
+    /// When `true`, every access is treated as a row hit with no queueing —
+    /// the "Ideal" upper bound of Fig 7 (perfect row-buffer locality).
+    ideal_rbl: bool,
+}
+
+impl Dram {
+    /// Creates a DRAM with all banks precharged.
+    pub fn new(config: DramConfig, mapping: AddressMapping) -> Self {
+        Dram {
+            banks: vec![BankState::default(); config.total_banks()],
+            bus_free: vec![0; config.channels],
+            stats: DramStats::default(),
+            ideal_rbl: false,
+            config,
+            mapping,
+        }
+    }
+
+    /// Creates the Fig 7 "Ideal" device: perfect row-buffer locality (every
+    /// access costs a row hit; the channel bus still serializes transfers).
+    pub fn new_ideal_rbl(config: DramConfig, mapping: AddressMapping) -> Self {
+        let mut d = Self::new(config, mapping);
+        d.ideal_rbl = true;
+        d
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> &AddressMapping {
+        &self.mapping
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Resets statistics (device state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Serves one access arriving at cycle `now`; returns its latency.
+    ///
+    /// Reads walk the full bank state machine. Writes model a controller
+    /// with write buffering and opportunistic drain (as FR-FCFS controllers
+    /// do): they occupy the channel bus and pay nominal write latency, but
+    /// do not perturb the banks' open rows — row-buffer statistics are
+    /// therefore read-only statistics.
+    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> u64 {
+        self.access_inner(addr, is_write, false, now)
+    }
+
+    /// Serves a prefetch read: identical timing to a demand read, but
+    /// accounted separately (it occupies banks and bus without being on the
+    /// core's critical path).
+    pub fn access_prefetch(&mut self, addr: u64, now: u64) -> u64 {
+        self.access_inner(addr, false, true, now)
+    }
+
+    fn access_inner(&mut self, addr: u64, is_write: bool, is_prefetch: bool, now: u64) -> u64 {
+        let loc = self.mapping.decode(addr, &self.config);
+        if is_write && !self.ideal_rbl {
+            let bus = &mut self.bus_free[loc.channel];
+            let data_start = (now + self.config.t_cl).max(*bus);
+            *bus = data_start + self.config.bus_cycles;
+            let latency = data_start + self.config.bus_cycles - now;
+            self.stats.writes += 1;
+            self.stats.total_write_latency += latency;
+            return latency;
+        }
+        let latency = if self.ideal_rbl {
+            // CAS overlaps with earlier transfers; only the data burst
+            // occupies the bus.
+            let bus = &mut self.bus_free[loc.channel];
+            let data_start = (now + self.config.t_cl).max(*bus);
+            *bus = data_start + self.config.bus_cycles;
+            self.stats.row_hits += 1;
+            data_start + self.config.bus_cycles - now
+        } else {
+            let bank_idx = loc.global_bank(&self.config);
+            let bank = &mut self.banks[bank_idx];
+            let start = now.max(bank.ready_at);
+            let (outcome, cmd_cycles, ras_wait) = match bank.open_row {
+                Some(r) if r == loc.row => (RowOutcome::Hit, self.config.t_cl, 0),
+                None => (
+                    RowOutcome::Miss,
+                    self.config.t_rcd + self.config.t_cl,
+                    0,
+                ),
+                Some(_) => {
+                    // Must respect tRAS of the currently open row before
+                    // precharging it.
+                    let wait = bank.ras_until.saturating_sub(start);
+                    (
+                        RowOutcome::Conflict,
+                        self.config.t_rp + self.config.t_rcd + self.config.t_cl,
+                        wait,
+                    )
+                }
+            };
+            match outcome {
+                RowOutcome::Hit => self.stats.row_hits += 1,
+                RowOutcome::Miss => self.stats.row_misses += 1,
+                RowOutcome::Conflict => self.stats.row_conflicts += 1,
+            }
+            let cas_done = start + ras_wait + cmd_cycles;
+            let bus = &mut self.bus_free[loc.channel];
+            let data_start = cas_done.max(*bus);
+            let done = data_start + self.config.bus_cycles;
+            *bus = done;
+            // Bank occupancy: CAS commands pipeline, so consecutive row hits
+            // stream at burst rate (the bank is ready again after one burst
+            // slot); a precharge/activate occupies the bank until the row is
+            // open. The *latency* of this access still includes the full
+            // command chain above.
+            bank.ready_at = start
+                + ras_wait
+                + match outcome {
+                    RowOutcome::Hit => self.config.bus_cycles,
+                    RowOutcome::Miss => self.config.t_rcd,
+                    RowOutcome::Conflict => self.config.t_rp + self.config.t_rcd,
+                };
+            if outcome != RowOutcome::Hit {
+                // Row was (re)activated: tRAS runs from activation.
+                bank.ras_until = start + ras_wait + self.config.t_ras;
+            }
+            bank.open_row = match self.config.row_policy {
+                RowPolicy::Open => Some(loc.row),
+                RowPolicy::Closed => {
+                    // Auto-precharge after the access.
+                    bank.ready_at = bank.ready_at.max(done) + self.config.t_rp;
+                    None
+                }
+            };
+            done - now
+        };
+
+        if is_write {
+            self.stats.writes += 1;
+            self.stats.total_write_latency += latency;
+        } else {
+            self.stats.reads += 1;
+            self.stats.total_read_latency += latency;
+            if !is_prefetch {
+                self.stats.demand_reads += 1;
+                self.stats.total_demand_read_latency += latency;
+                self.stats.demand_read_hist.record(latency);
+            }
+        }
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(mapping: AddressMapping) -> Dram {
+        Dram::new(DramConfig::ddr3_1066(3.6), mapping)
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = dram(AddressMapping::scheme5());
+        let lat = d.access(0, false, 0);
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(lat, d.config().miss_latency());
+    }
+
+    #[test]
+    fn sequential_stream_hits_rows_under_scheme5() {
+        let mut d = dram(AddressMapping::scheme5());
+        let mut t = 0;
+        for line in 0..128u64 {
+            t += d.access(line * 64, false, t);
+        }
+        // One miss per 8 KB row (128 lines per row → 1 miss in 128 lines).
+        assert!(d.stats().row_hit_rate() > 0.95, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn alternating_rows_conflict() {
+        let mut d = dram(AddressMapping::scheme5());
+        let row_bytes = d.config().row_bytes;
+        let mut t = 0;
+        for i in 0..32u64 {
+            // Ping-pong between row 0 and row 1 of the same bank.
+            let addr = (i % 2) * row_bytes;
+            t += d.access(addr, false, t);
+        }
+        assert!(d.stats().row_conflicts >= 30, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn conflicts_cost_more_than_hits() {
+        let cfg = DramConfig::ddr3_1066(3.6);
+        let mut hitter = Dram::new(cfg, AddressMapping::scheme5());
+        let mut t = 0;
+        for line in 0..64u64 {
+            t += hitter.access(line * 64, false, t);
+        }
+        let mut conflicter = Dram::new(cfg, AddressMapping::scheme5());
+        let mut t2 = 0;
+        for i in 0..64u64 {
+            t2 += conflicter.access((i % 2) * cfg.row_bytes, false, t2);
+        }
+        assert!(
+            conflicter.stats().avg_read_latency() > 1.5 * hitter.stats().avg_read_latency()
+        );
+    }
+
+    #[test]
+    fn banks_overlap_under_parallel_arrivals() {
+        // 8 requests to 8 different banks all arriving at t=0 finish far
+        // sooner than 8 requests to one bank.
+        let cfg = DramConfig::ddr3_1066(3.6);
+        let m = AddressMapping::scheme7(); // line-interleaved banks
+        let mut spread = Dram::new(cfg, m);
+        let spread_latency: u64 = (0..8u64).map(|i| spread.access(i * 64, false, 0)).sum();
+
+        let mut serial = Dram::new(cfg, AddressMapping::scheme5());
+        let serial_latency: u64 = (0..8u64)
+            .map(|i| serial.access(i * cfg.row_bytes, false, 0))
+            .sum();
+        assert!(spread_latency < serial_latency);
+    }
+
+    #[test]
+    fn bus_serializes_transfers() {
+        // Many simultaneous row hits on one channel still queue on the bus.
+        let cfg = DramConfig::ddr3_1066(3.6);
+        let mut d = Dram::new(cfg, AddressMapping::scheme5());
+        // Warm the row.
+        let mut t = d.access(0, false, 0);
+        let base = d.access(64, false, t);
+        t += base;
+        // Two hits issued at the same instant: the second waits for the bus.
+        let a = d.access(128, false, t);
+        let b = d.access(192, false, t);
+        assert!(b >= a + cfg.bus_cycles - 1);
+    }
+
+    #[test]
+    fn ideal_rbl_always_hits() {
+        let cfg = DramConfig::ddr3_1066(3.6);
+        let mut d = Dram::new_ideal_rbl(cfg, AddressMapping::scheme1());
+        let mut t = 0;
+        for i in 0..64u64 {
+            t += d.access(i * 1_000_003, false, t); // scattered addresses
+        }
+        assert_eq!(d.stats().row_hits, 64);
+        assert_eq!(d.stats().row_conflicts, 0);
+    }
+
+    #[test]
+    fn closed_policy_never_hits() {
+        let cfg = DramConfig {
+            row_policy: RowPolicy::Closed,
+            ..DramConfig::ddr3_1066(3.6)
+        };
+        let mut d = Dram::new(cfg, AddressMapping::scheme5());
+        let mut t = 0;
+        for line in 0..16u64 {
+            t += d.access(line * 64, false, t);
+        }
+        assert_eq!(d.stats().row_hits, 0);
+        assert_eq!(d.stats().row_misses, 16);
+    }
+
+    #[test]
+    fn write_stats_tracked() {
+        let mut d = dram(AddressMapping::scheme1());
+        d.access(0, true, 0);
+        d.access(64, false, 0);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert!(d.stats().avg_read_latency() > 0.0);
+        assert!(d.stats().avg_write_latency() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let d = dram(AddressMapping::scheme1());
+        assert_eq!(d.stats().row_hit_rate(), 0.0);
+        assert_eq!(d.stats().avg_read_latency(), 0.0);
+        assert_eq!(d.stats().avg_write_latency(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Program loading: atom segment → GAT → translated PATs (§3.5.2).
+//!
+//! "When the program is loaded into memory for execution by the OS, the OS
+//! also reads the atom segment and saves the attributes for each atom in the
+//! GLOBAL ATTRIBUTE TABLE (GAT) [...]. The OS also invokes a hardware
+//! translator that converts the higher-level attributes saved in the GAT to
+//! sets of specific hardware primitives relevant to each hardware component,
+//! and saves them in a per-component PRIVATE ATTRIBUTE TABLE (PAT)."
+
+use xmem_core::atom::AtomId;
+use xmem_core::error::Result;
+use xmem_core::pat::Pat;
+use xmem_core::process::{ProcessId, XMemProcess};
+use xmem_core::segment::AtomSegment;
+use xmem_core::translate::{
+    AttributeTranslator, CachePrimitive, PlacementPrimitive, PrefetcherPrimitive,
+};
+
+/// A loaded program: the OS-side process state plus every component's PAT.
+#[derive(Debug)]
+pub struct LoadedProcess {
+    /// The process' GAT + AST image.
+    pub process: XMemProcess,
+    /// The cache's private attribute table.
+    pub cache_pat: Pat<CachePrimitive>,
+    /// The prefetcher's private attribute table.
+    pub pf_pat: Pat<PrefetcherPrimitive>,
+    /// Per-atom placement primitives for the OS allocator.
+    pub placement: Vec<(AtomId, PlacementPrimitive)>,
+}
+
+/// Loads an atom segment, filling the GAT and running the attribute
+/// translator for each component.
+///
+/// # Errors
+///
+/// Propagates segment parsing and GAT errors. A program with *no* atom
+/// segment should simply not call this — XMem is strictly additive.
+///
+/// # Examples
+///
+/// ```
+/// use os_sim::loader::load_process;
+/// use xmem_core::process::ProcessId;
+/// use xmem_core::segment::AtomSegment;
+/// use xmem_core::translate::AttributeTranslator;
+///
+/// let loaded = load_process(
+///     ProcessId(1),
+///     &AtomSegment::new().to_bytes(),
+///     &AttributeTranslator::new(),
+/// )?;
+/// assert!(loaded.cache_pat.is_empty());
+/// # Ok::<(), xmem_core::error::XMemError>(())
+/// ```
+pub fn load_process(
+    pid: ProcessId,
+    segment_bytes: &[u8],
+    translator: &AttributeTranslator,
+) -> Result<LoadedProcess> {
+    let segment = AtomSegment::from_bytes(segment_bytes)?;
+    load_segment(pid, &segment, translator)
+}
+
+/// Like [`load_process`] but from an already parsed segment.
+///
+/// # Errors
+///
+/// Propagates GAT insertion failures.
+pub fn load_segment(
+    pid: ProcessId,
+    segment: &AtomSegment,
+    translator: &AttributeTranslator,
+) -> Result<LoadedProcess> {
+    let process = XMemProcess::load(pid, segment)?;
+    let mut cache_pat = Pat::new();
+    cache_pat.fill_from_gat(&process.gat, |a| translator.for_cache(a));
+    let mut pf_pat = Pat::new();
+    pf_pat.fill_from_gat(&process.gat, |a| translator.for_prefetcher(a));
+    let placement = process
+        .gat
+        .iter()
+        .map(|atom| (atom.id(), translator.for_placement(atom.attrs())))
+        .collect();
+    Ok(LoadedProcess {
+        process,
+        cache_pat,
+        pf_pat,
+        placement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_core::atom::StaticAtom;
+    use xmem_core::attrs::{AccessPattern, AtomAttributes, Reuse};
+
+    fn segment() -> AtomSegment {
+        let mut seg = AtomSegment::new();
+        seg.push(StaticAtom::new(
+            AtomId::new(0),
+            "stream",
+            AtomAttributes::builder()
+                .access_pattern(AccessPattern::sequential(8))
+                .reuse(Reuse(100))
+                .build(),
+        ));
+        seg.push(StaticAtom::new(
+            AtomId::new(1),
+            "graph",
+            AtomAttributes::builder()
+                .access_pattern(AccessPattern::Irregular)
+                .build(),
+        ));
+        seg
+    }
+
+    #[test]
+    fn load_fills_all_tables() {
+        let loaded = load_process(
+            ProcessId(7),
+            &segment().to_bytes(),
+            &AttributeTranslator::new(),
+        )
+        .unwrap();
+        assert_eq!(loaded.process.pid, ProcessId(7));
+        assert_eq!(loaded.process.gat.len(), 2);
+        assert_eq!(loaded.cache_pat.len(), 2);
+        assert_eq!(loaded.pf_pat.len(), 2);
+        assert_eq!(loaded.placement.len(), 2);
+
+        // The streaming atom translated to a strided prefetch primitive and
+        // a pin candidate; the graph atom to neither.
+        assert_eq!(loaded.pf_pat.get(AtomId::new(0)).unwrap().stride, Some(8));
+        assert!(loaded.cache_pat.get(AtomId::new(0)).unwrap().pin_candidate);
+        assert_eq!(loaded.pf_pat.get(AtomId::new(1)).unwrap().stride, None);
+        assert!(loaded.placement[0].1.high_rbl);
+        assert!(!loaded.placement[1].1.high_rbl);
+    }
+
+    #[test]
+    fn malformed_segment_is_error() {
+        assert!(load_process(ProcessId(0), b"junk", &AttributeTranslator::new()).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Physical frame allocation policies, including the XMem-guided DRAM
+//! placement algorithm of §6.2.
+//!
+//! Three policies reproduce the systems of the paper's second use case:
+//!
+//! * [`FramePolicy::Sequential`] — naive first-free allocation (for tests
+//!   and ablation).
+//! * [`FramePolicy::Randomized`] — randomized VA→PA mapping, part of the
+//!   *strengthened baseline* of §6.3 ("shown to perform better than the
+//!   Buddy algorithm").
+//! * [`FramePolicy::Xmem`] — the §6.2 algorithm: given the placement
+//!   primitives of the program's atoms and the DRAM geometry, it (i)
+//!   *isolates* data structures with high row-buffer locality and high
+//!   access intensity in reserved banks and (ii) *spreads* all other data
+//!   across the remaining banks to maximize memory-level parallelism.
+
+use dram_sim::{AddressMapping, DramConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmem_core::atom::AtomId;
+use xmem_core::translate::PlacementPrimitive;
+
+/// A frame allocator over a fixed pool of physical frames.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    page_size: u64,
+    policy: PolicyState,
+}
+
+/// Frame-allocation policy selector.
+#[derive(Debug, Clone)]
+pub enum FramePolicy {
+    /// First-free, in increasing frame order.
+    Sequential,
+    /// Uniformly random free frame (seeded for determinism).
+    Randomized {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The XMem placement algorithm (§6.2); requires the atoms' placement
+    /// primitives and the DRAM mapping in force.
+    Xmem {
+        /// Per-atom placement primitives from the loaded program.
+        atoms: Vec<(AtomId, PlacementPrimitive)>,
+        /// The memory controller's address mapping.
+        mapping: AddressMapping,
+        /// The DRAM geometry.
+        dram: DramConfig,
+    },
+}
+
+#[derive(Debug)]
+enum PolicyState {
+    Sequential {
+        free: Vec<u64>,
+        next: usize,
+    },
+    Randomized {
+        free: Vec<u64>,
+        rng: StdRng,
+    },
+    Xmem(XmemPlacement),
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `phys_bytes / page_size` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero frames).
+    pub fn new(phys_bytes: u64, page_size: u64, policy: FramePolicy) -> Self {
+        let frames = phys_bytes / page_size;
+        assert!(frames > 0, "no physical frames");
+        let state = match policy {
+            FramePolicy::Sequential => PolicyState::Sequential {
+                free: (0..frames).collect(),
+                next: 0,
+            },
+            FramePolicy::Randomized { seed } => PolicyState::Randomized {
+                free: (0..frames).collect(),
+                rng: StdRng::seed_from_u64(seed),
+            },
+            FramePolicy::Xmem {
+                atoms,
+                mapping,
+                dram,
+            } => PolicyState::Xmem(XmemPlacement::new(frames, page_size, atoms, mapping, dram)),
+        };
+        FrameAllocator {
+            page_size,
+            policy: state,
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Allocates one frame for data belonging to `atom` (if known).
+    ///
+    /// Returns `None` when physical memory is exhausted.
+    pub fn alloc(&mut self, atom: Option<AtomId>) -> Option<u64> {
+        match &mut self.policy {
+            PolicyState::Sequential { free, next } => {
+                if *next < free.len() {
+                    let f = free[*next];
+                    *next += 1;
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+            PolicyState::Randomized { free, rng } => {
+                if free.is_empty() {
+                    None
+                } else {
+                    let i = rng.gen_range(0..free.len());
+                    Some(free.swap_remove(i))
+                }
+            }
+            PolicyState::Xmem(x) => x.alloc(atom),
+        }
+    }
+
+    /// For the XMem policy: the banks reserved for `atom`, if it was
+    /// isolated. Empty for non-isolated atoms and other policies.
+    pub fn reserved_banks(&self, atom: AtomId) -> Vec<usize> {
+        match &self.policy {
+            PolicyState::Xmem(x) => x.reserved_banks(atom),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The §6.2 placement algorithm.
+///
+/// Bank reservation: atoms are ranked by access intensity; an atom is
+/// *isolated* when its primitive says `high_rbl` and its intensity is high
+/// enough that dedicating banks to it does not hurt overall parallelism
+/// (we require intensity ≥ half the maximum intensity among atoms, and cap
+/// total reserved banks at half the machine). Each isolated atom receives
+/// an equal share of the reserved banks. All remaining data — spread atoms
+/// and anonymous allocations — round-robins across the unreserved banks.
+#[derive(Debug)]
+struct XmemPlacement {
+    /// Free frames per global bank (pop from the back).
+    per_bank: Vec<Vec<u64>>,
+    /// banks assigned to each isolated atom.
+    isolation: Vec<(AtomId, Vec<usize>)>,
+    /// Banks not reserved by any atom.
+    shared_banks: Vec<usize>,
+    /// Round-robin cursor into `shared_banks`.
+    rr: usize,
+}
+
+impl XmemPlacement {
+    fn new(
+        frames: u64,
+        page_size: u64,
+        atoms: Vec<(AtomId, PlacementPrimitive)>,
+        mapping: AddressMapping,
+        dram: DramConfig,
+    ) -> Self {
+        let total_banks = dram.total_banks();
+        // Bucket frames by the bank of their base address. (The policy is
+        // meaningful when the mapping keeps a frame within one bank — e.g.
+        // a row-major mapping with rows ≥ page size; with line-interleaved
+        // mappings the OS simply loses bank control, as in real systems.)
+        let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); total_banks];
+        for f in 0..frames {
+            let loc = mapping.decode(f * page_size, &dram);
+            per_bank[loc.global_bank(&dram)].push(f);
+        }
+        // Frames were pushed in increasing order; pop from the *front* for
+        // consecutive rows. We reverse so `pop()` yields the lowest frame.
+        for list in &mut per_bank {
+            list.reverse();
+        }
+
+        // Rank atoms: isolate high-RBL atoms whose intensity is at least
+        // half of the hottest atom's.
+        let max_intensity = atoms
+            .iter()
+            .map(|(_, p)| p.intensity)
+            .max()
+            .unwrap_or(0);
+        let threshold = max_intensity / 2;
+        let mut isolated: Vec<(AtomId, u8)> = atoms
+            .iter()
+            .filter(|(_, p)| p.high_rbl && p.intensity >= threshold && p.intensity > 0)
+            .map(|(a, p)| (*a, p.intensity))
+            .collect();
+        isolated.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Size each isolated atom's reservation proportional to its access
+        // intensity (§6.2: isolation must not reduce overall parallelism —
+        // a structure carrying most of the traffic needs most of the banks),
+        // always leaving a shared remainder for spread/anonymous data when
+        // any exists.
+        let i_total: u64 = atoms.iter().map(|(_, p)| p.intensity as u64).sum::<u64>().max(1);
+        let any_shared_atom = atoms
+            .iter()
+            .any(|(a, p)| !isolated.iter().any(|(ia, _)| ia == a) || !p.high_rbl);
+        let min_shared = if any_shared_atom {
+            (total_banks / 4).max(2)
+        } else {
+            2
+        };
+
+        // Visit banks interleaved across channels/ranks so that both the
+        // reserved set and the shared remainder span all channels (keeping
+        // channel-level parallelism for everyone).
+        let banks_per_cr = dram.banks;
+        let mut bank_order: Vec<usize> = (0..total_banks).collect();
+        bank_order.sort_by_key(|&g| (g % banks_per_cr, g / banks_per_cr));
+
+        let mut cursor = 0usize;
+        let mut isolation = Vec::new();
+        for (atom, intensity) in isolated {
+            let available = (total_banks - min_shared).saturating_sub(cursor);
+            if available == 0 {
+                break;
+            }
+            let want = ((total_banks as u64 * intensity as u64 + i_total - 1) / i_total)
+                .max(1) as usize;
+            let take = want.min(available);
+            let banks: Vec<usize> = bank_order[cursor..cursor + take].to_vec();
+            cursor += take;
+            isolation.push((atom, banks));
+        }
+        let shared_banks: Vec<usize> = bank_order[cursor..].to_vec();
+
+        XmemPlacement {
+            per_bank,
+            isolation,
+            shared_banks,
+            rr: 0,
+        }
+    }
+
+    fn reserved_banks(&self, atom: AtomId) -> Vec<usize> {
+        self.isolation
+            .iter()
+            .find(|(a, _)| *a == atom)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default()
+    }
+
+    fn alloc(&mut self, atom: Option<AtomId>) -> Option<u64> {
+        // Isolated atom: allocate from its own banks, round-robin between
+        // them (RBL within each bank, parallelism between its banks).
+        if let Some(a) = atom {
+            if let Some((_, banks)) = self.isolation.iter().find(|(x, _)| *x == a) {
+                let banks = banks.clone();
+                // Pick the reserved bank with the most free frames (keeps
+                // row runs long while balancing).
+                if let Some(&bank) = banks
+                    .iter()
+                    .max_by_key(|&&b| self.per_bank[b].len())
+                {
+                    if let Some(f) = self.per_bank[bank].pop() {
+                        return Some(f);
+                    }
+                }
+                // Reserved banks exhausted: fall through to shared pool.
+            }
+        }
+        // Spread everything else across the shared banks round-robin.
+        let n = self.shared_banks.len();
+        for _ in 0..n.max(1) {
+            if n == 0 {
+                break;
+            }
+            let bank = self.shared_banks[self.rr % n];
+            self.rr += 1;
+            if let Some(f) = self.per_bank[bank].pop() {
+                return Some(f);
+            }
+        }
+        // Shared pool exhausted: steal from any bank with frames left.
+        self.per_bank.iter_mut().find_map(|l| l.pop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_core::attrs::{AccessPattern, AtomAttributes, AccessIntensity};
+    use xmem_core::translate::AttributeTranslator;
+
+    fn prim(high_rbl: bool, intensity: u8) -> PlacementPrimitive {
+        let t = AttributeTranslator::new();
+        let pattern = if high_rbl {
+            AccessPattern::sequential(8)
+        } else {
+            AccessPattern::NonDet
+        };
+        t.for_placement(
+            &AtomAttributes::builder()
+                .access_pattern(pattern)
+                .intensity(AccessIntensity(intensity))
+                .build(),
+        )
+    }
+
+    fn xmem_alloc(atoms: Vec<(AtomId, PlacementPrimitive)>) -> FrameAllocator {
+        FrameAllocator::new(
+            64 << 20,
+            4096,
+            FramePolicy::Xmem {
+                atoms,
+                mapping: AddressMapping::scheme5(),
+                dram: DramConfig::ddr3_1066(3.6).with_capacity(64 << 20),
+            },
+        )
+    }
+
+    #[test]
+    fn sequential_allocates_in_order() {
+        let mut a = FrameAllocator::new(16 * 4096, 4096, FramePolicy::Sequential);
+        assert_eq!(a.alloc(None), Some(0));
+        assert_eq!(a.alloc(None), Some(1));
+        for _ in 2..16 {
+            assert!(a.alloc(None).is_some());
+        }
+        assert_eq!(a.alloc(None), None);
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed_and_exhaustive() {
+        let run = |seed| {
+            let mut a =
+                FrameAllocator::new(64 * 4096, 4096, FramePolicy::Randomized { seed });
+            (0..64).map(|_| a.alloc(None).unwrap()).collect::<Vec<_>>()
+        };
+        let x = run(1);
+        let y = run(1);
+        let z = run(2);
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+        let mut sorted = x.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..64).collect::<Vec<u64>>());
+        assert_ne!(x, sorted, "seed 1 should not be identity order");
+    }
+
+    #[test]
+    fn xmem_isolates_high_rbl_hot_atom() {
+        let hot = AtomId::new(0);
+        let cold = AtomId::new(1);
+        let mut a = xmem_alloc(vec![(hot, prim(true, 200)), (cold, prim(false, 100))]);
+        let banks = a.reserved_banks(hot);
+        assert!(!banks.is_empty(), "hot streaming atom gets banks");
+        assert!(a.reserved_banks(cold).is_empty());
+
+        // All of the hot atom's frames land in its reserved banks.
+        let mapping = AddressMapping::scheme5();
+        let dram = DramConfig::ddr3_1066(3.6).with_capacity(64 << 20);
+        for _ in 0..32 {
+            let f = a.alloc(Some(hot)).unwrap();
+            let bank = mapping.decode(f * 4096, &dram).global_bank(&dram);
+            assert!(banks.contains(&bank), "frame {f} in bank {bank}, not {banks:?}");
+        }
+        // And the cold atom never lands there.
+        for _ in 0..32 {
+            let f = a.alloc(Some(cold)).unwrap();
+            let bank = mapping.decode(f * 4096, &dram).global_bank(&dram);
+            assert!(!banks.contains(&bank));
+        }
+    }
+
+    #[test]
+    fn xmem_spreads_irregular_atoms_across_banks() {
+        let irr = AtomId::new(2);
+        let mut a = xmem_alloc(vec![(irr, prim(false, 200))]);
+        let mapping = AddressMapping::scheme5();
+        let dram = DramConfig::ddr3_1066(3.6).with_capacity(64 << 20);
+        let banks: std::collections::HashSet<usize> = (0..32)
+            .map(|_| {
+                let f = a.alloc(Some(irr)).unwrap();
+                mapping.decode(f * 4096, &dram).global_bank(&dram)
+            })
+            .collect();
+        assert!(banks.len() >= 8, "spread over {} banks", banks.len());
+    }
+
+    #[test]
+    fn xmem_low_intensity_rbl_atom_not_isolated() {
+        // High RBL but cold relative to the hottest atom: not worth a bank.
+        let cold_stream = AtomId::new(0);
+        let hot_random = AtomId::new(1);
+        let a = xmem_alloc(vec![
+            (cold_stream, prim(true, 10)),
+            (hot_random, prim(false, 250)),
+        ]);
+        assert!(a.reserved_banks(cold_stream).is_empty());
+    }
+
+    #[test]
+    fn xmem_isolated_frames_are_row_consecutive() {
+        let hot = AtomId::new(0);
+        let mut a = xmem_alloc(vec![(hot, prim(true, 200))]);
+        let banks = a.reserved_banks(hot);
+        // Consecutive allocations within one bank come in increasing frame
+        // order (consecutive rows → row-buffer friendly).
+        let mut per_bank: std::collections::HashMap<usize, Vec<u64>> =
+            std::collections::HashMap::new();
+        let mapping = AddressMapping::scheme5();
+        let dram = DramConfig::ddr3_1066(3.6).with_capacity(64 << 20);
+        for _ in 0..64 {
+            let f = a.alloc(Some(hot)).unwrap();
+            let bank = mapping.decode(f * 4096, &dram).global_bank(&dram);
+            assert!(banks.contains(&bank));
+            per_bank.entry(bank).or_default().push(f);
+        }
+        for frames in per_bank.values() {
+            let mut sorted = frames.clone();
+            sorted.sort();
+            assert_eq!(&sorted, frames, "frames within a bank are ascending");
+        }
+    }
+
+    #[test]
+    fn exhaustion_falls_back_gracefully() {
+        let hot = AtomId::new(0);
+        // Tiny memory: 32 frames.
+        let mut a = FrameAllocator::new(
+            32 * 4096,
+            4096,
+            FramePolicy::Xmem {
+                atoms: vec![(hot, prim(true, 200))],
+                mapping: AddressMapping::scheme5(),
+                dram: DramConfig::ddr3_1066(3.6).with_capacity(32 * 4096),
+            },
+        );
+        let mut got = 0;
+        while a.alloc(Some(hot)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 32, "all frames allocatable despite reservation");
+    }
+}

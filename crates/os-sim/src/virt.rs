@@ -1,0 +1,247 @@
+//! Virtualized environments (§4.3 of the paper).
+//!
+//! "XMem is designed to seamlessly function in these virtualized
+//! environments": the AAM is indexed by *host* physical address, so it is
+//! globally shared across VMs; the AST/PATs are per-process and reload on
+//! context switches; the MAP operator communicates with the MMU to resolve
+//! the host physical address. This module supplies the missing translation
+//! machinery: a two-level (guest → host) page table that the AMU can use as
+//! its [`Mmu`], and a [`VirtualMachine`] wrapper bundling a guest address
+//! space with its slice of host memory.
+
+use crate::vm::PageTable;
+use std::collections::HashMap;
+use xmem_core::addr::{PhysAddr, VirtAddr};
+use xmem_core::amu::Mmu;
+
+/// Identifies a virtual machine on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u32);
+
+/// A two-level translation: guest virtual → guest physical (guest page
+/// table) → host physical (the hypervisor's table for this VM).
+///
+/// Implements [`Mmu`], so `ATOM_MAP` executed inside a guest lands in the
+/// globally-shared, host-PA-indexed AAM — exactly the §4.3 design.
+///
+/// # Examples
+///
+/// ```
+/// use os_sim::virt::NestedPageTable;
+/// use xmem_core::addr::VirtAddr;
+/// use xmem_core::amu::Mmu;
+///
+/// let mut nested = NestedPageTable::new(4096);
+/// nested.map_guest_page(0, 5);  // guest VA page 0 -> guest PA frame 5
+/// nested.map_host_page(5, 42);  // guest frame 5   -> host frame 42
+/// let host_pa = nested.translate(VirtAddr::new(0x123)).unwrap();
+/// assert_eq!(host_pa.raw(), 42 * 4096 + 0x123);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NestedPageTable {
+    guest: PageTable,
+    /// Guest-physical frame → host-physical frame (the EPT/NPT analogue).
+    host: HashMap<u64, u64>,
+    page_size: u64,
+}
+
+impl NestedPageTable {
+    /// Creates an empty two-level table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> Self {
+        NestedPageTable {
+            guest: PageTable::new(page_size),
+            host: HashMap::new(),
+            page_size,
+        }
+    }
+
+    /// Maps guest virtual page `vpn` to guest physical frame `gpfn`.
+    pub fn map_guest_page(&mut self, vpn: u64, gpfn: u64) {
+        self.guest.map_page(vpn, gpfn);
+    }
+
+    /// Maps guest physical frame `gpfn` to host physical frame `hpfn`.
+    pub fn map_host_page(&mut self, gpfn: u64, hpfn: u64) {
+        self.host.insert(gpfn, hpfn);
+    }
+
+    /// The guest-level table (what the guest OS manipulates).
+    pub fn guest(&self) -> &PageTable {
+        &self.guest
+    }
+
+    /// Translates a guest physical address to a host physical address.
+    pub fn guest_pa_to_host(&self, gpa: u64) -> Option<u64> {
+        let gpfn = gpa / self.page_size;
+        let offset = gpa % self.page_size;
+        self.host.get(&gpfn).map(|hpfn| hpfn * self.page_size + offset)
+    }
+}
+
+impl Mmu for NestedPageTable {
+    fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        let gpa = self.guest.translate(va)?;
+        self.guest_pa_to_host(gpa.raw()).map(PhysAddr::new)
+    }
+
+    fn page_size(&self) -> u64 {
+        self.page_size
+    }
+}
+
+/// A guest VM: its nested translation plus the range of host frames the
+/// hypervisor granted it.
+#[derive(Debug)]
+pub struct VirtualMachine {
+    /// The VM's identifier (used to distinguish addresses from different
+    /// VMs at shared hardware components, per §4.3).
+    pub id: VmId,
+    /// Guest → host translation.
+    pub pages: NestedPageTable,
+    next_guest_frame: u64,
+    host_frames: Vec<u64>,
+    next_host: usize,
+    next_va: u64,
+}
+
+impl VirtualMachine {
+    /// Creates a VM owning the given host frames.
+    pub fn new(id: VmId, page_size: u64, host_frames: Vec<u64>) -> Self {
+        VirtualMachine {
+            id,
+            pages: NestedPageTable::new(page_size),
+            next_guest_frame: 0,
+            host_frames,
+            next_host: 0,
+            next_va: page_size,
+        }
+    }
+
+    /// Guest-side allocation: reserves a guest VA range and backs it with
+    /// guest frames, which the hypervisor in turn backs with host frames.
+    ///
+    /// Returns the guest VA, or `None` if the VM's host memory grant is
+    /// exhausted.
+    pub fn galloc(&mut self, bytes: u64) -> Option<VirtAddr> {
+        let page = self.pages.page_size;
+        let pages = bytes.div_ceil(page).max(1);
+        let base = self.next_va;
+        for i in 0..pages {
+            let hpfn = *self.host_frames.get(self.next_host)?;
+            self.next_host += 1;
+            let gpfn = self.next_guest_frame;
+            self.next_guest_frame += 1;
+            self.pages.map_guest_page(base / page + i, gpfn);
+            self.pages.map_host_page(gpfn, hpfn);
+        }
+        self.next_va = base + pages * page;
+        Some(VirtAddr::new(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmem_core::aam::AamConfig;
+    use xmem_core::amu::{AmuConfig, AtomManagementUnit};
+    use xmem_core::attrs::AtomAttributes;
+    use xmem_core::xmemlib::{CallSite, XMemLib};
+
+    fn amu() -> AtomManagementUnit {
+        AtomManagementUnit::new(AmuConfig {
+            aam: AamConfig {
+                phys_bytes: 4 << 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn nested_translation_composes() {
+        let mut n = NestedPageTable::new(4096);
+        n.map_guest_page(3, 7);
+        n.map_host_page(7, 100);
+        assert_eq!(
+            n.translate(VirtAddr::new(3 * 4096 + 9)).unwrap().raw(),
+            100 * 4096 + 9
+        );
+        // Missing either level fails the walk.
+        assert!(n.translate(VirtAddr::new(0)).is_none());
+        n.map_guest_page(0, 8); // guest frame 8 has no host backing
+        assert!(n.translate(VirtAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn atoms_work_from_inside_a_guest() {
+        // §4.3: "The MAP/UNMAP operator communicates directly with the MMU
+        // to map the host physical address to the corresponding atom ID."
+        let mut vm = VirtualMachine::new(VmId(1), 4096, (100..164).collect());
+        let mut amu = amu();
+        let mut lib = XMemLib::new();
+        let atom = lib
+            .create_atom(
+                CallSite { file: "guest", line: 1 },
+                "guest_data",
+                AtomAttributes::default(),
+            )
+            .unwrap();
+        let gva = vm.galloc(16 << 10).unwrap();
+        lib.atom_map(&mut amu, &vm.pages, atom, gva, 16 << 10).unwrap();
+        lib.atom_activate(&mut amu, &vm.pages, atom).unwrap();
+
+        // The AAM is host-PA indexed: querying through the nested walk
+        // resolves the atom for every guest page.
+        for off in (0..(16u64 << 10)).step_by(4096) {
+            let host_pa = vm.pages.translate(gva + off).unwrap();
+            assert_eq!(amu.active_atom_at(host_pa), Some(atom));
+        }
+    }
+
+    #[test]
+    fn two_vms_share_the_global_aam_without_collisions() {
+        // Same guest VAs in two VMs; different host frames; one global AAM.
+        let mut vm1 = VirtualMachine::new(VmId(1), 4096, (0..32).collect());
+        let mut vm2 = VirtualMachine::new(VmId(2), 4096, (512..544).collect());
+        let mut amu = amu();
+        let mut lib1 = XMemLib::new();
+        let mut lib2 = XMemLib::new();
+        let a1 = lib1
+            .create_atom(CallSite { file: "g1", line: 1 }, "a", AtomAttributes::default())
+            .unwrap();
+        // Give VM2's atom a distinct global ID (process-level tracking).
+        let _ = lib2
+            .create_atom(CallSite { file: "g2", line: 0 }, "pad", AtomAttributes::default())
+            .unwrap();
+        let a2 = lib2
+            .create_atom(CallSite { file: "g2", line: 1 }, "b", AtomAttributes::default())
+            .unwrap();
+        assert_ne!(a1, a2);
+
+        let va1 = vm1.galloc(8192).unwrap();
+        let va2 = vm2.galloc(8192).unwrap();
+        assert_eq!(va1, va2, "guest VAs intentionally collide");
+
+        lib1.atom_map(&mut amu, &vm1.pages, a1, va1, 8192).unwrap();
+        lib1.atom_activate(&mut amu, &vm1.pages, a1).unwrap();
+        lib2.atom_map(&mut amu, &vm2.pages, a2, va2, 8192).unwrap();
+        lib2.atom_activate(&mut amu, &vm2.pages, a2).unwrap();
+
+        let host1 = vm1.pages.translate(va1).unwrap();
+        let host2 = vm2.pages.translate(va2).unwrap();
+        assert_ne!(host1, host2);
+        assert_eq!(amu.active_atom_at(host1), Some(a1));
+        assert_eq!(amu.active_atom_at(host2), Some(a2));
+    }
+
+    #[test]
+    fn galloc_exhaustion() {
+        let mut vm = VirtualMachine::new(VmId(3), 4096, vec![1, 2]);
+        assert!(vm.galloc(8192).is_some());
+        assert!(vm.galloc(4096).is_none());
+    }
+}

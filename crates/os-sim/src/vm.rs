@@ -1,0 +1,125 @@
+//! Virtual memory: a simple single-level page table.
+//!
+//! The OS substrate controls the virtual→physical mapping — the lever the
+//! XMem placement use case (§6) pulls to steer data structures to specific
+//! DRAM banks and channels. The table implements
+//! [`xmem_core::amu::Mmu`] so the AMU can translate `ATOM_MAP` ranges.
+
+use std::collections::HashMap;
+use xmem_core::addr::{PhysAddr, VirtAddr};
+use xmem_core::amu::Mmu;
+
+/// A flat VPN→PFN page table for one address space.
+///
+/// # Examples
+///
+/// ```
+/// use os_sim::vm::PageTable;
+/// use xmem_core::addr::VirtAddr;
+/// use xmem_core::amu::Mmu;
+///
+/// let mut pt = PageTable::new(4096);
+/// pt.map_page(1, 42);
+/// let pa = pt.translate(VirtAddr::new(4096 + 123)).unwrap();
+/// assert_eq!(pa.raw(), 42 * 4096 + 123);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: u64,
+    map: HashMap<u64, u64>,
+}
+
+impl PageTable {
+    /// Creates an empty table with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        PageTable {
+            page_size,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Maps virtual page `vpn` to physical frame `pfn` (replacing any
+    /// previous mapping).
+    pub fn map_page(&mut self, vpn: u64, pfn: u64) {
+        self.map.insert(vpn, pfn);
+    }
+
+    /// Removes the mapping for `vpn`, returning the frame it held.
+    pub fn unmap_page(&mut self, vpn: u64) -> Option<u64> {
+        self.map.remove(&vpn)
+    }
+
+    /// The frame backing `vpn`, if mapped.
+    pub fn frame_of(&self, vpn: u64) -> Option<u64> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl Mmu for PageTable {
+    fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        let vpn = va.page_index(self.page_size);
+        let offset = va.page_offset(self.page_size);
+        self.map
+            .get(&vpn)
+            .map(|pfn| PhysAddr::new(pfn * self.page_size + offset))
+    }
+
+    fn page_size(&self) -> u64 {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_roundtrip() {
+        let mut pt = PageTable::new(4096);
+        pt.map_page(0, 7);
+        pt.map_page(5, 0);
+        assert_eq!(pt.translate(VirtAddr::new(10)).unwrap().raw(), 7 * 4096 + 10);
+        assert_eq!(
+            pt.translate(VirtAddr::new(5 * 4096 + 4095)).unwrap().raw(),
+            4095
+        );
+        assert_eq!(pt.translate(VirtAddr::new(4096)), None);
+    }
+
+    #[test]
+    fn remap_replaces() {
+        let mut pt = PageTable::new(4096);
+        pt.map_page(1, 10);
+        pt.map_page(1, 20);
+        assert_eq!(pt.frame_of(1), Some(20));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmap() {
+        let mut pt = PageTable::new(4096);
+        pt.map_page(2, 3);
+        assert_eq!(pt.unmap_page(2), Some(3));
+        assert_eq!(pt.unmap_page(2), None);
+        assert_eq!(pt.translate(VirtAddr::new(2 * 4096)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_page_size_rejected() {
+        let _ = PageTable::new(3000);
+    }
+}

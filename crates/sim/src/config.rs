@@ -1,0 +1,277 @@
+//! Full-system configuration (Table 3 of the paper, plus the scaled
+//! variants the harness uses — see DESIGN.md's scaling note).
+
+use cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy, XmemMode};
+use cpu_sim::CoreConfig;
+use dram_sim::{AddressMapping, DramConfig};
+
+/// Which of the paper's evaluated systems to model (use case 1, §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// DRRIP + multi-stride prefetching, no XMem.
+    Baseline,
+    /// XMem-guided prefetching only (DRRIP cache management).
+    XmemPref,
+    /// Full XMem: pinning + guided prefetching.
+    Xmem,
+}
+
+impl SystemKind {
+    /// The corresponding hierarchy mode.
+    pub fn xmem_mode(self) -> XmemMode {
+        match self {
+            SystemKind::Baseline => XmemMode::Off,
+            SystemKind::XmemPref => XmemMode::PrefetchOnly,
+            SystemKind::Xmem => XmemMode::Full,
+        }
+    }
+
+    /// Whether the XMem machinery (AMU, PATs) is active at all.
+    pub fn xmem_enabled(self) -> bool {
+        !matches!(self, SystemKind::Baseline)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Baseline => "Baseline",
+            SystemKind::XmemPref => "XMem-Pref",
+            SystemKind::Xmem => "XMem",
+        }
+    }
+}
+
+/// Frame-allocation policy selection (use case 2 systems, §6.3–6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramePolicyKind {
+    /// First-free frames (identity-like; used for use case 1 where
+    /// placement is not under study).
+    Sequential,
+    /// Randomized VA→PA (the strengthened baseline of §6.3).
+    Randomized {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// The §6.2 XMem placement algorithm.
+    XmemPlacement,
+}
+
+/// A complete system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Core model parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// Physical address mapping.
+    pub mapping: AddressMapping,
+    /// Simulated physical memory size.
+    pub phys_bytes: u64,
+    /// OS frame policy.
+    pub frame_policy: FramePolicyKind,
+    /// Model the Fig 7 "Ideal" DRAM (every access a row hit).
+    pub ideal_rbl: bool,
+    /// Optional TLB in front of translation (None = free translation, the
+    /// default so the figure experiments isolate memory-system effects; a
+    /// TLB affects Baseline and XMem identically).
+    pub tlb: Option<os_sim::tlb::TlbConfig>,
+}
+
+impl SystemConfig {
+    /// The Table 3 configuration, full size: 3.6 GHz 4-wide OOO core,
+    /// 32 KB L1 / 128 KB L2 / 1 MB L3 slice, DDR3-1066 with 2 channels.
+    pub fn westmere_like() -> Self {
+        let phys_bytes = 256 << 20;
+        SystemConfig {
+            core: CoreConfig::westmere_like(),
+            hierarchy: HierarchyConfig::westmere_like(),
+            dram: DramConfig::ddr3_1066(3.6).with_capacity(phys_bytes),
+            mapping: AddressMapping::scheme1(),
+            phys_bytes,
+            frame_policy: FramePolicyKind::Sequential,
+            ideal_rbl: false,
+            tlb: None,
+        }
+    }
+
+    /// The scaled use-case-1 configuration: same latencies and policies as
+    /// Table 3 with capacities shrunk ~8× (8 KB L1, 16 KB L2, `l3_bytes`
+    /// L3) so that the tile-size sweep brackets the L3 within millisecond
+    /// simulations. Ratios (tile vs. cache) are what Fig 4–6 depend on.
+    pub fn scaled_use_case1(l3_bytes: u64, kind: SystemKind) -> Self {
+        let phys_bytes = 64 << 20;
+        let hierarchy = HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 8 << 10,
+                ways: 4,
+                line_bytes: 64,
+                latency: 4,
+                policy: ReplacementPolicy::Lru,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 8,
+                policy: ReplacementPolicy::Drrip,
+            },
+            l3: CacheConfig {
+                size_bytes: l3_bytes,
+                ways: 16,
+                line_bytes: 64,
+                latency: 27,
+                policy: ReplacementPolicy::Drrip,
+            },
+            stride_prefetcher: true,
+            stride_streams: 16,
+            prefetch_degree: 2,
+            xmem_prefetch_degree: 4,
+            xmem: kind.xmem_mode(),
+        };
+        SystemConfig {
+            core: CoreConfig::westmere_like(),
+            hierarchy,
+            // Table 3's 2.1 GB/s/core is the 8-core share of 17 GB/s; a
+            // single simulated core can burst to about twice its share.
+            dram: DramConfig::ddr3_1066(3.6)
+                .with_capacity(phys_bytes)
+                .with_channel_bandwidth(4.2 / 2.0, 3.6),
+            mapping: AddressMapping::scheme1(),
+            phys_bytes,
+            frame_policy: FramePolicyKind::Sequential,
+            ideal_rbl: false,
+            tlb: None,
+        }
+    }
+
+    /// Enables a TLB with the default geometry (64 entries, 30-cycle walk).
+    pub fn with_tlb(mut self) -> Self {
+        self.tlb = Some(os_sim::tlb::TlbConfig::default());
+        self
+    }
+
+    /// Adjusts per-core memory bandwidth (Fig 6: 2 / 1 / 0.5 GB/s).
+    pub fn with_per_core_bandwidth(mut self, gbps: f64) -> Self {
+        self.dram = self
+            .dram
+            .with_channel_bandwidth(gbps / self.dram.channels as f64, 3.6);
+        self
+    }
+}
+
+/// Configuration of a multi-core machine: private L1/L2 per core, shared
+/// L3 and DRAM (the Table 3 shape; see [`crate::multicore`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCoreConfig {
+    /// Number of cores (each replays one workload log).
+    pub cores: usize,
+    /// Core model parameters (identical cores).
+    pub core: CoreConfig,
+    /// Private L1 per core.
+    pub l1: CacheConfig,
+    /// Private L2 per core.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// Enable the per-core stride prefetchers.
+    pub stride_prefetcher: bool,
+    /// Streams per stride prefetcher.
+    pub stride_streams: usize,
+    /// Stride prefetch degree.
+    pub prefetch_degree: usize,
+    /// XMem guided prefetch degree.
+    pub xmem_prefetch_degree: usize,
+    /// XMem operating mode.
+    pub xmem: XmemMode,
+    /// Shared DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// Physical address mapping.
+    pub mapping: AddressMapping,
+    /// Simulated physical memory.
+    pub phys_bytes: u64,
+    /// OS frame policy (shared allocator; the XMem policy sees the merged
+    /// atom set of all co-running workloads, per §6.2).
+    pub frame_policy: FramePolicyKind,
+}
+
+impl MultiCoreConfig {
+    /// The full-size Table 3 machine with `cores` cores: 32 KB L1 +
+    /// 128 KB L2 private, a shared L3 of 1 MB per core, DDR3-1066.
+    pub fn westmere_like(cores: usize) -> Self {
+        let phys_bytes = 256 << 20;
+        let base = HierarchyConfig::westmere_like();
+        MultiCoreConfig {
+            cores,
+            core: CoreConfig::westmere_like(),
+            l1: base.l1,
+            l2: base.l2,
+            l3: base.l3.with_size(cores as u64 * (1 << 20)),
+            stride_prefetcher: true,
+            stride_streams: 16,
+            prefetch_degree: 2,
+            xmem_prefetch_degree: 4,
+            xmem: XmemMode::Off,
+            dram: DramConfig::ddr3_1066(3.6).with_capacity(phys_bytes),
+            mapping: AddressMapping::scheme1(),
+            phys_bytes,
+            frame_policy: FramePolicyKind::Sequential,
+        }
+    }
+
+    /// The scaled co-run machine matching
+    /// [`SystemConfig::scaled_use_case1`]: the shared L3 is `l3_bytes`
+    /// *total* (co-runners genuinely compete for it).
+    pub fn scaled_corun(cores: usize, l3_bytes: u64, kind: SystemKind) -> Self {
+        let single = SystemConfig::scaled_use_case1(l3_bytes, kind);
+        MultiCoreConfig {
+            cores,
+            core: single.core,
+            l1: single.hierarchy.l1,
+            l2: single.hierarchy.l2,
+            l3: single.hierarchy.l3,
+            stride_prefetcher: single.hierarchy.stride_prefetcher,
+            stride_streams: single.hierarchy.stride_streams,
+            prefetch_degree: single.hierarchy.prefetch_degree,
+            xmem_prefetch_degree: single.hierarchy.xmem_prefetch_degree,
+            xmem: kind.xmem_mode(),
+            dram: single.dram,
+            mapping: single.mapping,
+            phys_bytes: single.phys_bytes,
+            frame_policy: single.frame_policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_modes() {
+        assert_eq!(SystemKind::Baseline.xmem_mode(), XmemMode::Off);
+        assert_eq!(SystemKind::XmemPref.xmem_mode(), XmemMode::PrefetchOnly);
+        assert_eq!(SystemKind::Xmem.xmem_mode(), XmemMode::Full);
+        assert!(!SystemKind::Baseline.xmem_enabled());
+        assert!(SystemKind::Xmem.xmem_enabled());
+    }
+
+    #[test]
+    fn scaled_config_geometry_is_valid() {
+        for l3 in [32 << 10, 64 << 10, 128 << 10, 256 << 10] {
+            let cfg = SystemConfig::scaled_use_case1(l3, SystemKind::Xmem);
+            assert!(cfg.hierarchy.l3.sets() >= 32);
+            assert!(cfg.hierarchy.l1.sets() > 0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_knob_slows_bus() {
+        let fast = SystemConfig::scaled_use_case1(128 << 10, SystemKind::Baseline)
+            .with_per_core_bandwidth(2.0);
+        let slow = SystemConfig::scaled_use_case1(128 << 10, SystemKind::Baseline)
+            .with_per_core_bandwidth(0.5);
+        assert!(slow.dram.bus_cycles > fast.dram.bus_cycles);
+    }
+}

@@ -1,0 +1,42 @@
+//! # xmem-sim — the full-system driver
+//!
+//! Composes every substrate into the simulated machine of Table 3 and runs
+//! workload generators on it:
+//!
+//! ```text
+//! workload generator ──TraceSink──▶ Machine
+//!                                    ├─ Core (cpu-sim)
+//!                                    ├─ Hierarchy L1/L2/L3 (cache-sim)
+//!                                    │    └─ Dram (dram-sim)
+//!                                    ├─ AMU + PATs (xmem-core)
+//!                                    └─ Os: page table + frames (os-sim)
+//! ```
+//!
+//! [`run_workload`] executes the two-pass compile/load/run flow;
+//! [`experiments`] wraps it in the exact system configurations the paper's
+//! figures compare.
+//!
+//! ```
+//! use xmem_sim::{run_workload, SystemConfig, SystemKind};
+//! use workloads::polybench::{KernelParams, PolybenchKernel};
+//!
+//! let cfg = SystemConfig::scaled_use_case1(32 << 10, SystemKind::Baseline);
+//! let p = KernelParams { n: 16, tile_bytes: 1024, steps: 1, reuse: 200 };
+//! let r = run_workload(&cfg, |s| PolybenchKernel::Mvt.generate(&p, s));
+//! assert!(r.core.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod machine;
+pub mod multicore;
+pub mod report;
+
+pub use crate::config::{FramePolicyKind, MultiCoreConfig, SystemConfig, SystemKind};
+pub use crate::experiments::{run_kernel, run_kernel_bw, run_placement, Uc2System};
+pub use crate::machine::{run_workload, Machine, ScanSink};
+pub use crate::multicore::{run_corun, CorunReport};
+pub use crate::report::RunReport;

@@ -1,0 +1,435 @@
+//! The full-system machine: core + hierarchy + DRAM + OS + XMem, driven by
+//! a workload generator through the [`TraceSink`] interface.
+//!
+//! A run has two passes, mirroring the paper's compile/load/execute flow:
+//!
+//! 1. **Scan** ([`ScanSink`]): the workload's `CreateAtom` calls are
+//!    collected — this is the *compiler summarization* that produces the
+//!    binary's atom segment (§3.5.2).
+//! 2. **Load + execute** ([`Machine`]): the OS loads the segment into the
+//!    GAT, the attribute translator fills each component's PAT, the frame
+//!    policy is constructed (for XMem placement, from the atoms' placement
+//!    primitives), and then the trace runs for real — ops through the core
+//!    model, XMem calls through `XMemLib` into the AMU.
+
+use crate::config::{FramePolicyKind, SystemConfig};
+use crate::report::RunReport;
+use cache_sim::hierarchy::{Hierarchy, XmemContext};
+use cpu_sim::core::Core;
+use cpu_sim::trace::{MemoryModel, Op};
+use dram_sim::Dram;
+use os_sim::loader::{load_segment, LoadedProcess};
+use os_sim::os::Os;
+use os_sim::placement::FramePolicy;
+use os_sim::tlb::Tlb;
+use std::collections::HashMap;
+use workloads::sink::TraceSink;
+use xmem_core::aam::AamConfig;
+use xmem_core::addr::VirtAddr;
+use xmem_core::amu::{AmuConfig, AtomManagementUnit, Mmu};
+use xmem_core::atom::{AtomId, StaticAtom};
+use xmem_core::attrs::AtomAttributes;
+use xmem_core::pat::Pat;
+use xmem_core::process::ProcessId;
+use xmem_core::segment::AtomSegment;
+use xmem_core::translate::{AttributeTranslator, CachePrimitive, PrefetcherPrimitive};
+use xmem_core::xmemlib::{CallSite, XMemLib};
+
+/// Pass-1 sink: records atom creation only (everything else is dropped).
+#[derive(Debug, Default)]
+pub struct ScanSink {
+    atoms: Vec<(String, AtomAttributes)>,
+    next_va: u64,
+}
+
+impl ScanSink {
+    /// Creates an empty scan sink.
+    pub fn new() -> Self {
+        ScanSink {
+            atoms: Vec::new(),
+            next_va: 4096,
+        }
+    }
+
+    /// The atom segment summarizing the scanned program.
+    pub fn segment(&self) -> AtomSegment {
+        let mut seg = AtomSegment::new();
+        for (i, (label, attrs)) in self.atoms.iter().enumerate() {
+            seg.push(StaticAtom::new(
+                AtomId::new(i as u8),
+                label.clone(),
+                attrs.clone(),
+            ));
+        }
+        seg
+    }
+}
+
+impl TraceSink for ScanSink {
+    fn op(&mut self, _op: Op) {}
+
+    fn alloc(&mut self, bytes: u64, _atom: Option<AtomId>) -> u64 {
+        let base = self.next_va;
+        self.next_va += bytes.next_multiple_of(4096).max(4096);
+        base
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        if let Some(i) = self.atoms.iter().position(|(l, _)| l == label) {
+            return AtomId::new(i as u8);
+        }
+        let id = AtomId::new(self.atoms.len() as u8);
+        self.atoms.push((label.to_owned(), attrs));
+        id
+    }
+
+    fn map(&mut self, _atom: AtomId, _start: u64, _len: u64) {}
+    fn unmap(&mut self, _start: u64, _len: u64) {}
+    fn map_2d(&mut self, _atom: AtomId, _base: u64, _sx: u64, _sy: u64, _lx: u64) {}
+    fn unmap_2d(&mut self, _base: u64, _sx: u64, _sy: u64, _lx: u64) {}
+    fn activate(&mut self, _atom: AtomId) {}
+    fn deactivate(&mut self, _atom: AtomId) {}
+}
+
+/// The memory side of the machine (everything the core's loads/stores see).
+#[derive(Debug)]
+struct MemSystem {
+    hierarchy: Hierarchy,
+    amu: AtomManagementUnit,
+    cache_pat: Pat<CachePrimitive>,
+    pf_pat: Pat<PrefetcherPrimitive>,
+    os: Os,
+    tlb: Option<Tlb>,
+    xmem_enabled: bool,
+}
+
+impl MemoryModel for MemSystem {
+    fn access(&mut self, va: u64, is_write: bool, now: u64) -> u64 {
+        let walk = self
+            .tlb
+            .as_mut()
+            .map(|t| t.translate_cost(VirtAddr::new(va)))
+            .unwrap_or(0);
+        let pa = self
+            .os
+            .page_table()
+            .translate(VirtAddr::new(va))
+            .unwrap_or_else(|| panic!("access to unallocated VA {va:#x}"));
+        let ctx = self.xmem_enabled.then(|| XmemContext {
+            amu: &mut self.amu,
+            cache_pat: &self.cache_pat,
+            pf_pat: &self.pf_pat,
+        });
+        walk + self.hierarchy.access(pa.raw(), is_write, now + walk, ctx)
+    }
+}
+
+/// The executing machine (pass 2). Implements [`TraceSink`] so the workload
+/// generator drives it directly.
+#[derive(Debug)]
+pub struct Machine {
+    core: Core,
+    mem: MemSystem,
+    lib: XMemLib,
+    labels: HashMap<String, AtomId>,
+    next_site: u32,
+}
+
+/// Synthetic call-site file for atoms created through the sink interface.
+const SINK_SITE_FILE: &str = "<workload>";
+
+impl Machine {
+    /// Builds the machine for `config`, loading `loaded` (the scanned
+    /// program) into the OS/XMem tables.
+    fn new(config: &SystemConfig, loaded: &LoadedProcess) -> Self {
+        let policy = match config.frame_policy {
+            FramePolicyKind::Sequential => FramePolicy::Sequential,
+            FramePolicyKind::Randomized { seed } => FramePolicy::Randomized { seed },
+            FramePolicyKind::XmemPlacement => FramePolicy::Xmem {
+                atoms: loaded.placement.clone(),
+                mapping: config.mapping,
+                dram: config.dram,
+            },
+        };
+        let os = Os::new(config.phys_bytes, 4096, policy);
+        let dram = if config.ideal_rbl {
+            Dram::new_ideal_rbl(config.dram, config.mapping)
+        } else {
+            Dram::new(config.dram, config.mapping)
+        };
+        let amu = AtomManagementUnit::new(AmuConfig {
+            aam: AamConfig {
+                phys_bytes: config.phys_bytes,
+                ..AamConfig::default()
+            },
+            alb_entries: 256,
+            page_size: 4096,
+        });
+        let xmem_enabled = config.hierarchy.xmem != cache_sim::XmemMode::Off;
+        let mut cache_pat = Pat::new();
+        let mut pf_pat = Pat::new();
+        if xmem_enabled {
+            let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+            cache_pat.fill_from_gat(&loaded.process.gat, |a| translator.for_cache(a));
+            pf_pat.fill_from_gat(&loaded.process.gat, |a| translator.for_prefetcher(a));
+        }
+        Machine {
+            core: Core::new(config.core),
+            mem: MemSystem {
+                hierarchy: Hierarchy::new(config.hierarchy, dram),
+                amu,
+                cache_pat,
+                pf_pat,
+                os,
+                tlb: config.tlb.map(Tlb::new),
+                xmem_enabled,
+            },
+            lib: XMemLib::new(),
+            labels: HashMap::new(),
+            next_site: 0,
+        }
+    }
+
+    /// Final statistics for the run.
+    fn report(mut self) -> RunReport {
+        let core = self.core.stats();
+        self.lib.counter_mut().count_program(core.instructions);
+        RunReport {
+            core,
+            l1: self.mem.hierarchy.l1_stats(),
+            l2: self.mem.hierarchy.l2_stats(),
+            l3: self.mem.hierarchy.l3_stats(),
+            dram: self.mem.hierarchy.dram_stats(),
+            alb: self.mem.amu.alb_stats(),
+            xmem_instructions: self.lib.counter().xmem_instructions(),
+            instruction_overhead: self.lib.counter().overhead_fraction(),
+            xmem_prefetch: self.mem.hierarchy.xmem_prefetch_stats(),
+            stride_prefetch: self.mem.hierarchy.stride_prefetch_stats(),
+        }
+    }
+}
+
+impl TraceSink for Machine {
+    fn op(&mut self, op: Op) {
+        self.core.step(op, &mut self.mem);
+    }
+
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.mem
+            .os
+            .malloc(bytes, atom)
+            .expect("simulated physical memory exhausted")
+            .raw()
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        if let Some(&id) = self.labels.get(label) {
+            return id;
+        }
+        let site = CallSite {
+            file: SINK_SITE_FILE,
+            line: self.next_site,
+        };
+        self.next_site += 1;
+        let id = self
+            .lib
+            .create_atom(site, label, attrs)
+            .expect("atom limit exceeded");
+        self.labels.insert(label.to_owned(), id);
+        id
+    }
+
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_map(
+                &mut self.mem.amu,
+                self.mem.os.page_table(),
+                atom,
+                VirtAddr::new(start),
+                len,
+            )
+            .expect("ATOM_MAP failed");
+    }
+
+    fn unmap(&mut self, start: u64, len: u64) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_unmap(
+                &mut self.mem.amu,
+                self.mem.os.page_table(),
+                VirtAddr::new(start),
+                len,
+            )
+            .expect("ATOM_UNMAP failed");
+    }
+
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_map_2d(
+                &mut self.mem.amu,
+                self.mem.os.page_table(),
+                atom,
+                VirtAddr::new(base),
+                size_x,
+                size_y,
+                len_x,
+            )
+            .expect("ATOM_MAP2D failed");
+    }
+
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_unmap_2d(
+                &mut self.mem.amu,
+                self.mem.os.page_table(),
+                VirtAddr::new(base),
+                size_x,
+                size_y,
+                len_x,
+            )
+            .expect("ATOM_UNMAP2D failed");
+    }
+
+    fn activate(&mut self, atom: AtomId) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_activate(&mut self.mem.amu, self.mem.os.page_table(), atom)
+            .expect("ATOM_ACTIVATE failed");
+    }
+
+    fn deactivate(&mut self, atom: AtomId) {
+        if !self.mem.xmem_enabled {
+            return;
+        }
+        self.lib
+            .atom_deactivate(&mut self.mem.amu, self.mem.os.page_table(), atom)
+            .expect("ATOM_DEACTIVATE failed");
+    }
+}
+
+/// Runs `generate` on a machine configured by `config`, returning run
+/// statistics. Deterministic: identical inputs give identical reports.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_sim::{run_workload, SystemConfig, SystemKind};
+/// use workloads::polybench::{KernelParams, PolybenchKernel};
+///
+/// let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+/// let p = KernelParams { n: 24, tile_bytes: 2048, steps: 2, reuse: 200 };
+/// let report = run_workload(&cfg, |sink| PolybenchKernel::Gemm.generate(&p, sink));
+/// assert!(report.core.cycles > 0);
+/// ```
+pub fn run_workload(
+    config: &SystemConfig,
+    generate: impl Fn(&mut dyn TraceSink),
+) -> RunReport {
+    // Pass 1: compile-time summarization.
+    let mut scan = ScanSink::new();
+    generate(&mut scan);
+    let segment = scan.segment();
+    // Load time: GAT + translator + PATs + placement primitives.
+    let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    let loaded =
+        load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
+    // Execution.
+    let mut machine = Machine::new(config, &loaded);
+    generate(&mut machine);
+    machine.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use workloads::polybench::{KernelParams, PolybenchKernel};
+
+    fn params() -> KernelParams {
+        KernelParams {
+            n: 24,
+            tile_bytes: 2048,
+            steps: 2,
+            reuse: 200,
+        }
+    }
+
+    #[test]
+    fn baseline_and_xmem_run_same_work() {
+        let p = params();
+        let base = run_workload(
+            &SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline),
+            |s| PolybenchKernel::Gemm.generate(&p, s),
+        );
+        let xmem = run_workload(
+            &SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem),
+            |s| PolybenchKernel::Gemm.generate(&p, s),
+        );
+        assert_eq!(base.core.instructions, xmem.core.instructions);
+        assert_eq!(base.core.loads, xmem.core.loads);
+        assert_eq!(base.xmem_instructions, 0);
+        assert!(xmem.xmem_instructions > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let a = run_workload(&cfg, |s| PolybenchKernel::Syrk.generate(&p, s));
+        let b = run_workload(&cfg, |s| PolybenchKernel::Syrk.generate(&p, s));
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    fn alb_sees_traffic_with_xmem() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(32 << 10, SystemKind::Xmem);
+        let r = run_workload(&cfg, |s| PolybenchKernel::Gemm.generate(&p, s));
+        assert!(r.alb.lookups() > 0);
+        assert!(r.alb.hit_rate() > 0.5, "ALB hit rate {}", r.alb.hit_rate());
+    }
+
+    #[test]
+    fn tlb_adds_walk_cost_but_preserves_work() {
+        let p = params();
+        let base_cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline);
+        let tlb_cfg = base_cfg.with_tlb();
+        let without = run_workload(&base_cfg, |s| PolybenchKernel::Gemm.generate(&p, s));
+        let with = run_workload(&tlb_cfg, |s| PolybenchKernel::Gemm.generate(&p, s));
+        assert_eq!(without.core.instructions, with.core.instructions);
+        assert!(
+            with.core.cycles > without.core.cycles,
+            "page walks must cost time: {} vs {}",
+            with.core.cycles,
+            without.core.cycles
+        );
+        // Small footprint → high TLB hit rate → bounded overhead.
+        assert!((with.core.cycles as f64) < without.core.cycles as f64 * 1.5);
+    }
+
+    #[test]
+    fn instruction_overhead_is_tiny() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let r = run_workload(&cfg, |s| PolybenchKernel::Gemm.generate(&p, s));
+        assert!(
+            r.instruction_overhead < 0.005,
+            "overhead {}",
+            r.instruction_overhead
+        );
+    }
+}

@@ -1,0 +1,642 @@
+//! Multi-core simulation: private L1/L2 per core, shared L3 and DRAM —
+//! the Table 3 machine shape, and the setting both use cases presume
+//! (§5.1: cache space changes "as a result of co-running applications";
+//! §5.2(2): the pinning algorithm "takes the active atoms in *all the
+//! cores*"; §6.2: placement considers "the program semantics of *all
+//! co-running applications*").
+//!
+//! Each core replays a pre-recorded workload log
+//! ([`workloads::sink::LogSink`]); the driver advances whichever core is
+//! earliest in simulated time, so accesses from different cores interleave
+//! at the shared L3 and memory controller in timestamp order. Atom IDs and
+//! virtual addresses from different workloads are disjointly renamed into
+//! one shared space (one AMU serves the machine, as in the paper).
+
+use crate::config::{FramePolicyKind, MultiCoreConfig};
+use cache_sim::cache::{Cache, CacheStats, Eviction, InsertPriority};
+use cache_sim::pin::{select_pinned, PinCandidate};
+use cache_sim::prefetch::MultiStridePrefetcher;
+use cache_sim::XmemMode;
+use cpu_sim::core::{Core, CoreStats};
+use cpu_sim::trace::MemoryModel;
+use dram_sim::{Dram, DramStats};
+use os_sim::loader::load_segment;
+use os_sim::os::Os;
+use os_sim::placement::FramePolicy;
+use std::collections::HashSet;
+use workloads::sink::TraceEvent;
+use xmem_core::aam::AamConfig;
+use xmem_core::addr::{PhysAddr, VirtAddr};
+use xmem_core::alb::AlbStats;
+use xmem_core::amu::{AmuConfig, AtomManagementUnit, Mmu};
+use xmem_core::atom::{AtomId, StaticAtom};
+use xmem_core::pat::Pat;
+use xmem_core::process::ProcessId;
+use xmem_core::segment::AtomSegment;
+use xmem_core::translate::{AttributeTranslator, CachePrimitive, PrefetcherPrimitive};
+use xmem_core::xmemlib::{CallSite, XMemLib};
+
+/// Result of a co-run: per-core core statistics plus the shared components.
+#[derive(Debug, Clone)]
+pub struct CorunReport {
+    /// Per-core execution statistics, in core order.
+    pub cores: Vec<CoreStats>,
+    /// Per-core L2 statistics (private caches).
+    pub l2s: Vec<CacheStats>,
+    /// The shared L3.
+    pub l3: CacheStats,
+    /// The shared memory controller/DRAM.
+    pub dram: DramStats,
+    /// The shared AMU's lookaside buffer.
+    pub alb: AlbStats,
+}
+
+impl CorunReport {
+    /// Cycles of core `i` (its private finish time).
+    pub fn cycles(&self, core: usize) -> u64 {
+        self.cores[core].cycles
+    }
+}
+
+/// The shared memory system every core's accesses flow into.
+#[derive(Debug)]
+struct SharedMem {
+    l1s: Vec<Cache>,
+    l2s: Vec<Cache>,
+    l3: Cache,
+    dram: Dram,
+    stride_pfs: Vec<Option<MultiStridePrefetcher>>,
+    amu: AtomManagementUnit,
+    cache_pat: Pat<CachePrimitive>,
+    pf_pat: Pat<PrefetcherPrimitive>,
+    os: Os,
+    mode: XmemMode,
+    pinned: Vec<AtomId>,
+    last_epoch: u64,
+    inflight_prefetches: HashSet<u64>,
+    l1_lat: u64,
+    l2_lat: u64,
+    l3_lat: u64,
+    xmem_prefetch_degree: usize,
+    line_bytes: u64,
+}
+
+impl SharedMem {
+    /// §5.2(2): re-run the greedy pinning over the active atoms of *all*
+    /// cores whenever the (shared) AMU epoch changes.
+    fn refresh_pinning(&mut self) {
+        let epoch = self.amu.epoch();
+        if epoch == self.last_epoch {
+            return;
+        }
+        self.last_epoch = epoch;
+        if self.mode != XmemMode::Full {
+            return;
+        }
+        let candidates: Vec<PinCandidate> = self
+            .amu
+            .active_atoms()
+            .into_iter()
+            .filter_map(|atom| {
+                let prim = self.cache_pat.get(atom)?;
+                prim.pin_candidate.then_some(PinCandidate {
+                    atom,
+                    reuse: prim.reuse,
+                    size_bytes: self.amu.mapped_bytes(atom),
+                })
+            })
+            .collect();
+        self.l3.age_pinned();
+        self.pinned = select_pinned(&candidates, self.l3.config().size_bytes);
+    }
+
+    fn writeback_shared(&mut self, ev: Eviction, now: u64) {
+        if ev.dirty {
+            let _ = self.dram.access(ev.addr, true, now);
+        }
+    }
+
+    fn guided_prefetch(&mut self, pa: u64, atom: AtomId, t_mem: u64) {
+        let Some(prim) = self.pf_pat.get(atom) else {
+            return;
+        };
+        let Some(stride) = prim.stride else {
+            return;
+        };
+        let line = self.line_bytes;
+        let forward = stride >= 0;
+        let exts = self.amu.extents(atom);
+        if exts.is_empty() {
+            return;
+        }
+        let mut ei = exts
+            .iter()
+            .position(|e| pa >= e.start.raw() && pa < e.start.raw() + e.len)
+            .unwrap_or(0);
+        let mut pos = pa & !(line - 1);
+        let mut targets = Vec::with_capacity(self.xmem_prefetch_degree);
+        for _ in 0..self.xmem_prefetch_degree {
+            if forward {
+                pos += line;
+                if pos >= exts[ei].start.raw() + exts[ei].len {
+                    ei = (ei + 1) % exts.len();
+                    pos = exts[ei].start.raw() & !(line - 1);
+                }
+            } else {
+                let ext_start = exts[ei].start.raw() & !(line - 1);
+                if pos <= ext_start {
+                    ei = (ei + exts.len() - 1) % exts.len();
+                    pos = (exts[ei].start.raw() + exts[ei].len - 1) & !(line - 1);
+                } else {
+                    pos -= line;
+                }
+            }
+            targets.push(pos);
+        }
+        let priority = if self.pinned.contains(&atom) {
+            InsertPriority::Pinned
+        } else {
+            InsertPriority::Normal
+        };
+        for target in targets {
+            if self.l3.contains(target) {
+                continue;
+            }
+            let _ = self.dram.access_prefetch(target, t_mem);
+            if let Some(ev) = self.l3.fill(target, false, priority) {
+                self.writeback_shared(ev, t_mem);
+            }
+            if self.inflight_prefetches.len() < (1 << 16) {
+                self.inflight_prefetches.insert(target);
+            }
+        }
+    }
+
+    /// One access from `core` (same policy structure as the single-core
+    /// [`cache_sim::hierarchy::Hierarchy`], with private L1/L2/prefetcher
+    /// and shared L3/DRAM/AMU).
+    fn access(&mut self, core: usize, pa: u64, is_write: bool, now: u64) -> u64 {
+        let line_addr = pa & !(self.line_bytes - 1);
+        if self.l1s[core].probe(pa, is_write) {
+            return self.l1_lat;
+        }
+        if self.l2s[core].probe(pa, false) {
+            if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
+                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr)
+                {
+                    let _ = self.dram.access(ev.addr, true, now);
+                }
+            }
+            return self.l1_lat + self.l2_lat;
+        }
+
+        if self.mode != XmemMode::Off {
+            self.refresh_pinning();
+        }
+        let atom = if self.mode != XmemMode::Off {
+            self.amu.active_atom_at(PhysAddr::new(pa))
+        } else {
+            None
+        };
+        let l3_total = self.l1_lat + self.l2_lat + self.l3_lat;
+        let l3_hit = self.l3.probe(pa, false);
+        let stride_reqs = self.stride_pfs[core]
+            .as_mut()
+            .map(|pf| pf.train(pa))
+            .unwrap_or_default();
+
+        if l3_hit {
+            self.inflight_prefetches.remove(&line_addr);
+            if let Some(ev) = self.l2s[core].fill(line_addr, false, InsertPriority::Normal) {
+                if ev.dirty && !self.l3.set_dirty(ev.addr) {
+                    let _ = self.dram.access(ev.addr, true, now);
+                }
+            }
+            if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
+                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr)
+                {
+                    let _ = self.dram.access(ev.addr, true, now);
+                }
+            }
+            self.issue_stride(stride_reqs, now + l3_total);
+            return l3_total;
+        }
+
+        let t_mem = now + l3_total;
+        let dram_lat = self.dram.access(line_addr, false, t_mem);
+        let priority = match (self.mode, atom) {
+            (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => InsertPriority::Pinned,
+            _ => InsertPriority::Normal,
+        };
+        if let Some(ev) = self.l3.fill(line_addr, false, priority) {
+            self.writeback_shared(ev, t_mem);
+        }
+        if let Some(ev) = self.l2s[core].fill(line_addr, false, InsertPriority::Normal) {
+            if ev.dirty && !self.l3.set_dirty(ev.addr) {
+                let _ = self.dram.access(ev.addr, true, now);
+            }
+        }
+        if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
+            if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
+                let _ = self.dram.access(ev.addr, true, now);
+            }
+        }
+
+        let guided = match (self.mode, atom) {
+            (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => {
+                self.guided_prefetch(pa, a, t_mem);
+                true
+            }
+            (XmemMode::PrefetchOnly, Some(a)) => {
+                let reuse = self.cache_pat.get(a).map(|p| p.reuse).unwrap_or(0);
+                if reuse > 0 {
+                    self.guided_prefetch(pa, a, t_mem);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !guided {
+            self.issue_stride(stride_reqs, t_mem);
+        }
+        l3_total + dram_lat
+    }
+
+    fn issue_stride(&mut self, reqs: Vec<cache_sim::prefetch::PrefetchRequest>, t_mem: u64) {
+        for req in reqs {
+            let target = req.addr & !(self.line_bytes - 1);
+            if self.l3.contains(target) {
+                continue;
+            }
+            let _ = self.dram.access_prefetch(target, t_mem);
+            if let Some(ev) = self.l3.fill(target, false, InsertPriority::Normal) {
+                self.writeback_shared(ev, t_mem);
+            }
+        }
+    }
+}
+
+/// Adapter giving one core's `Core::step` a view of the shared memory.
+struct CoreMemView<'a> {
+    mem: &'a mut SharedMem,
+    core: usize,
+    /// Per-core VA translation table: (recorded base, len, actual base),
+    /// sorted by recorded base.
+    ranges: &'a [(u64, u64, u64)],
+}
+
+/// Translates a recorded VA through a core's (recorded → actual) ranges.
+fn translate_va(ranges: &[(u64, u64, u64)], va: u64) -> u64 {
+    match ranges.binary_search_by(|&(base, _, _)| base.cmp(&va)) {
+        Ok(i) => ranges[i].2,
+        Err(0) => va, // untranslated (never allocated — will fault below)
+        Err(i) => {
+            let (base, len, actual) = ranges[i - 1];
+            if va < base + len {
+                actual + (va - base)
+            } else {
+                va
+            }
+        }
+    }
+}
+
+impl MemoryModel for CoreMemView<'_> {
+    fn access(&mut self, va: u64, is_write: bool, now: u64) -> u64 {
+        let actual_va = translate_va(self.ranges, va);
+        let pa = self
+            .mem
+            .os
+            .page_table()
+            .translate(VirtAddr::new(actual_va))
+            .unwrap_or_else(|| panic!("core {}: unallocated VA {va:#x}", self.core));
+        self.mem.access(self.core, pa.raw(), is_write, now)
+    }
+}
+
+/// Runs one pre-recorded workload log per core on the shared machine.
+///
+/// Cores advance in simulated-time order (the earliest core processes its
+/// next event), so shared-resource contention emerges naturally. Returns
+/// per-core and shared statistics.
+///
+/// # Panics
+///
+/// Panics if `logs.len() != config.cores`, if the combined workloads create
+/// more than 255 atoms, or if physical memory is exhausted.
+pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunReport {
+    assert_eq!(logs.len(), config.cores, "one workload log per core");
+
+    // ── pass 1: merge every core's atoms into one shared ID space ───────
+    let mut lib = XMemLib::new();
+    let mut atom_base = vec![0u8; config.cores];
+    let mut segment = AtomSegment::new();
+    for (core, log) in logs.iter().enumerate() {
+        let mut count = 0u32;
+        for ev in log {
+            if let TraceEvent::Create { label, attrs } = ev {
+                let id = lib
+                    .create_atom(
+                        CallSite {
+                            file: "<corun>",
+                            line: (core as u32) << 16 | count,
+                        },
+                        format!("c{core}:{label}"),
+                        attrs.clone(),
+                    )
+                    .expect("combined atom space exhausted");
+                if count == 0 {
+                    atom_base[core] = id.raw();
+                }
+                segment.push(StaticAtom::new(id, format!("c{core}:{label}"), attrs.clone()));
+                count += 1;
+            }
+        }
+    }
+
+    // ── load time: GAT + PATs + frame policy over the merged atom set ───
+    let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    let loaded = load_segment(ProcessId(0), &segment, &translator).expect("load");
+    let policy = match config.frame_policy {
+        FramePolicyKind::Sequential => FramePolicy::Sequential,
+        FramePolicyKind::Randomized { seed } => FramePolicy::Randomized { seed },
+        FramePolicyKind::XmemPlacement => FramePolicy::Xmem {
+            atoms: loaded.placement.clone(),
+            mapping: config.mapping,
+            dram: config.dram,
+        },
+    };
+    let xmem_enabled = config.xmem != XmemMode::Off;
+    let mut cache_pat = Pat::new();
+    let mut pf_pat = Pat::new();
+    if xmem_enabled {
+        cache_pat.fill_from_gat(&loaded.process.gat, |a| translator.for_cache(a));
+        pf_pat.fill_from_gat(&loaded.process.gat, |a| translator.for_prefetcher(a));
+    }
+
+    let mut mem = SharedMem {
+        l1s: (0..config.cores).map(|_| Cache::new(config.l1)).collect(),
+        l2s: (0..config.cores).map(|_| Cache::new(config.l2)).collect(),
+        l3: Cache::new(config.l3),
+        dram: Dram::new(config.dram, config.mapping),
+        stride_pfs: (0..config.cores)
+            .map(|_| {
+                config
+                    .stride_prefetcher
+                    .then(|| MultiStridePrefetcher::new(config.stride_streams, config.prefetch_degree))
+            })
+            .collect(),
+        amu: AtomManagementUnit::new(AmuConfig {
+            aam: AamConfig {
+                phys_bytes: config.phys_bytes,
+                ..AamConfig::default()
+            },
+            alb_entries: 256,
+            page_size: 4096,
+        }),
+        cache_pat,
+        pf_pat,
+        os: Os::new(config.phys_bytes, 4096, policy),
+        mode: config.xmem,
+        pinned: Vec::new(),
+        last_epoch: u64::MAX,
+        inflight_prefetches: HashSet::new(),
+        l1_lat: config.l1.latency,
+        l2_lat: config.l2.latency,
+        l3_lat: config.l3.latency,
+        xmem_prefetch_degree: config.xmem_prefetch_degree,
+        line_bytes: config.l1.line_bytes,
+    };
+
+    // ── replay ───────────────────────────────────────────────────────────
+    let mut cores: Vec<Core> = (0..config.cores).map(|_| Core::new(config.core)).collect();
+    let mut pos = vec![0usize; config.cores];
+    let mut created = vec![0u32; config.cores]; // creates seen during replay
+    let mut ranges: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); config.cores];
+
+    loop {
+        // Pick the live core earliest in simulated time.
+        let next = (0..config.cores)
+            .filter(|&i| pos[i] < logs[i].len())
+            .min_by_key(|&i| (cores[i].now(), i));
+        let Some(i) = next else { break };
+
+        // Apply hint events until the next op (hints are "free" in time).
+        while pos[i] < logs[i].len() {
+            let rename = |core: usize, id: AtomId| AtomId::new(atom_base[core] + id.raw());
+            let ev = logs[i][pos[i]].clone();
+            pos[i] += 1;
+            match ev {
+                TraceEvent::Op(op) => {
+                    let mut view = CoreMemView {
+                        mem: &mut mem,
+                        core: i,
+                        ranges: &ranges[i],
+                    };
+                    cores[i].step(op, &mut view);
+                    break;
+                }
+                TraceEvent::Create { .. } => {
+                    created[i] += 1; // already merged in pass 1
+                }
+                TraceEvent::Alloc { bytes, atom, base } => {
+                    let global_atom = atom.map(|a| rename(i, a));
+                    let actual = mem
+                        .os
+                        .malloc(bytes, global_atom)
+                        .expect("physical memory exhausted")
+                        .raw();
+                    ranges[i].push((base, bytes.next_multiple_of(4096).max(4096), actual));
+                    ranges[i].sort_unstable();
+                }
+                TraceEvent::Map { atom, start, len } => {
+                    if xmem_enabled {
+                        let actual = translate_va(&ranges[i], start);
+                        lib.atom_map(
+                            &mut mem.amu,
+                            mem.os.page_table(),
+                            rename(i, atom),
+                            VirtAddr::new(actual),
+                            len,
+                        )
+                        .expect("map");
+                    }
+                }
+                TraceEvent::Unmap { start, len } => {
+                    if xmem_enabled {
+                        let actual = translate_va(&ranges[i], start);
+                        lib.atom_unmap(
+                            &mut mem.amu,
+                            mem.os.page_table(),
+                            VirtAddr::new(actual),
+                            len,
+                        )
+                        .expect("unmap");
+                    }
+                }
+                TraceEvent::Map2d {
+                    atom,
+                    base,
+                    size_x,
+                    size_y,
+                    len_x,
+                } => {
+                    if xmem_enabled {
+                        let actual = translate_va(&ranges[i], base);
+                        lib.atom_map_2d(
+                            &mut mem.amu,
+                            mem.os.page_table(),
+                            rename(i, atom),
+                            VirtAddr::new(actual),
+                            size_x,
+                            size_y,
+                            len_x,
+                        )
+                        .expect("map2d");
+                    }
+                }
+                TraceEvent::Unmap2d {
+                    base,
+                    size_x,
+                    size_y,
+                    len_x,
+                } => {
+                    if xmem_enabled {
+                        let actual = translate_va(&ranges[i], base);
+                        lib.atom_unmap_2d(
+                            &mut mem.amu,
+                            mem.os.page_table(),
+                            VirtAddr::new(actual),
+                            size_x,
+                            size_y,
+                            len_x,
+                        )
+                        .expect("unmap2d");
+                    }
+                }
+                TraceEvent::Activate(atom) => {
+                    if xmem_enabled {
+                        lib.atom_activate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                            .expect("activate");
+                    }
+                }
+                TraceEvent::Deactivate(atom) => {
+                    if xmem_enabled {
+                        lib.atom_deactivate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                            .expect("deactivate");
+                    }
+                }
+            }
+        }
+    }
+
+    CorunReport {
+        cores: cores.iter().map(|c| c.stats()).collect(),
+        l2s: mem.l2s.iter().map(|c| c.stats()).collect(),
+        l3: mem.l3.stats(),
+        dram: mem.dram.stats(),
+        alb: mem.amu.alb_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::polybench::{KernelParams, PolybenchKernel};
+    use workloads::sink::{LogSink, TraceSink};
+
+    fn record(f: impl Fn(&mut dyn TraceSink)) -> Vec<TraceEvent> {
+        let mut log = LogSink::new();
+        f(&mut log);
+        log.into_events()
+    }
+
+    fn kernel_log(n: usize, tile: u64) -> Vec<TraceEvent> {
+        record(|s| {
+            PolybenchKernel::Gemm.generate(
+                &KernelParams {
+                    n,
+                    tile_bytes: tile,
+                    steps: 1,
+                    reuse: 200,
+                },
+                s,
+            )
+        })
+    }
+
+    fn hog_log(lines: u64) -> Vec<TraceEvent> {
+        record(|s| {
+            let base = s.alloc(lines * 64, None);
+            for i in 0..lines * 4 {
+                s.load(base + (i % lines) * 64);
+                s.compute(2);
+            }
+        })
+    }
+
+    #[test]
+    fn single_core_corun_matches_shape() {
+        let cfg = MultiCoreConfig::scaled_corun(1, 32 << 10, crate::SystemKind::Baseline);
+        let report = run_corun(&cfg, &[kernel_log(32, 4 << 10)]);
+        assert_eq!(report.cores.len(), 1);
+        assert!(report.cores[0].cycles > 0);
+        assert!(report.dram.accesses() > 0);
+    }
+
+    #[test]
+    fn corun_is_deterministic() {
+        let cfg = MultiCoreConfig::scaled_corun(2, 32 << 10, crate::SystemKind::Xmem);
+        let logs = vec![kernel_log(24, 2 << 10), hog_log(512)];
+        let a = run_corun(&cfg, &logs);
+        let b = run_corun(&cfg, &logs);
+        assert_eq!(a.cores, b.cores);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    fn interference_slows_the_victim() {
+        let solo_cfg = MultiCoreConfig::scaled_corun(1, 32 << 10, crate::SystemKind::Baseline);
+        let solo = run_corun(&solo_cfg, &[kernel_log(32, 8 << 10)]);
+        let corun_cfg = MultiCoreConfig::scaled_corun(3, 32 << 10, crate::SystemKind::Baseline);
+        let corun = run_corun(
+            &corun_cfg,
+            &[kernel_log(32, 8 << 10), hog_log(2048), hog_log(2048)],
+        );
+        assert!(
+            corun.cycles(0) > solo.cycles(0),
+            "co-runners must interfere: solo {} vs corun {}",
+            solo.cycles(0),
+            corun.cycles(0)
+        );
+    }
+
+    #[test]
+    fn xmem_protects_victim_under_corun() {
+        // The §5 premise: the kernel tuned for the whole L3 loses cache to
+        // streaming co-runners; XMem pins its tile and suffers less.
+        let logs = vec![kernel_log(48, 16 << 10), hog_log(4096), hog_log(4096)];
+        let base_cfg = MultiCoreConfig::scaled_corun(3, 32 << 10, crate::SystemKind::Baseline);
+        let xmem_cfg = MultiCoreConfig::scaled_corun(3, 32 << 10, crate::SystemKind::Xmem);
+        let base = run_corun(&base_cfg, &logs);
+        let xmem = run_corun(&xmem_cfg, &logs);
+        assert!(
+            xmem.cycles(0) < base.cycles(0),
+            "xmem {} vs baseline {}",
+            xmem.cycles(0),
+            base.cycles(0)
+        );
+    }
+
+    #[test]
+    fn atom_ids_disjoint_across_cores() {
+        // Two copies of the same workload: their atoms must not collide.
+        let cfg = MultiCoreConfig::scaled_corun(2, 32 << 10, crate::SystemKind::Xmem);
+        let logs = vec![kernel_log(24, 2 << 10), kernel_log(24, 2 << 10)];
+        let report = run_corun(&cfg, &logs);
+        // Both kernels complete the same work.
+        assert_eq!(report.cores[0].instructions, report.cores[1].instructions);
+    }
+}

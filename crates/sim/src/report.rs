@@ -1,0 +1,114 @@
+//! Run statistics and derived metrics.
+
+use cache_sim::{CacheStats, PrefetchStats};
+use cpu_sim::CoreStats;
+use dram_sim::DramStats;
+use xmem_core::alb::AlbStats;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Core-level statistics (cycles, instructions, loads).
+    pub core: CoreStats,
+    /// L1 cache statistics.
+    pub l1: CacheStats,
+    /// L2 cache statistics.
+    pub l2: CacheStats,
+    /// L3 cache statistics.
+    pub l3: CacheStats,
+    /// DRAM statistics (row hits, latencies, traffic).
+    pub dram: DramStats,
+    /// Atom-lookaside-buffer statistics (§4.2's 98.9% coverage claim).
+    pub alb: AlbStats,
+    /// XMem ISA instructions executed.
+    pub xmem_instructions: u64,
+    /// XMem instructions as a fraction of all instructions (§4.4(2)).
+    pub instruction_overhead: f64,
+    /// XMem-guided prefetcher statistics.
+    pub xmem_prefetch: PrefetchStats,
+    /// Baseline stride-prefetcher statistics (when enabled).
+    pub stride_prefetch: Option<PrefetchStats>,
+}
+
+impl RunReport {
+    /// Execution time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycles
+    }
+
+    /// Speedup of `self` relative to `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.core.cycles as f64 / self.core.cycles.max(1) as f64
+    }
+
+    /// Execution time normalized to `reference` (>1 means slower).
+    pub fn normalized_time(&self, reference: &RunReport) -> f64 {
+        self.core.cycles as f64 / reference.core.cycles.max(1) as f64
+    }
+
+    /// Average DRAM *demand* read latency normalized to `reference`
+    /// (prefetch reads are off the critical path).
+    pub fn normalized_read_latency(&self, reference: &RunReport) -> f64 {
+        let r = reference.dram.avg_demand_read_latency();
+        if r == 0.0 {
+            1.0
+        } else {
+            self.dram.avg_demand_read_latency() / r
+        }
+    }
+
+    /// L3 misses per kilo-instruction.
+    pub fn l3_mpki(&self) -> f64 {
+        self.l3.mpk(self.core.instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, read_lat: u64, reads: u64) -> RunReport {
+        RunReport {
+            core: CoreStats {
+                cycles,
+                instructions: 1000,
+                ..Default::default()
+            },
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            l3: CacheStats::default(),
+            dram: DramStats {
+                reads,
+                demand_reads: reads,
+                total_read_latency: read_lat * reads,
+                total_demand_read_latency: read_lat * reads,
+                ..Default::default()
+            },
+            alb: AlbStats::default(),
+            xmem_instructions: 0,
+            instruction_overhead: 0.0,
+            xmem_prefetch: PrefetchStats::default(),
+            stride_prefetch: None,
+        }
+    }
+
+    #[test]
+    fn speedup_and_normalization() {
+        let fast = report(500, 100, 10);
+        let slow = report(1000, 150, 10);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-9);
+        assert!((slow.normalized_time(&fast) - 2.0).abs() < 1e-9);
+        assert!((fast.normalized_read_latency(&slow) - 100.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpki_uses_instructions() {
+        let mut r = report(100, 0, 0);
+        r.l3 = CacheStats {
+            accesses: 50,
+            hits: 30,
+            ..Default::default()
+        };
+        assert!((r.l3_mpki() - 20.0).abs() < 1e-9); // 20 misses / 1k inst
+    }
+}

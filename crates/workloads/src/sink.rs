@@ -1,0 +1,439 @@
+//! The trace sink: how workloads talk to the simulated machine.
+//!
+//! A workload is a *generator*: it replays its algorithm's memory behaviour
+//! by calling [`TraceSink`] methods — ordinary ops ([`TraceSink::op`]),
+//! memory allocation ([`TraceSink::alloc`], the augmented `malloc` of
+//! §4.1.2), and the XMem operators of Table 2. The system driver implements
+//! the sink twice: once wired to the full XMem machinery, and once as a
+//! baseline that executes the ops but ignores every hint — which is exactly
+//! the paper's baseline (same binary minus the XMem calls).
+
+use cpu_sim::trace::Op;
+use xmem_core::atom::AtomId;
+use xmem_core::attrs::AtomAttributes;
+
+/// Receives the event stream of a running workload.
+///
+/// All addresses are virtual. Hint methods must be safe to ignore — a sink
+/// that only implements `op` and `alloc` (plus no-op hints) runs every
+/// workload correctly, just without XMem benefits.
+pub trait TraceSink {
+    /// Executes one CPU op.
+    fn op(&mut self, op: Op);
+
+    /// Allocates `bytes` of virtual memory on behalf of `atom` (if the data
+    /// belongs to one), returning the base address. This is the augmented
+    /// `malloc(size, atomID)` interface of §4.1.2.
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64;
+
+    /// `CreateAtom`: creates (or returns the existing) atom for `label`.
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId;
+
+    /// `AtomMap` over a linear range.
+    fn map(&mut self, atom: AtomId, start: u64, len: u64);
+
+    /// `AtomUnmap` over a linear range.
+    fn unmap(&mut self, start: u64, len: u64);
+
+    /// `AtomMap2D`: a `size_x`×`size_y`-byte block in rows of `len_x` bytes.
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64);
+
+    /// `AtomUnmap2D` (same geometry as [`TraceSink::map_2d`]).
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64);
+
+    /// `AtomActivate`.
+    fn activate(&mut self, atom: AtomId);
+
+    /// `AtomDeactivate`.
+    fn deactivate(&mut self, atom: AtomId);
+
+    /// Convenience: an independent load.
+    fn load(&mut self, addr: u64) {
+        self.op(Op::load(addr));
+    }
+
+    /// Convenience: a dependent (pointer-chase) load.
+    fn load_dep(&mut self, addr: u64) {
+        self.op(Op::load_dep(addr));
+    }
+
+    /// Convenience: a store.
+    fn store(&mut self, addr: u64) {
+        self.op(Op::store(addr));
+    }
+
+    /// Convenience: `n` compute instructions.
+    fn compute(&mut self, n: u32) {
+        self.op(Op::Compute(n));
+    }
+}
+
+/// One fully-ordered trace event (op or hint), as recorded by [`LogSink`].
+///
+/// Unlike [`CollectSink`] (which separates ops from hints), the log keeps
+/// program order across both kinds — required to *replay* a workload, e.g.
+/// when interleaving several cores' traces in a multi-core simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A CPU op.
+    Op(Op),
+    /// `CreateAtom` (atom identified by its creation index).
+    Create {
+        /// Label of the atom.
+        label: String,
+        /// Its attributes.
+        attrs: AtomAttributes,
+    },
+    /// An allocation; `base` is the VA the generator observed.
+    Alloc {
+        /// Requested size.
+        bytes: u64,
+        /// Owning atom.
+        atom: Option<AtomId>,
+        /// VA handed out during recording.
+        base: u64,
+    },
+    /// `AtomMap`.
+    Map {
+        /// Target atom.
+        atom: AtomId,
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// `AtomUnmap`.
+    Unmap {
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// `AtomMap2D`.
+    Map2d {
+        /// Target atom.
+        atom: AtomId,
+        /// Block base.
+        base: u64,
+        /// Block width in bytes.
+        size_x: u64,
+        /// Block height in rows.
+        size_y: u64,
+        /// Row pitch in bytes.
+        len_x: u64,
+    },
+    /// `AtomUnmap2D`.
+    Unmap2d {
+        /// Block base.
+        base: u64,
+        /// Block width in bytes.
+        size_x: u64,
+        /// Block height in rows.
+        size_y: u64,
+        /// Row pitch in bytes.
+        len_x: u64,
+    },
+    /// `AtomActivate`.
+    Activate(AtomId),
+    /// `AtomDeactivate`.
+    Deactivate(AtomId),
+}
+
+/// A sink that records the *ordered* event log of a workload so it can be
+/// replayed later (see [`TraceEvent`]).
+///
+/// # Examples
+///
+/// ```
+/// use workloads::sink::{LogSink, TraceSink, TraceEvent};
+///
+/// let mut log = LogSink::new();
+/// log.compute(3);
+/// log.load(0x40);
+/// assert_eq!(log.events().len(), 2);
+/// assert!(matches!(log.events()[1], TraceEvent::Op(_)));
+/// ```
+#[derive(Debug, Default)]
+pub struct LogSink {
+    events: Vec<TraceEvent>,
+    atoms: Vec<String>,
+    next_va: u64,
+}
+
+impl LogSink {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        LogSink {
+            next_va: 1 << 20,
+            ..Default::default()
+        }
+    }
+
+    /// The recorded events in program order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the event log.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for LogSink {
+    fn op(&mut self, op: Op) {
+        self.events.push(TraceEvent::Op(op));
+    }
+
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        let base = self.next_va;
+        self.next_va += bytes.next_multiple_of(4096).max(4096);
+        self.events.push(TraceEvent::Alloc { bytes, atom, base });
+        base
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        if let Some(i) = self.atoms.iter().position(|l| l == label) {
+            return AtomId::new(i as u8);
+        }
+        let id = AtomId::new(self.atoms.len() as u8);
+        self.atoms.push(label.to_owned());
+        self.events.push(TraceEvent::Create {
+            label: label.to_owned(),
+            attrs,
+        });
+        id
+    }
+
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        self.events.push(TraceEvent::Map { atom, start, len });
+    }
+
+    fn unmap(&mut self, start: u64, len: u64) {
+        self.events.push(TraceEvent::Unmap { start, len });
+    }
+
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.events.push(TraceEvent::Map2d {
+            atom,
+            base,
+            size_x,
+            size_y,
+            len_x,
+        });
+    }
+
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.events.push(TraceEvent::Unmap2d {
+            base,
+            size_x,
+            size_y,
+            len_x,
+        });
+    }
+
+    fn activate(&mut self, atom: AtomId) {
+        self.events.push(TraceEvent::Activate(atom));
+    }
+
+    fn deactivate(&mut self, atom: AtomId) {
+        self.events.push(TraceEvent::Deactivate(atom));
+    }
+}
+
+/// A sink that records everything, for tests and trace inspection.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Ops in program order.
+    pub ops: Vec<Op>,
+    /// Hint events in program order.
+    pub events: Vec<HintEvent>,
+    next_atom: u8,
+    atoms: Vec<(String, AtomAttributes)>,
+    next_va: u64,
+}
+
+/// A recorded hint call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HintEvent {
+    /// An allocation and the VA it returned.
+    Alloc {
+        /// Requested bytes.
+        bytes: u64,
+        /// Owning atom, if any.
+        atom: Option<AtomId>,
+        /// Returned base address.
+        base: u64,
+    },
+    /// A linear map.
+    Map {
+        /// Target atom.
+        atom: AtomId,
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// A linear unmap.
+    Unmap {
+        /// Range start.
+        start: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// A 2D map.
+    Map2d {
+        /// Target atom.
+        atom: AtomId,
+        /// Block base.
+        base: u64,
+        /// Block width in bytes.
+        size_x: u64,
+        /// Block height in rows.
+        size_y: u64,
+        /// Row pitch in bytes.
+        len_x: u64,
+    },
+    /// A 2D unmap.
+    Unmap2d {
+        /// Block base.
+        base: u64,
+        /// Block width in bytes.
+        size_x: u64,
+        /// Block height in rows.
+        size_y: u64,
+        /// Row pitch in bytes.
+        len_x: u64,
+    },
+    /// An activation.
+    Activate(AtomId),
+    /// A deactivation.
+    Deactivate(AtomId),
+}
+
+impl CollectSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CollectSink {
+            next_va: 1 << 20,
+            ..Default::default()
+        }
+    }
+
+    /// The atoms created so far, in ID order.
+    pub fn atoms(&self) -> &[(String, AtomAttributes)] {
+        &self.atoms
+    }
+
+    /// Total instructions represented by the recorded ops.
+    pub fn instructions(&self) -> u64 {
+        self.ops.iter().map(|o| o.instructions()).sum()
+    }
+
+    /// Number of memory ops recorded.
+    pub fn memory_ops(&self) -> u64 {
+        self.ops.iter().filter(|o| o.is_memory()).count() as u64
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn op(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        let base = self.next_va;
+        self.next_va += bytes.next_multiple_of(4096).max(4096);
+        self.events.push(HintEvent::Alloc { bytes, atom, base });
+        base
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        if let Some(i) = self.atoms.iter().position(|(l, _)| l == label) {
+            return AtomId::new(i as u8);
+        }
+        let id = AtomId::new(self.next_atom);
+        self.next_atom += 1;
+        self.atoms.push((label.to_owned(), attrs));
+        id
+    }
+
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        self.events.push(HintEvent::Map { atom, start, len });
+    }
+
+    fn unmap(&mut self, start: u64, len: u64) {
+        self.events.push(HintEvent::Unmap { start, len });
+    }
+
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.events.push(HintEvent::Map2d {
+            atom,
+            base,
+            size_x,
+            size_y,
+            len_x,
+        });
+    }
+
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.events.push(HintEvent::Unmap2d {
+            base,
+            size_x,
+            size_y,
+            len_x,
+        });
+    }
+
+    fn activate(&mut self, atom: AtomId) {
+        self.events.push(HintEvent::Activate(atom));
+    }
+
+    fn deactivate(&mut self, atom: AtomId) {
+        self.events.push(HintEvent::Deactivate(atom));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_records_ops_and_events() {
+        let mut s = CollectSink::new();
+        let a = s.create_atom("x", AtomAttributes::default());
+        let base = s.alloc(100, Some(a));
+        s.map(a, base, 100);
+        s.activate(a);
+        s.load(base);
+        s.store(base + 8);
+        s.compute(3);
+        s.deactivate(a);
+        assert_eq!(s.ops.len(), 3);
+        assert_eq!(s.instructions(), 5);
+        assert_eq!(s.memory_ops(), 2);
+        assert_eq!(s.events.len(), 4);
+    }
+
+    #[test]
+    fn create_atom_dedups_by_label() {
+        let mut s = CollectSink::new();
+        let a = s.create_atom("same", AtomAttributes::default());
+        let b = s.create_atom("same", AtomAttributes::default());
+        let c = s.create_atom("other", AtomAttributes::default());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(s.atoms().len(), 2);
+    }
+
+    #[test]
+    fn allocs_are_page_aligned_and_disjoint() {
+        let mut s = CollectSink::new();
+        let a = s.alloc(1, None);
+        let b = s.alloc(10000, None);
+        let c = s.alloc(1, None);
+        assert_eq!(a % 4096, 0);
+        assert!(b >= a + 4096);
+        assert!(c >= b + 12288);
+    }
+}

@@ -1,0 +1,141 @@
+//! Atom Status Table (AST) — §4.2(2) of the paper.
+//!
+//! A per-process bitmap recording whether each atom is active. Because
+//! `CreateAtom` assigns atom IDs consecutively from 0, the table is indexed
+//! directly by atom ID. With 256 atoms per application the AST is 32 bytes.
+
+use crate::atom::AtomId;
+
+/// Per-process active/inactive bitmap for atoms.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::ast::AtomStatusTable;
+/// use xmem_core::atom::AtomId;
+///
+/// let mut ast = AtomStatusTable::new();
+/// let id = AtomId::new(3);
+/// assert!(!ast.is_active(id));
+/// ast.activate(id);
+/// assert!(ast.is_active(id));
+/// ast.deactivate(id);
+/// assert!(!ast.is_active(id));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomStatusTable {
+    /// 256 bits = 4 × u64 words (32 bytes, matching §4.4(1)).
+    bits: [u64; AtomId::MAX_ATOMS / 64],
+}
+
+impl Default for AtomStatusTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomStatusTable {
+    /// Creates a table with every atom inactive.
+    pub fn new() -> Self {
+        AtomStatusTable {
+            bits: [0; AtomId::MAX_ATOMS / 64],
+        }
+    }
+
+    /// Marks `id` active.
+    #[inline]
+    pub fn activate(&mut self, id: AtomId) {
+        self.bits[id.index() / 64] |= 1u64 << (id.index() % 64);
+    }
+
+    /// Marks `id` inactive.
+    #[inline]
+    pub fn deactivate(&mut self, id: AtomId) {
+        self.bits[id.index() / 64] &= !(1u64 << (id.index() % 64));
+    }
+
+    /// Returns whether `id` is active.
+    #[inline]
+    pub fn is_active(&self, id: AtomId) -> bool {
+        self.bits[id.index() / 64] >> (id.index() % 64) & 1 == 1
+    }
+
+    /// Iterates over the IDs of all active atoms in ascending order.
+    pub fn active_atoms(&self) -> impl Iterator<Item = AtomId> + '_ {
+        (0..AtomId::MAX_ATOMS as u16)
+            .map(|i| AtomId::new(i as u8))
+            .filter(move |id| self.is_active(*id))
+    }
+
+    /// Number of active atoms.
+    pub fn active_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Deactivates every atom (used on process teardown).
+    pub fn clear(&mut self) {
+        self.bits = [0; AtomId::MAX_ATOMS / 64];
+    }
+
+    /// Storage size of this table in bytes (32 B in the paper).
+    pub const fn storage_bytes() -> u64 {
+        (AtomId::MAX_ATOMS / 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_paper() {
+        // §4.4(1): "the AST is only 32B per application".
+        assert_eq!(AtomStatusTable::storage_bytes(), 32);
+    }
+
+    #[test]
+    fn activate_deactivate_all_ids() {
+        let mut ast = AtomStatusTable::new();
+        for raw in 0..=255u8 {
+            let id = AtomId::new(raw);
+            assert!(!ast.is_active(id));
+            ast.activate(id);
+            assert!(ast.is_active(id));
+        }
+        assert_eq!(ast.active_count(), 256);
+        for raw in 0..=255u8 {
+            ast.deactivate(AtomId::new(raw));
+        }
+        assert_eq!(ast.active_count(), 0);
+    }
+
+    #[test]
+    fn activate_is_idempotent() {
+        let mut ast = AtomStatusTable::new();
+        ast.activate(AtomId::new(63));
+        ast.activate(AtomId::new(63));
+        assert_eq!(ast.active_count(), 1);
+        ast.deactivate(AtomId::new(63));
+        ast.deactivate(AtomId::new(63));
+        assert_eq!(ast.active_count(), 0);
+    }
+
+    #[test]
+    fn active_atoms_in_order() {
+        let mut ast = AtomStatusTable::new();
+        for raw in [5u8, 1, 200, 64] {
+            ast.activate(AtomId::new(raw));
+        }
+        let ids: Vec<u8> = ast.active_atoms().map(|a| a.raw()).collect();
+        assert_eq!(ids, vec![1, 5, 64, 200]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ast = AtomStatusTable::new();
+        ast.activate(AtomId::new(0));
+        ast.activate(AtomId::new(255));
+        ast.clear();
+        assert_eq!(ast.active_count(), 0);
+    }
+}

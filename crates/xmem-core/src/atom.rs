@@ -1,0 +1,157 @@
+//! The Atom abstraction (§3.1–§3.2 of the paper).
+//!
+//! An atom is the basic unit of expressing and conveying program semantics:
+//! a set of immutable [`AtomAttributes`], a (dynamic) mapping to virtual
+//! address ranges, and an active/inactive state. The invariants of §3.2 —
+//! homogeneity, many-to-one VA→atom mapping, immutable attributes, flexible
+//! mapping, and activation/deactivation — are enforced by the types in this
+//! module together with [`crate::amu::AtomManagementUnit`].
+
+use crate::attrs::AtomAttributes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A per-process atom identifier.
+///
+/// The paper assigns atom IDs consecutively from 0 within a process and uses
+/// 8-bit IDs by default (up to 256 atoms per application; every evaluated
+/// workload used fewer than 10). We mirror that: the ID is a `u8`.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::atom::AtomId;
+/// let id = AtomId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AtomId(u8);
+
+impl AtomId {
+    /// The maximum number of atoms per process with 8-bit IDs.
+    pub const MAX_ATOMS: usize = 256;
+
+    /// Creates an atom ID from its raw index.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        AtomId(raw)
+    }
+
+    /// The raw 8-bit value.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The ID as a table index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+/// Whether an atom's attributes are currently valid for the data it maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AtomState {
+    /// The system must ignore the atom's attributes.
+    #[default]
+    Inactive,
+    /// The attributes are valid for all currently mapped data.
+    Active,
+}
+
+impl AtomState {
+    /// Returns `true` for [`AtomState::Active`].
+    #[inline]
+    pub const fn is_active(self) -> bool {
+        matches!(self, AtomState::Active)
+    }
+}
+
+/// A statically created atom: ID plus immutable attributes.
+///
+/// This is the compile-time view (what the compiler summarizes into the atom
+/// segment of the binary, §3.5.2). The runtime state — address mapping and
+/// active status — lives in the hardware tables
+/// ([`crate::aam::AtomAddressMap`], [`crate::ast::AtomStatusTable`]), not
+/// here, mirroring the paper's split between static summarization and
+/// hardware runtime tracking.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticAtom {
+    id: AtomId,
+    /// An optional human-readable label (e.g. the data structure name).
+    /// Purely diagnostic; the hardware never sees it.
+    label: String,
+    attrs: AtomAttributes,
+}
+
+impl StaticAtom {
+    /// Creates a static atom record.
+    pub fn new(id: AtomId, label: impl Into<String>, attrs: AtomAttributes) -> Self {
+        StaticAtom {
+            id,
+            label: label.into(),
+            attrs,
+        }
+    }
+
+    /// The atom's ID.
+    pub fn id(&self) -> AtomId {
+        self.id
+    }
+
+    /// The diagnostic label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The immutable attributes.
+    pub fn attrs(&self) -> &AtomAttributes {
+        &self.attrs
+    }
+}
+
+impl fmt::Display for StaticAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Reuse;
+
+    #[test]
+    fn atom_id_roundtrip() {
+        for raw in [0u8, 1, 127, 255] {
+            let id = AtomId::new(raw);
+            assert_eq!(id.raw(), raw);
+            assert_eq!(id.index(), raw as usize);
+        }
+    }
+
+    #[test]
+    fn atom_state_default_inactive() {
+        assert!(!AtomState::default().is_active());
+        assert!(AtomState::Active.is_active());
+    }
+
+    #[test]
+    fn static_atom_accessors() {
+        let attrs = AtomAttributes::builder().reuse(Reuse(9)).build();
+        let a = StaticAtom::new(AtomId::new(2), "tileA", attrs.clone());
+        assert_eq!(a.id(), AtomId::new(2));
+        assert_eq!(a.label(), "tileA");
+        assert_eq!(a.attrs(), &attrs);
+        assert_eq!(a.to_string(), "atom#2 (tileA)");
+    }
+}

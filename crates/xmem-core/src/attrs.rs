@@ -1,0 +1,560 @@
+//! Atom attributes: the program semantics an atom conveys (§3.3 of the paper).
+//!
+//! The paper defines three classes of attributes, all of which are
+//! represented here:
+//!
+//! 1. **Data value properties** — the type of the values ([`DataType`]) and a
+//!    bitset of properties of the data itself ([`DataProps`]: sparse, pointer,
+//!    index, approximable, ...).
+//! 2. **Access properties** — [`AccessPattern`] (regular with a stride,
+//!    irregular-but-repeatable, or non-deterministic), [`RwChar`]
+//!    (read/write characteristics), and [`AccessIntensity`] (an 8-bit
+//!    relative "hotness" ranking).
+//! 3. **Data locality** — [`Reuse`] (an 8-bit relative reuse amount; the
+//!    working-set size is inferred from the size of the data mapped to the
+//!    atom and is therefore *not* stored here).
+//!
+//! Attributes are **immutable once an atom is created** (§3.2); to change the
+//! semantics of a region of data, a new atom is created and the data is
+//! remapped. This is what lets the whole attribute table be summarized at
+//! compile time and conveyed at load time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The primitive type of the values stored in the data an atom describes.
+///
+/// Used e.g. by memory/cache compression to select a type-specific
+/// compression algorithm (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 8-bit signed integer data.
+    Int8,
+    /// 16-bit signed integer data.
+    Int16,
+    /// 32-bit signed integer data.
+    Int32,
+    /// 64-bit signed integer data.
+    Int64,
+    /// 32-bit IEEE-754 floating point data.
+    Float32,
+    /// 64-bit IEEE-754 floating point data.
+    Float64,
+    /// 8-bit character data.
+    Char8,
+    /// Anything else (structs, unions, opaque bytes).
+    Other,
+}
+
+impl DataType {
+    /// Size in bytes of one element of this type, if statically known.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xmem_core::attrs::DataType;
+    /// assert_eq!(DataType::Float64.element_size(), Some(8));
+    /// assert_eq!(DataType::Other.element_size(), None);
+    /// ```
+    pub const fn element_size(self) -> Option<u64> {
+        match self {
+            DataType::Int8 | DataType::Char8 => Some(1),
+            DataType::Int16 => Some(2),
+            DataType::Int32 | DataType::Float32 => Some(4),
+            DataType::Int64 | DataType::Float64 => Some(8),
+            DataType::Other => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int8 => "INT8",
+            DataType::Int16 => "INT16",
+            DataType::Int32 => "INT32",
+            DataType::Int64 => "INT64",
+            DataType::Float32 => "FLOAT32",
+            DataType::Float64 => "FLOAT64",
+            DataType::Char8 => "CHAR8",
+            DataType::Other => "OTHER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An extensible bitset of data-value properties (§3.3(1)).
+///
+/// The paper implements this "as an extensible list using a single bit for
+/// each attribute"; we mirror that with a `u32` bitset. New properties can be
+/// added without breaking the binary atom-segment format (see
+/// [`crate::segment`]), which is the paper's forward-compatibility story.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::attrs::DataProps;
+///
+/// let p = DataProps::SPARSE | DataProps::POINTER;
+/// assert!(p.contains(DataProps::SPARSE));
+/// assert!(!p.contains(DataProps::APPROXIMABLE));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct DataProps(u32);
+
+impl DataProps {
+    /// No properties set.
+    pub const EMPTY: DataProps = DataProps(0);
+    /// The data pool is mostly zeros / has low information density.
+    pub const SPARSE: DataProps = DataProps(1 << 0);
+    /// The values are pointers into other data structures.
+    pub const POINTER: DataProps = DataProps(1 << 1);
+    /// The values are indices into other data structures.
+    pub const INDEX: DataProps = DataProps(1 << 2);
+    /// The application tolerates approximation of these values.
+    pub const APPROXIMABLE: DataProps = DataProps(1 << 3);
+    /// The values compress well with general-purpose algorithms.
+    pub const COMPRESSIBLE: DataProps = DataProps(1 << 4);
+    /// The data is shared between threads.
+    pub const SHARED: DataProps = DataProps(1 << 5);
+    /// The data is private to a single thread.
+    pub const PRIVATE: DataProps = DataProps(1 << 6);
+
+    /// Creates a property set from raw bits (unknown bits are preserved,
+    /// supporting forward compatibility of the segment format).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        DataProps(bits)
+    }
+
+    /// Returns the raw bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if all properties in `other` are set in `self`.
+    #[inline]
+    pub const fn contains(self, other: DataProps) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no property is set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the union of the two property sets.
+    #[inline]
+    pub const fn union(self, other: DataProps) -> DataProps {
+        DataProps(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for DataProps {
+    type Output = DataProps;
+    #[inline]
+    fn bitor(self, rhs: DataProps) -> DataProps {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for DataProps {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: DataProps) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for DataProps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("NONE");
+        }
+        let names = [
+            (DataProps::SPARSE, "SPARSE"),
+            (DataProps::POINTER, "POINTER"),
+            (DataProps::INDEX, "INDEX"),
+            (DataProps::APPROXIMABLE, "APPROXIMABLE"),
+            (DataProps::COMPRESSIBLE, "COMPRESSIBLE"),
+            (DataProps::SHARED, "SHARED"),
+            (DataProps::PRIVATE, "PRIVATE"),
+        ];
+        let mut first = true;
+        for (bit, name) in names {
+            if self.contains(bit) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The access pattern of the data mapped to an atom (§3.3(2), `AccessPattern`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// A regular pattern with a repeated stride in bytes.
+    ///
+    /// A stride of 8 with `Float64` data means fully sequential element
+    /// accesses; a stride of one row means column-major walks, etc.
+    Regular {
+        /// Stride between consecutive accesses, in bytes (may be negative).
+        stride: i64,
+    },
+    /// Repeatable within the data range but with no fixed stride
+    /// (e.g. traversals of a constant graph).
+    Irregular,
+    /// No repeated pattern at all (e.g. hash-table probes, randomized walks).
+    NonDet,
+}
+
+impl AccessPattern {
+    /// Convenience constructor for a sequential pattern over elements of
+    /// `elem_size` bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xmem_core::attrs::AccessPattern;
+    /// assert_eq!(
+    ///     AccessPattern::sequential(8),
+    ///     AccessPattern::Regular { stride: 8 }
+    /// );
+    /// ```
+    pub const fn sequential(elem_size: i64) -> Self {
+        AccessPattern::Regular { stride: elem_size }
+    }
+
+    /// Returns the stride if the pattern is regular.
+    pub const fn stride(self) -> Option<i64> {
+        match self {
+            AccessPattern::Regular { stride } => Some(stride),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the pattern is amenable to a stride prefetcher.
+    pub const fn is_prefetchable(self) -> bool {
+        matches!(self, AccessPattern::Regular { .. })
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Regular { stride } => write!(f, "REGULAR(stride={stride})"),
+            AccessPattern::Irregular => f.write_str("IRREGULAR"),
+            AccessPattern::NonDet => f.write_str("NON_DET"),
+        }
+    }
+}
+
+/// Read/write characteristics of the data at a given time (§3.3(2), `RWChar`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RwChar {
+    /// The data is only read while the atom is active.
+    ReadOnly,
+    /// The data is both read and written (the default, weakest statement).
+    #[default]
+    ReadWrite,
+    /// The data is only written while the atom is active.
+    WriteOnly,
+}
+
+impl fmt::Display for RwChar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RwChar::ReadOnly => "READ_ONLY",
+            RwChar::ReadWrite => "READ_WRITE",
+            RwChar::WriteOnly => "WRITE_ONLY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Relative access frequency ("hotness") of the data, 0 = coldest (§3.3(2)).
+///
+/// An 8-bit ranking *between* atoms, not an absolute rate — exactly as in the
+/// paper, which stresses architecture-agnostic, relative expression.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AccessIntensity(pub u8);
+
+impl AccessIntensity {
+    /// The lowest intensity (cold data).
+    pub const MIN: AccessIntensity = AccessIntensity(0);
+    /// The highest intensity (hottest data).
+    pub const MAX: AccessIntensity = AccessIntensity(u8::MAX);
+}
+
+impl fmt::Display for AccessIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Relative data reuse, 0 = no reuse (§3.3(3)).
+///
+/// Software cache optimizations (tiling, hash-join partitioning) express the
+/// high-reuse working set by mapping it to an atom with a high `Reuse` value;
+/// the cache then prioritizes keeping such atoms resident (§5).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Reuse(pub u8);
+
+impl Reuse {
+    /// No reuse: streaming data that should not pollute the cache.
+    pub const NONE: Reuse = Reuse(0);
+    /// Maximum relative reuse.
+    pub const MAX: Reuse = Reuse(u8::MAX);
+}
+
+impl fmt::Display for Reuse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The complete, immutable attribute record of an atom.
+///
+/// Construct with [`AtomAttributes::builder`]. Every field is optional in
+/// spirit — XMem is hint-based, so "unknown" is always a valid value — but
+/// we keep concrete defaults (`ReadWrite`, `NonDet`, zero intensity/reuse)
+/// that translate to "no special treatment" in every consumer.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::attrs::{AtomAttributes, AccessPattern, DataType, Reuse};
+///
+/// let attrs = AtomAttributes::builder()
+///     .data_type(DataType::Float64)
+///     .access_pattern(AccessPattern::sequential(8))
+///     .reuse(Reuse(200))
+///     .build();
+/// assert_eq!(attrs.data_type(), Some(DataType::Float64));
+/// assert_eq!(attrs.reuse(), Reuse(200));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AtomAttributes {
+    data_type: Option<DataType>,
+    props: DataProps,
+    pattern: AccessPattern,
+    rw: RwChar,
+    intensity: AccessIntensity,
+    reuse: Reuse,
+}
+
+impl Default for AtomAttributes {
+    fn default() -> Self {
+        AtomAttributes {
+            data_type: None,
+            props: DataProps::EMPTY,
+            pattern: AccessPattern::NonDet,
+            rw: RwChar::ReadWrite,
+            intensity: AccessIntensity::MIN,
+            reuse: Reuse::NONE,
+        }
+    }
+}
+
+impl AtomAttributes {
+    /// The paper's encoded size of one atom's attributes: 19 bytes (§4.4(1)).
+    ///
+    /// Used by the storage-overhead model ([`crate::overhead`]).
+    pub const ENCODED_BYTES: u64 = 19;
+
+    /// Starts building an attribute record.
+    pub fn builder() -> AtomAttributesBuilder {
+        AtomAttributesBuilder::new()
+    }
+
+    /// The data type, if expressed.
+    pub fn data_type(&self) -> Option<DataType> {
+        self.data_type
+    }
+
+    /// The data-value property bitset.
+    pub fn props(&self) -> DataProps {
+        self.props
+    }
+
+    /// The access pattern.
+    pub fn access_pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// The read/write characteristics.
+    pub fn rw(&self) -> RwChar {
+        self.rw
+    }
+
+    /// The relative access intensity.
+    pub fn intensity(&self) -> AccessIntensity {
+        self.intensity
+    }
+
+    /// The relative data reuse.
+    pub fn reuse(&self) -> Reuse {
+        self.reuse
+    }
+}
+
+/// Builder for [`AtomAttributes`] (non-consuming terminal per the Rust API
+/// guidelines would not help here; the builder is tiny and `build` copies).
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::attrs::{AtomAttributes, RwChar, AccessIntensity};
+///
+/// let a = AtomAttributes::builder()
+///     .rw(RwChar::ReadOnly)
+///     .intensity(AccessIntensity(10))
+///     .build();
+/// assert_eq!(a.rw(), RwChar::ReadOnly);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AtomAttributesBuilder {
+    attrs: AtomAttributes,
+}
+
+impl AtomAttributesBuilder {
+    /// Creates a builder with all-default ("no hint") attributes.
+    pub fn new() -> Self {
+        Self {
+            attrs: AtomAttributes::default(),
+        }
+    }
+
+    /// Sets the data type.
+    pub fn data_type(mut self, t: DataType) -> Self {
+        self.attrs.data_type = Some(t);
+        self
+    }
+
+    /// Sets the data-value property bitset.
+    pub fn props(mut self, p: DataProps) -> Self {
+        self.attrs.props = p;
+        self
+    }
+
+    /// Sets the access pattern.
+    pub fn access_pattern(mut self, p: AccessPattern) -> Self {
+        self.attrs.pattern = p;
+        self
+    }
+
+    /// Sets the read/write characteristics.
+    pub fn rw(mut self, rw: RwChar) -> Self {
+        self.attrs.rw = rw;
+        self
+    }
+
+    /// Sets the relative access intensity.
+    pub fn intensity(mut self, i: AccessIntensity) -> Self {
+        self.attrs.intensity = i;
+        self
+    }
+
+    /// Sets the relative reuse.
+    pub fn reuse(mut self, r: Reuse) -> Self {
+        self.attrs.reuse = r;
+        self
+    }
+
+    /// Finalizes the attribute record.
+    pub fn build(self) -> AtomAttributes {
+        self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_props_bit_ops() {
+        let p = DataProps::SPARSE | DataProps::INDEX;
+        assert!(p.contains(DataProps::SPARSE));
+        assert!(p.contains(DataProps::INDEX));
+        assert!(!p.contains(DataProps::POINTER));
+        assert!(!p.contains(DataProps::SPARSE | DataProps::POINTER));
+        assert!(DataProps::EMPTY.is_empty());
+        let mut q = DataProps::EMPTY;
+        q |= DataProps::APPROXIMABLE;
+        assert!(q.contains(DataProps::APPROXIMABLE));
+    }
+
+    #[test]
+    fn data_props_display() {
+        assert_eq!(DataProps::EMPTY.to_string(), "NONE");
+        assert_eq!(
+            (DataProps::SPARSE | DataProps::POINTER).to_string(),
+            "SPARSE|POINTER"
+        );
+    }
+
+    #[test]
+    fn data_props_forward_compat_bits() {
+        // Unknown future bits round-trip unchanged.
+        let p = DataProps::from_bits(0x8000_0001);
+        assert_eq!(p.bits(), 0x8000_0001);
+        assert!(p.contains(DataProps::SPARSE));
+    }
+
+    #[test]
+    fn access_pattern_helpers() {
+        assert_eq!(AccessPattern::sequential(4).stride(), Some(4));
+        assert!(AccessPattern::sequential(4).is_prefetchable());
+        assert!(!AccessPattern::Irregular.is_prefetchable());
+        assert_eq!(AccessPattern::NonDet.stride(), None);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let a = AtomAttributes::builder()
+            .data_type(DataType::Int32)
+            .props(DataProps::SPARSE)
+            .access_pattern(AccessPattern::Irregular)
+            .rw(RwChar::WriteOnly)
+            .intensity(AccessIntensity(7))
+            .reuse(Reuse(3))
+            .build();
+        assert_eq!(a.data_type(), Some(DataType::Int32));
+        assert_eq!(a.props(), DataProps::SPARSE);
+        assert_eq!(a.access_pattern(), AccessPattern::Irregular);
+        assert_eq!(a.rw(), RwChar::WriteOnly);
+        assert_eq!(a.intensity(), AccessIntensity(7));
+        assert_eq!(a.reuse(), Reuse(3));
+    }
+
+    #[test]
+    fn default_attrs_are_no_hint() {
+        let a = AtomAttributes::default();
+        assert_eq!(a.data_type(), None);
+        assert!(a.props().is_empty());
+        assert_eq!(a.access_pattern(), AccessPattern::NonDet);
+        assert_eq!(a.rw(), RwChar::ReadWrite);
+        assert_eq!(a.reuse(), Reuse::NONE);
+    }
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DataType::Int8.element_size(), Some(1));
+        assert_eq!(DataType::Int16.element_size(), Some(2));
+        assert_eq!(DataType::Int32.element_size(), Some(4));
+        assert_eq!(DataType::Int64.element_size(), Some(8));
+        assert_eq!(DataType::Float32.element_size(), Some(4));
+        assert_eq!(DataType::Char8.element_size(), Some(1));
+    }
+}

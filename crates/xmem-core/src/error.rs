@@ -1,0 +1,97 @@
+//! Error types for the XMem system.
+
+use crate::atom::AtomId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by XMem operations.
+///
+/// Note that per the paper's design (§2.1), XMem is *hint-based*: a failed or
+/// ignored hint never affects program correctness. These errors therefore
+/// signal misuse of the library API (e.g. creating more atoms than the ID
+/// space allows), not functional failures of the simulated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XMemError {
+    /// The per-process atom ID space (256 atoms with 8-bit IDs) is exhausted.
+    TooManyAtoms {
+        /// The configured per-process limit.
+        limit: usize,
+    },
+    /// An operation referenced an atom ID that was never created.
+    UnknownAtom(AtomId),
+    /// A mapping touched a virtual address with no physical translation.
+    UnmappedVirtualAddress(u64),
+    /// A physical address fell outside the configured physical memory.
+    PhysicalAddressOutOfRange {
+        /// The offending physical address.
+        pa: u64,
+        /// The configured physical memory size in bytes.
+        phys_bytes: u64,
+    },
+    /// An atom-segment blob had a version this implementation cannot parse.
+    ///
+    /// Per §3.5.2, unknown *newer* formats are ignorable (hints only); this
+    /// error carries the version so callers can decide to skip.
+    UnsupportedSegmentVersion {
+        /// Version found in the blob.
+        found: u32,
+        /// Highest version this implementation understands.
+        supported: u32,
+    },
+    /// An atom-segment blob failed to deserialize.
+    MalformedSegment(String),
+}
+
+impl fmt::Display for XMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XMemError::TooManyAtoms { limit } => {
+                write!(f, "per-process atom limit of {limit} exceeded")
+            }
+            XMemError::UnknownAtom(id) => write!(f, "unknown {id}"),
+            XMemError::UnmappedVirtualAddress(va) => {
+                write!(f, "virtual address {va:#x} has no physical mapping")
+            }
+            XMemError::PhysicalAddressOutOfRange { pa, phys_bytes } => write!(
+                f,
+                "physical address {pa:#x} outside configured memory of {phys_bytes} bytes"
+            ),
+            XMemError::UnsupportedSegmentVersion { found, supported } => write!(
+                f,
+                "atom segment version {found} newer than supported version {supported}"
+            ),
+            XMemError::MalformedSegment(msg) => write!(f, "malformed atom segment: {msg}"),
+        }
+    }
+}
+
+impl Error for XMemError {}
+
+/// Convenience alias for results of XMem operations.
+pub type Result<T> = std::result::Result<T, XMemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            XMemError::TooManyAtoms { limit: 256 }.to_string(),
+            "per-process atom limit of 256 exceeded"
+        );
+        assert_eq!(
+            XMemError::UnknownAtom(AtomId::new(5)).to_string(),
+            "unknown atom#5"
+        );
+        assert!(XMemError::UnmappedVirtualAddress(0x1000)
+            .to_string()
+            .contains("0x1000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XMemError>();
+    }
+}

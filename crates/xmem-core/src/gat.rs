@@ -1,0 +1,151 @@
+//! Global Attribute Table (GAT) — §4.2(3) of the paper.
+//!
+//! The GAT is the OS-managed, kernel-space table holding the immutable
+//! attributes of every atom in an application. It is filled at program load
+//! time from the binary's atom segment (see [`crate::segment`]) and read by
+//! the hardware [attribute translator](crate::translate) to build the
+//! per-component private attribute tables.
+
+use crate::atom::{AtomId, StaticAtom};
+use crate::attrs::AtomAttributes;
+use crate::error::{Result, XMemError};
+
+/// The OS-managed table of atom attributes for one process.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::gat::GlobalAttributeTable;
+/// use xmem_core::atom::{AtomId, StaticAtom};
+/// use xmem_core::attrs::AtomAttributes;
+///
+/// let mut gat = GlobalAttributeTable::new();
+/// gat.insert(StaticAtom::new(AtomId::new(0), "A", AtomAttributes::default()))?;
+/// assert!(gat.attrs(AtomId::new(0)).is_some());
+/// assert!(gat.attrs(AtomId::new(1)).is_none());
+/// # Ok::<(), xmem_core::error::XMemError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAttributeTable {
+    entries: Vec<Option<StaticAtom>>,
+}
+
+impl GlobalAttributeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GlobalAttributeTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the record for an atom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XMemError::TooManyAtoms`] if the ID exceeds the 8-bit atom
+    /// ID space (cannot actually happen through [`AtomId`], kept for
+    /// robustness against future wider IDs).
+    pub fn insert(&mut self, atom: StaticAtom) -> Result<()> {
+        let idx = atom.id().index();
+        if idx >= AtomId::MAX_ATOMS {
+            return Err(XMemError::TooManyAtoms {
+                limit: AtomId::MAX_ATOMS,
+            });
+        }
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        self.entries[idx] = Some(atom);
+        Ok(())
+    }
+
+    /// The attributes of `id`, if the atom exists.
+    pub fn attrs(&self, id: AtomId) -> Option<&AtomAttributes> {
+        self.entries
+            .get(id.index())
+            .and_then(|e| e.as_ref())
+            .map(|a| a.attrs())
+    }
+
+    /// The full static record of `id`, if the atom exists.
+    pub fn atom(&self, id: AtomId) -> Option<&StaticAtom> {
+        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    }
+
+    /// Iterates over all atoms in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &StaticAtom> {
+        self.entries.iter().filter_map(|e| e.as_ref())
+    }
+
+    /// Number of atoms in the table.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Returns `true` if no atoms are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage footprint in bytes, using the paper's 19 B/atom encoding
+    /// (§4.4(1): "each GAT needs only 2.8KB assuming 256 atoms").
+    pub fn storage_bytes(&self) -> u64 {
+        self.len() as u64 * AtomAttributes::ENCODED_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Reuse;
+
+    fn atom(id: u8) -> StaticAtom {
+        StaticAtom::new(
+            AtomId::new(id),
+            format!("a{id}"),
+            AtomAttributes::builder().reuse(Reuse(id)).build(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut gat = GlobalAttributeTable::new();
+        gat.insert(atom(0)).unwrap();
+        gat.insert(atom(5)).unwrap();
+        assert_eq!(gat.attrs(AtomId::new(0)).unwrap().reuse(), Reuse(0));
+        assert_eq!(gat.attrs(AtomId::new(5)).unwrap().reuse(), Reuse(5));
+        assert!(gat.attrs(AtomId::new(3)).is_none());
+        assert_eq!(gat.len(), 2);
+        assert!(!gat.is_empty());
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let mut gat = GlobalAttributeTable::new();
+        gat.insert(atom(1)).unwrap();
+        gat.insert(atom(1)).unwrap();
+        assert_eq!(gat.len(), 1);
+    }
+
+    #[test]
+    fn storage_matches_paper_at_256_atoms() {
+        let mut gat = GlobalAttributeTable::new();
+        for i in 0..=255u8 {
+            gat.insert(atom(i)).unwrap();
+        }
+        // 256 atoms * 19 B = 4864 B ≈ 4.8 KB... the paper says 2.8 KB for
+        // "256 atoms"; 19 B * 150 ≈ 2.8 KB. We reproduce the arithmetic the
+        // text actually gives (19 B per atom) and note the discrepancy in
+        // EXPERIMENTS.md. The invariant we test: linear in atom count.
+        assert_eq!(gat.storage_bytes(), 256 * 19);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut gat = GlobalAttributeTable::new();
+        gat.insert(atom(9)).unwrap();
+        gat.insert(atom(2)).unwrap();
+        let ids: Vec<u8> = gat.iter().map(|a| a.id().raw()).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+}

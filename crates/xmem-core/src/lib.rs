@@ -1,0 +1,107 @@
+//! # xmem-core — Expressive Memory (XMem)
+//!
+//! A faithful reimplementation of the XMem cross-layer interface from
+//! *"A Case for Richer Cross-Layer Abstractions: Bridging the Semantic Gap
+//! with Expressive Memory"* (ISCA 2018).
+//!
+//! XMem lets an application express higher-level program semantics — what
+//! its data structures are, how they are accessed, how much reuse they have —
+//! through a new hardware/software abstraction called the **atom**. The
+//! expressed semantics flow through well-defined tables to every system and
+//! architectural component that optimizes memory performance:
+//!
+//! ```text
+//!  application ──CreateAtom──▶ XMemLib ──compile──▶ AtomSegment (binary)
+//!        │                                              │ load time
+//!        │ AtomMap / AtomActivate (ISA insts)           ▼
+//!        ▼                                      GAT (OS, kernel space)
+//!  AMU: AAM + AST + ALB  ◀──ATOM_LOOKUP──┐              │ translator
+//!        ▲                               │              ▼
+//!  caches, prefetchers, memory controller┴──── per-component PATs
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xmem_core::prelude::*;
+//!
+//! # fn main() -> xmem_core::error::Result<()> {
+//! // 1. The application creates an atom describing a high-reuse tile.
+//! let mut lib = XMemLib::new();
+//! let tile = lib.create_atom(
+//!     xmem_core::call_site!(),
+//!     "tile",
+//!     AtomAttributes::builder()
+//!         .data_type(DataType::Float64)
+//!         .access_pattern(AccessPattern::sequential(8))
+//!         .reuse(Reuse(200))
+//!         .build(),
+//! )?;
+//!
+//! // 2. At runtime it maps the atom over the tile's address range and
+//! //    activates it.
+//! let mut amu = AtomManagementUnit::new(AmuConfig {
+//!     aam: AamConfig { phys_bytes: 1 << 20, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let mmu = IdentityMmu::new();
+//! lib.atom_map(&mut amu, &mmu, tile, VirtAddr::new(0x10000), 64 * 1024)?;
+//! lib.atom_activate(&mut amu, &mmu, tile)?;
+//!
+//! // 3. Any hardware component can now discover the semantics of an address.
+//! assert_eq!(amu.active_atom_at(PhysAddr::new(0x12345)), Some(tile));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`atom`] | §3.1–3.2 | [`AtomId`](atom::AtomId), invariants |
+//! | [`attrs`] | §3.3 | the three attribute classes |
+//! | [`xmemlib`] | §4.1.1, Table 2 | the application API |
+//! | [`isa`] | §4.1.3 | `ATOM_MAP`/`ATOM_ACTIVATE` instructions |
+//! | [`segment`] | §3.5.2 | the versioned atom segment |
+//! | [`gat`], [`pat`], [`translate`] | §4.2(3) | attribute tables + translator |
+//! | [`aam`], [`ast`], [`alb`], [`amu`] | §4.2(1,2,4) | the hardware tables |
+//! | [`process`] | §4.3–4.4 | context switches |
+//! | [`overhead`] | §4.4 | storage overhead arithmetic |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aam;
+pub mod addr;
+pub mod alb;
+pub mod amu;
+pub mod ast;
+pub mod atom;
+pub mod attrs;
+pub mod error;
+pub mod gat;
+pub mod isa;
+pub mod overhead;
+pub mod pat;
+pub mod process;
+pub mod segment;
+pub mod translate;
+pub mod xmemlib;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::aam::{AamConfig, AtomAddressMap};
+    pub use crate::addr::{PhysAddr, VaRange, VirtAddr};
+    pub use crate::amu::{AmuConfig, AtomManagementUnit, IdentityMmu, Mmu};
+    pub use crate::ast::AtomStatusTable;
+    pub use crate::atom::{AtomId, AtomState, StaticAtom};
+    pub use crate::attrs::{
+        AccessIntensity, AccessPattern, AtomAttributes, DataProps, DataType, Reuse, RwChar,
+    };
+    pub use crate::error::XMemError;
+    pub use crate::gat::GlobalAttributeTable;
+    pub use crate::pat::Pat;
+    pub use crate::segment::AtomSegment;
+    pub use crate::translate::AttributeTranslator;
+    pub use crate::xmemlib::{CallSite, XMemLib};
+}

@@ -1,0 +1,87 @@
+//! Analytic storage-overhead model reproducing §4.4(1) of the paper.
+//!
+//! The paper quantifies four overhead categories; the storage category is
+//! pure arithmetic over table geometry, which this module reproduces so the
+//! benchmark harness can print a paper-vs-measured table. (The hardware area
+//! numbers in the paper come from CACTI at 14 nm — an external tool — so area
+//! in mm² is explicitly out of scope; see DESIGN.md.)
+
+use crate::aam::AamConfig;
+use crate::ast::AtomStatusTable;
+use crate::attrs::AtomAttributes;
+
+/// A complete storage-overhead report for one system configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageOverhead {
+    /// Bytes of the Atom Status Table (per application).
+    pub ast_bytes: u64,
+    /// Bytes of the Global Attribute Table (per application).
+    pub gat_bytes: u64,
+    /// Bytes of the Atom Address Map (global).
+    pub aam_bytes: u64,
+    /// AAM bytes as a fraction of physical memory.
+    pub aam_fraction: f64,
+}
+
+/// Computes the storage overheads for `atoms_per_app` atoms and the given
+/// AAM geometry.
+///
+/// # Examples
+///
+/// Reproducing the paper's numbers for an 8 GB system with 256 atoms:
+///
+/// ```
+/// use xmem_core::aam::AamConfig;
+/// use xmem_core::overhead::storage_overhead;
+///
+/// let report = storage_overhead(
+///     256,
+///     &AamConfig { phys_bytes: 8 << 30, granularity: 512, id_bits: 8 },
+/// );
+/// assert_eq!(report.ast_bytes, 32);          // "the AST is very small (32B)"
+/// assert_eq!(report.aam_bytes, 16 << 20);    // "16MB on a 8GB system"
+/// assert!(report.aam_fraction < 0.002);      // "only 0.2% of physical memory"
+/// ```
+pub fn storage_overhead(atoms_per_app: u64, aam: &AamConfig) -> StorageOverhead {
+    StorageOverhead {
+        ast_bytes: AtomStatusTable::storage_bytes(),
+        gat_bytes: atoms_per_app * AtomAttributes::ENCODED_BYTES,
+        aam_bytes: aam.storage_bytes(),
+        aam_fraction: aam.overhead_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_report() {
+        let report = storage_overhead(256, &AamConfig::default());
+        assert_eq!(report.ast_bytes, 32);
+        assert_eq!(report.gat_bytes, 256 * 19);
+        assert!(report.aam_fraction > 0.0);
+    }
+
+    #[test]
+    fn low_overhead_variant() {
+        // "if we support only 6-bit Atom IDs with a 1KB address range unit,
+        // the storage overhead becomes 0.07%"
+        let report = storage_overhead(
+            64,
+            &AamConfig {
+                phys_bytes: 8 << 30,
+                granularity: 1024,
+                id_bits: 6,
+            },
+        );
+        assert!((report.aam_fraction - 0.0007).abs() < 2e-4);
+    }
+
+    #[test]
+    fn gat_scales_with_atoms() {
+        let a = storage_overhead(10, &AamConfig::default());
+        let b = storage_overhead(20, &AamConfig::default());
+        assert_eq!(b.gat_bytes, 2 * a.gat_bytes);
+    }
+}

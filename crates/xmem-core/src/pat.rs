@@ -1,0 +1,147 @@
+//! Private Attribute Tables (PATs) — §4.2(3) of the paper.
+//!
+//! Each hardware component that benefits from XMem keeps a small private
+//! table of *translated* primitives, indexed by atom ID. The table is filled
+//! by the [attribute translator](crate::translate) at program load time and
+//! reloaded (flushed + refilled) on a context switch.
+
+use crate::atom::AtomId;
+use crate::gat::GlobalAttributeTable;
+
+/// A per-component private attribute table holding primitives of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::pat::Pat;
+/// use xmem_core::gat::GlobalAttributeTable;
+/// use xmem_core::translate::AttributeTranslator;
+/// use xmem_core::atom::{AtomId, StaticAtom};
+/// use xmem_core::attrs::{AtomAttributes, Reuse};
+///
+/// let mut gat = GlobalAttributeTable::new();
+/// gat.insert(StaticAtom::new(
+///     AtomId::new(0),
+///     "t",
+///     AtomAttributes::builder().reuse(Reuse(5)).build(),
+/// ))?;
+///
+/// let translator = AttributeTranslator::new();
+/// let mut pat = Pat::new();
+/// pat.fill_from_gat(&gat, |attrs| translator.for_cache(attrs));
+/// assert_eq!(pat.get(AtomId::new(0)).unwrap().reuse, 5);
+/// assert!(pat.get(AtomId::new(1)).is_none());
+/// # Ok::<(), xmem_core::error::XMemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pat<T> {
+    entries: Vec<Option<T>>,
+}
+
+impl<T> Default for Pat<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Pat<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Pat {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The primitive for `id`, if one was installed.
+    #[inline]
+    pub fn get(&self, id: AtomId) -> Option<&T> {
+        self.entries.get(id.index()).and_then(|e| e.as_ref())
+    }
+
+    /// Installs a primitive for `id`.
+    pub fn set(&mut self, id: AtomId, value: T) {
+        if id.index() >= self.entries.len() {
+            self.entries.resize_with(id.index() + 1, || None);
+        }
+        self.entries[id.index()] = Some(value);
+    }
+
+    /// Number of installed primitives.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Returns `true` if no primitives are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes all entries (context switch, §4.4(4)).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Fills the table by translating every atom in `gat` with `translate`.
+    ///
+    /// This models the translator pass at program load / context switch.
+    pub fn fill_from_gat(
+        &mut self,
+        gat: &GlobalAttributeTable,
+        mut translate: impl FnMut(&crate::attrs::AtomAttributes) -> T,
+    ) {
+        self.flush();
+        for atom in gat.iter() {
+            self.set(atom.id(), translate(atom.attrs()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::StaticAtom;
+    use crate::attrs::{AtomAttributes, Reuse};
+    use crate::translate::AttributeTranslator;
+
+    #[test]
+    fn set_get_flush() {
+        let mut pat: Pat<u32> = Pat::new();
+        assert!(pat.is_empty());
+        pat.set(AtomId::new(10), 99);
+        assert_eq!(pat.get(AtomId::new(10)), Some(&99));
+        assert_eq!(pat.get(AtomId::new(9)), None);
+        assert_eq!(pat.len(), 1);
+        pat.flush();
+        assert!(pat.is_empty());
+        assert_eq!(pat.get(AtomId::new(10)), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut pat: Pat<&str> = Pat::new();
+        pat.set(AtomId::new(0), "a");
+        pat.set(AtomId::new(0), "b");
+        assert_eq!(pat.get(AtomId::new(0)), Some(&"b"));
+        assert_eq!(pat.len(), 1);
+    }
+
+    #[test]
+    fn fill_from_gat_translates_all() {
+        let mut gat = GlobalAttributeTable::new();
+        for i in 0..3u8 {
+            gat.insert(StaticAtom::new(
+                AtomId::new(i),
+                format!("a{i}"),
+                AtomAttributes::builder().reuse(Reuse(i * 10)).build(),
+            ))
+            .unwrap();
+        }
+        let t = AttributeTranslator::new();
+        let mut pat = Pat::new();
+        pat.fill_from_gat(&gat, |a| t.for_cache(a));
+        assert_eq!(pat.len(), 3);
+        assert_eq!(pat.get(AtomId::new(2)).unwrap().reuse, 20);
+        assert!(!pat.get(AtomId::new(0)).unwrap().pin_candidate);
+        assert!(pat.get(AtomId::new(1)).unwrap().pin_candidate);
+    }
+}

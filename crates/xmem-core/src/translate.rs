@@ -1,0 +1,278 @@
+//! The Attribute Translator and per-component primitives (§3.4, §4.2(3)).
+//!
+//! Atom attributes are expressed by the *application* in architecture-
+//! agnostic terms. Hardware components, however, are driven by simple
+//! structures and need only a few bits of directly actionable state
+//! (Challenge 2 of the paper). The Attribute Translator is the hardware
+//! runtime that converts the high-level attributes stored in the
+//! [GAT](crate::gat::GlobalAttributeTable) into *specific primitives* for
+//! each component, saved privately in that component's
+//! [PAT](crate::pat::Pat) at program load time and on context switches.
+//!
+//! One primitive type is defined per component class the paper's use cases
+//! exercise (cache, prefetcher, DRAM/OS placement) plus compression, which
+//! Table 1 highlights.
+
+use crate::attrs::{AccessPattern, AtomAttributes, DataProps, DataType, RwChar};
+
+/// What the cache needs to know about an atom (use case 1, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CachePrimitive {
+    /// Relative reuse (drives pinning priority).
+    pub reuse: u8,
+    /// Whether this atom is worth considering for pinning at all.
+    pub pin_candidate: bool,
+    /// Whether data should bypass the cache entirely (no reuse streaming).
+    pub bypass: bool,
+}
+
+/// What the prefetcher needs to know about an atom (§5.2(4)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetcherPrimitive {
+    /// Stride to prefetch with, if the access pattern is regular.
+    pub stride: Option<i64>,
+}
+
+/// What the OS / memory controller needs for DRAM placement (use case 2, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementPrimitive {
+    /// High expected row-buffer locality: regular pattern with a stride small
+    /// enough that consecutive accesses fall in the same DRAM row.
+    pub high_rbl: bool,
+    /// Relative access intensity (0 = cold).
+    pub intensity: u8,
+    /// The data is read-only while its atom is active.
+    pub read_only: bool,
+    /// Spread this atom across banks/channels to maximize parallelism
+    /// (irregular or non-deterministic access).
+    pub spread_for_mlp: bool,
+}
+
+/// Compression algorithm selection (Table 1, "Cache/memory compression").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionAlgo {
+    /// No compression hint available.
+    #[default]
+    Generic,
+    /// Sparse-data encoding (zero-run length).
+    SparseEncoding,
+    /// Floating-point-specific compression.
+    FpSpecific,
+    /// Delta-based compression for pointers/indices.
+    DeltaPointer,
+}
+
+/// What a compression engine needs to know about an atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionPrimitive {
+    /// The algorithm best suited to the atom's data.
+    pub algo: CompressionAlgo,
+    /// Whether the data tolerates lossy approximation.
+    pub approximable: bool,
+}
+
+/// Row-buffer size assumed when classifying strides as row-friendly.
+/// (8 KB per the DDR3 configuration of Table 3: 1 KB/chip × 8 chips is
+/// common; we use the row byte-count the DRAM model also defaults to.)
+const DEFAULT_ROW_BYTES: i64 = 8192;
+
+/// The hardware attribute translator.
+///
+/// Stateless: its configuration is just the row size used for RBL
+/// classification.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::translate::AttributeTranslator;
+/// use xmem_core::attrs::{AtomAttributes, AccessPattern, Reuse};
+///
+/// let t = AttributeTranslator::new();
+/// let attrs = AtomAttributes::builder()
+///     .access_pattern(AccessPattern::sequential(8))
+///     .reuse(Reuse(100))
+///     .build();
+/// let cache = t.for_cache(&attrs);
+/// assert!(cache.pin_candidate);
+/// let pf = t.for_prefetcher(&attrs);
+/// assert_eq!(pf.stride, Some(8));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AttributeTranslator {
+    row_bytes: i64,
+}
+
+impl Default for AttributeTranslator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttributeTranslator {
+    /// Creates a translator with the default row-size assumption.
+    pub fn new() -> Self {
+        AttributeTranslator {
+            row_bytes: DEFAULT_ROW_BYTES,
+        }
+    }
+
+    /// Creates a translator that classifies strides against a specific DRAM
+    /// row size.
+    pub fn with_row_bytes(row_bytes: u64) -> Self {
+        AttributeTranslator {
+            row_bytes: row_bytes as i64,
+        }
+    }
+
+    /// Translates attributes into the cache's primitive.
+    pub fn for_cache(&self, attrs: &AtomAttributes) -> CachePrimitive {
+        let reuse = attrs.reuse().0;
+        CachePrimitive {
+            reuse,
+            pin_candidate: reuse > 0,
+            bypass: reuse == 0 && attrs.access_pattern().is_prefetchable(),
+        }
+    }
+
+    /// Translates attributes into the prefetcher's primitive.
+    pub fn for_prefetcher(&self, attrs: &AtomAttributes) -> PrefetcherPrimitive {
+        PrefetcherPrimitive {
+            stride: attrs.access_pattern().stride(),
+        }
+    }
+
+    /// Translates attributes into the OS/memory-controller placement
+    /// primitive.
+    pub fn for_placement(&self, attrs: &AtomAttributes) -> PlacementPrimitive {
+        let high_rbl = match attrs.access_pattern() {
+            AccessPattern::Regular { stride } => {
+                stride != 0 && stride.abs() < self.row_bytes / 8
+            }
+            _ => false,
+        };
+        PlacementPrimitive {
+            high_rbl,
+            intensity: attrs.intensity().0,
+            read_only: attrs.rw() == RwChar::ReadOnly,
+            spread_for_mlp: !high_rbl,
+        }
+    }
+
+    /// Translates attributes into the compression engine's primitive.
+    pub fn for_compression(&self, attrs: &AtomAttributes) -> CompressionPrimitive {
+        let props = attrs.props();
+        let algo = if props.contains(DataProps::SPARSE) {
+            CompressionAlgo::SparseEncoding
+        } else if props.contains(DataProps::POINTER) || props.contains(DataProps::INDEX) {
+            CompressionAlgo::DeltaPointer
+        } else {
+            match attrs.data_type() {
+                Some(DataType::Float32) | Some(DataType::Float64) => CompressionAlgo::FpSpecific,
+                _ => CompressionAlgo::Generic,
+            }
+        };
+        CompressionPrimitive {
+            algo,
+            approximable: props.contains(DataProps::APPROXIMABLE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AccessIntensity, Reuse};
+
+    fn seq_attrs(reuse: u8) -> AtomAttributes {
+        AtomAttributes::builder()
+            .access_pattern(AccessPattern::sequential(8))
+            .reuse(Reuse(reuse))
+            .build()
+    }
+
+    #[test]
+    fn cache_primitive_pinning() {
+        let t = AttributeTranslator::new();
+        assert!(t.for_cache(&seq_attrs(1)).pin_candidate);
+        assert!(!t.for_cache(&seq_attrs(0)).pin_candidate);
+        // Zero-reuse streaming data should bypass.
+        assert!(t.for_cache(&seq_attrs(0)).bypass);
+        // Zero-reuse but irregular: don't bypass (unknown behavior).
+        let irr = AtomAttributes::builder()
+            .access_pattern(AccessPattern::Irregular)
+            .build();
+        assert!(!t.for_cache(&irr).bypass);
+    }
+
+    #[test]
+    fn prefetcher_primitive_stride() {
+        let t = AttributeTranslator::new();
+        assert_eq!(t.for_prefetcher(&seq_attrs(0)).stride, Some(8));
+        let nd = AtomAttributes::default();
+        assert_eq!(t.for_prefetcher(&nd).stride, None);
+    }
+
+    #[test]
+    fn placement_rbl_classification() {
+        let t = AttributeTranslator::new();
+        // Small stride: row friendly.
+        let p = t.for_placement(&seq_attrs(0));
+        assert!(p.high_rbl);
+        assert!(!p.spread_for_mlp);
+        // Huge stride (> row/8): jumps rows, not RBL friendly.
+        let big = AtomAttributes::builder()
+            .access_pattern(AccessPattern::Regular { stride: 65536 })
+            .build();
+        assert!(!t.for_placement(&big).high_rbl);
+        // Non-deterministic: spread.
+        let nd = AtomAttributes::default();
+        let p = t.for_placement(&nd);
+        assert!(!p.high_rbl);
+        assert!(p.spread_for_mlp);
+    }
+
+    #[test]
+    fn placement_carries_intensity_and_rw() {
+        let t = AttributeTranslator::new();
+        let a = AtomAttributes::builder()
+            .intensity(AccessIntensity(42))
+            .rw(RwChar::ReadOnly)
+            .build();
+        let p = t.for_placement(&a);
+        assert_eq!(p.intensity, 42);
+        assert!(p.read_only);
+    }
+
+    #[test]
+    fn compression_algorithm_selection() {
+        let t = AttributeTranslator::new();
+        let sparse = AtomAttributes::builder().props(DataProps::SPARSE).build();
+        assert_eq!(
+            t.for_compression(&sparse).algo,
+            CompressionAlgo::SparseEncoding
+        );
+        let ptr = AtomAttributes::builder().props(DataProps::POINTER).build();
+        assert_eq!(t.for_compression(&ptr).algo, CompressionAlgo::DeltaPointer);
+        let fp = AtomAttributes::builder()
+            .data_type(DataType::Float64)
+            .build();
+        assert_eq!(t.for_compression(&fp).algo, CompressionAlgo::FpSpecific);
+        let other = AtomAttributes::default();
+        assert_eq!(t.for_compression(&other).algo, CompressionAlgo::Generic);
+        let approx = AtomAttributes::builder()
+            .props(DataProps::APPROXIMABLE)
+            .build();
+        assert!(t.for_compression(&approx).approximable);
+    }
+
+    #[test]
+    fn custom_row_bytes_changes_classification() {
+        // Stride 512: row friendly at 8 KB rows, not at 2 KB rows (512 >= 2048/8).
+        let stride512 = AtomAttributes::builder()
+            .access_pattern(AccessPattern::Regular { stride: 512 })
+            .build();
+        assert!(AttributeTranslator::new().for_placement(&stride512).high_rbl);
+        let tight = AttributeTranslator::with_row_bytes(2048);
+        assert!(!tight.for_placement(&stride512).high_rbl);
+    }
+}

@@ -1,0 +1,518 @@
+//! `XMemLib`: the application interface to XMem (§3.5.1, §4.1.1, Table 2).
+//!
+//! The library exposes the three operator families of the atom abstraction:
+//!
+//! | Operation | Functions | Handled |
+//! |---|---|---|
+//! | CREATE | [`XMemLib::create_atom`] | in software, at "compile time" |
+//! | MAP/UNMAP | [`XMemLib::atom_map`], [`atom_unmap`](XMemLib::atom_unmap), 2D/3D variants | in hardware, via `ATOM_MAP` ISA instructions |
+//! | ACTIVATE/DEACTIVATE | [`XMemLib::atom_activate`], [`atom_deactivate`](XMemLib::atom_deactivate) | in hardware, via `ATOM_ACTIVATE` ISA instructions |
+//!
+//! Per the paper, *multiple invocations of `CreateAtom` at the same place in
+//! the program code always return the same Atom ID*: creation is deduplicated
+//! by call site ([`CallSite`], conveniently produced by [`crate::call_site!`]).
+//! This is what makes attributes statically summarizable into the
+//! [atom segment](crate::segment::AtomSegment).
+//!
+//! Every runtime operation executes exactly one XMem ISA instruction, which
+//! is counted in an [`InstCounter`] so the harness
+//! can reproduce the paper's instruction-overhead numbers (§4.4(2)).
+
+use crate::addr::{VaRange, VirtAddr};
+use crate::amu::{AtomManagementUnit, Mmu};
+use crate::atom::{AtomId, StaticAtom};
+use crate::attrs::AtomAttributes;
+use crate::error::{Result, XMemError};
+use crate::isa::{InstCounter, XmemInst};
+use crate::segment::AtomSegment;
+use std::collections::HashMap;
+
+/// A static program location, used to deduplicate `CreateAtom` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallSite {
+    /// Source file of the call.
+    pub file: &'static str,
+    /// Line of the call.
+    pub line: u32,
+}
+
+/// Produces the [`CallSite`] of the invocation point.
+///
+/// # Examples
+///
+/// ```
+/// let site = xmem_core::call_site!();
+/// assert!(site.file.ends_with(".rs"));
+/// ```
+#[macro_export]
+macro_rules! call_site {
+    () => {
+        $crate::xmemlib::CallSite {
+            file: file!(),
+            line: line!(),
+        }
+    };
+}
+
+/// The application-facing XMem library.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::xmemlib::XMemLib;
+/// use xmem_core::amu::{AmuConfig, AtomManagementUnit, IdentityMmu};
+/// use xmem_core::aam::AamConfig;
+/// use xmem_core::addr::{PhysAddr, VirtAddr};
+/// use xmem_core::attrs::{AtomAttributes, Reuse};
+/// use xmem_core::call_site;
+///
+/// let mut lib = XMemLib::new();
+/// let tile = lib.create_atom(
+///     call_site!(),
+///     "tile",
+///     AtomAttributes::builder().reuse(Reuse(128)).build(),
+/// )?;
+///
+/// let mut amu = AtomManagementUnit::new(AmuConfig {
+///     aam: AamConfig { phys_bytes: 1 << 20, ..Default::default() },
+///     ..Default::default()
+/// });
+/// let mmu = IdentityMmu::new();
+/// lib.atom_map(&mut amu, &mmu, tile, VirtAddr::new(0x4000), 0x1000)?;
+/// lib.atom_activate(&mut amu, &mmu, tile)?;
+/// assert_eq!(amu.active_atom_at(PhysAddr::new(0x4800)), Some(tile));
+/// # Ok::<(), xmem_core::error::XMemError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct XMemLib {
+    atoms: Vec<StaticAtom>,
+    sites: HashMap<CallSite, AtomId>,
+    counter: InstCounter,
+}
+
+/// Highest usable atom ID: the all-ones encoding is reserved by the
+/// [AAM](crate::aam::AtomAddressMap) to mean "no atom".
+const MAX_USABLE_ATOMS: usize = AtomId::MAX_ATOMS - 1;
+
+impl XMemLib {
+    /// Creates an empty library state for one program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `CreateAtom` (Table 2): creates an atom with immutable attributes and
+    /// returns its ID. Repeated calls from the same [`CallSite`] return the
+    /// original ID without creating a new atom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XMemError::TooManyAtoms`] once 255 distinct atoms exist
+    /// (ID 255 is reserved).
+    pub fn create_atom(
+        &mut self,
+        site: CallSite,
+        label: impl Into<String>,
+        attrs: AtomAttributes,
+    ) -> Result<AtomId> {
+        if let Some(&id) = self.sites.get(&site) {
+            return Ok(id);
+        }
+        if self.atoms.len() >= MAX_USABLE_ATOMS {
+            return Err(XMemError::TooManyAtoms {
+                limit: MAX_USABLE_ATOMS,
+            });
+        }
+        let id = AtomId::new(self.atoms.len() as u8);
+        self.atoms.push(StaticAtom::new(id, label, attrs));
+        self.sites.insert(site, id);
+        Ok(id)
+    }
+
+    /// The compile-time summary of all created atoms (the binary's atom
+    /// segment, §3.5.2).
+    pub fn segment(&self) -> AtomSegment {
+        let mut seg = AtomSegment::new();
+        for atom in &self.atoms {
+            seg.push(atom.clone());
+        }
+        seg
+    }
+
+    /// The static record of `id`, if created.
+    pub fn atom(&self, id: AtomId) -> Option<&StaticAtom> {
+        self.atoms.get(id.index())
+    }
+
+    /// Number of created atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The XMem instruction counter (for §4.4(2) accounting).
+    pub fn counter(&self) -> &InstCounter {
+        &self.counter
+    }
+
+    /// Mutable access to the instruction counter, letting the CPU model add
+    /// ordinary program instructions to the same tally.
+    pub fn counter_mut(&mut self) -> &mut InstCounter {
+        &mut self.counter
+    }
+
+    fn check_atom(&self, id: AtomId) -> Result<()> {
+        if id.index() < self.atoms.len() {
+            Ok(())
+        } else {
+            Err(XMemError::UnknownAtom(id))
+        }
+    }
+
+    fn exec(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        inst: XmemInst,
+    ) -> Result<()> {
+        self.counter.count_xmem(1);
+        amu.execute(&inst, mmu)
+    }
+
+    /// `AtomMap` (Table 2): maps `[start, start+len)` to `id`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown atoms or untranslatable addresses.
+    pub fn atom_map(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        id: AtomId,
+        start: VirtAddr,
+        len: u64,
+    ) -> Result<()> {
+        self.check_atom(id)?;
+        self.exec(
+            amu,
+            mmu,
+            XmemInst::Map {
+                atom: id,
+                range: VaRange::new(start, len),
+            },
+        )
+    }
+
+    /// `AtomUnmap` (Table 2): removes any atom mapping from the range.
+    ///
+    /// # Errors
+    ///
+    /// Fails for untranslatable addresses.
+    pub fn atom_unmap(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        start: VirtAddr,
+        len: u64,
+    ) -> Result<()> {
+        self.exec(
+            amu,
+            mmu,
+            XmemInst::Unmap {
+                range: VaRange::new(start, len),
+            },
+        )
+    }
+
+    /// `AtomMap2D` (Table 2): maps a `size_x` × `size_y` block inside a
+    /// structure with `len_x`-byte rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown atoms or untranslatable addresses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atom_map_2d(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        id: AtomId,
+        base: VirtAddr,
+        size_x: u64,
+        size_y: u64,
+        len_x: u64,
+    ) -> Result<()> {
+        self.check_atom(id)?;
+        self.exec(
+            amu,
+            mmu,
+            XmemInst::Map2d {
+                atom: id,
+                base,
+                size_x,
+                size_y,
+                len_x,
+            },
+        )
+    }
+
+    /// `AtomUnmap2D`: unmaps a 2D block (same geometry as
+    /// [`Self::atom_map_2d`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails for untranslatable addresses.
+    pub fn atom_unmap_2d(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        base: VirtAddr,
+        size_x: u64,
+        size_y: u64,
+        len_x: u64,
+    ) -> Result<()> {
+        self.exec(
+            amu,
+            mmu,
+            XmemInst::Unmap2d {
+                base,
+                size_x,
+                size_y,
+                len_x,
+            },
+        )
+    }
+
+    /// `AtomMap3D` (Table 2): maps a 3D block (`size_x` bytes × `size_y`
+    /// rows × `size_z` planes) inside a structure with `len_x`-byte rows and
+    /// `len_y`-row planes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown atoms or untranslatable addresses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atom_map_3d(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        id: AtomId,
+        base: VirtAddr,
+        size_x: u64,
+        size_y: u64,
+        size_z: u64,
+        len_x: u64,
+        len_y: u64,
+    ) -> Result<()> {
+        self.check_atom(id)?;
+        self.exec(
+            amu,
+            mmu,
+            XmemInst::Map3d {
+                atom: id,
+                base,
+                size_x,
+                size_y,
+                size_z,
+                len_x,
+                len_y,
+            },
+        )
+    }
+
+    /// `AtomActivate` (Table 2): the atom's attributes become valid for all
+    /// mapped data.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown atoms.
+    pub fn atom_activate(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        id: AtomId,
+    ) -> Result<()> {
+        self.check_atom(id)?;
+        self.exec(amu, mmu, XmemInst::Activate(id))
+    }
+
+    /// `AtomDeactivate` (Table 2): the atom's attributes become invalid.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown atoms.
+    pub fn atom_deactivate(
+        &mut self,
+        amu: &mut AtomManagementUnit,
+        mmu: &dyn Mmu,
+        id: AtomId,
+    ) -> Result<()> {
+        self.check_atom(id)?;
+        self.exec(amu, mmu, XmemInst::Deactivate(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aam::AamConfig;
+    use crate::amu::{AmuConfig, IdentityMmu};
+    use crate::attrs::Reuse;
+
+    fn amu() -> AtomManagementUnit {
+        AtomManagementUnit::new(AmuConfig {
+            aam: AamConfig {
+                phys_bytes: 1 << 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn create_dedups_by_site() {
+        let mut lib = XMemLib::new();
+        let site = CallSite {
+            file: "a.rs",
+            line: 10,
+        };
+        let a = lib
+            .create_atom(site, "x", AtomAttributes::default())
+            .unwrap();
+        let b = lib
+            .create_atom(site, "x", AtomAttributes::default())
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(lib.atom_count(), 1);
+
+        let other = CallSite {
+            file: "a.rs",
+            line: 11,
+        };
+        let c = lib
+            .create_atom(other, "y", AtomAttributes::default())
+            .unwrap();
+        assert_ne!(a, c);
+        assert_eq!(lib.atom_count(), 2);
+    }
+
+    #[test]
+    fn ids_are_consecutive_from_zero() {
+        let mut lib = XMemLib::new();
+        for i in 0..5u32 {
+            let id = lib
+                .create_atom(
+                    CallSite {
+                        file: "f",
+                        line: i,
+                    },
+                    "a",
+                    AtomAttributes::default(),
+                )
+                .unwrap();
+            assert_eq!(id.raw() as u32, i);
+        }
+    }
+
+    #[test]
+    fn atom_limit_enforced() {
+        let mut lib = XMemLib::new();
+        for i in 0..255u32 {
+            lib.create_atom(
+                CallSite {
+                    file: "f",
+                    line: i,
+                },
+                "a",
+                AtomAttributes::default(),
+            )
+            .unwrap();
+        }
+        let err = lib
+            .create_atom(
+                CallSite {
+                    file: "f",
+                    line: 999,
+                },
+                "a",
+                AtomAttributes::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, XMemError::TooManyAtoms { limit: 255 }));
+    }
+
+    #[test]
+    fn operations_count_instructions() {
+        let mut lib = XMemLib::new();
+        let mut amu = amu();
+        let mmu = IdentityMmu::new();
+        let id = lib
+            .create_atom(call_site!(), "t", AtomAttributes::default())
+            .unwrap();
+        lib.atom_map(&mut amu, &mmu, id, VirtAddr::new(0), 4096)
+            .unwrap();
+        lib.atom_activate(&mut amu, &mmu, id).unwrap();
+        lib.atom_deactivate(&mut amu, &mmu, id).unwrap();
+        lib.atom_unmap(&mut amu, &mmu, VirtAddr::new(0), 4096)
+            .unwrap();
+        // CREATE is compile-time: not counted. The 4 runtime ops are.
+        assert_eq!(lib.counter().xmem_instructions(), 4);
+    }
+
+    #[test]
+    fn unknown_atom_rejected() {
+        let mut lib = XMemLib::new();
+        let mut amu = amu();
+        let mmu = IdentityMmu::new();
+        let err = lib
+            .atom_activate(&mut amu, &mmu, AtomId::new(0))
+            .unwrap_err();
+        assert!(matches!(err, XMemError::UnknownAtom(_)));
+    }
+
+    #[test]
+    fn map_3d_through_the_library() {
+        let mut lib = XMemLib::new();
+        let mut amu = amu();
+        let mmu = IdentityMmu::new();
+        let id = lib
+            .create_atom(call_site!(), "cube", AtomAttributes::default())
+            .unwrap();
+        // A 512-byte-wide, 2-row, 2-plane block: rows pitch 4 KB, planes
+        // pitch 8 rows.
+        lib.atom_map_3d(
+            &mut amu,
+            &mmu,
+            id,
+            VirtAddr::new(0x8000),
+            512,
+            2,
+            2,
+            4096,
+            8,
+        )
+        .unwrap();
+        lib.atom_activate(&mut amu, &mmu, id).unwrap();
+        use crate::addr::PhysAddr;
+        // Plane 0 row 0 and plane 1 row 1 both resolve.
+        assert_eq!(amu.active_atom_at(PhysAddr::new(0x8000)), Some(id));
+        let plane1_row1 = 0x8000 + 4096 * 8 + 4096;
+        assert_eq!(amu.active_atom_at(PhysAddr::new(plane1_row1)), Some(id));
+        // Outside the block width: unmapped.
+        assert_eq!(amu.active_atom_at(PhysAddr::new(0x8000 + 2048)), None);
+        assert_eq!(lib.counter().xmem_instructions(), 2);
+    }
+
+    #[test]
+    fn segment_matches_created_atoms() {
+        let mut lib = XMemLib::new();
+        lib.create_atom(
+            call_site!(),
+            "alpha",
+            AtomAttributes::builder().reuse(Reuse(1)).build(),
+        )
+        .unwrap();
+        lib.create_atom(call_site!(), "beta", AtomAttributes::default())
+            .unwrap();
+        let seg = lib.segment();
+        assert_eq!(seg.atoms().len(), 2);
+        assert_eq!(seg.atoms()[0].label(), "alpha");
+        assert_eq!(seg.atoms()[1].label(), "beta");
+    }
+}

@@ -1,0 +1,90 @@
+//! The compile → load → translate pipeline (§3.5.2 of the paper).
+//!
+//! A "program" creates its atoms; the compiler summarizes them into the
+//! binary's *atom segment*; at load time the OS reads the segment into the
+//! Global Attribute Table and invokes the hardware attribute translator to
+//! fill each component's Private Attribute Table. The example also shows
+//! the versioning story: a segment from a *newer* architecture generation
+//! is safely ignored (hints only).
+//!
+//! ```text
+//! cargo run --example atom_segment
+//! ```
+
+use xmem::core::prelude::*;
+use xmem::core::segment::SEGMENT_VERSION;
+use xmem::os::loader::load_process;
+use xmem::core::process::ProcessId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── "compile time": the program's atoms ─────────────────────────────
+    let mut lib = XMemLib::new();
+    lib.create_atom(
+        xmem::core::call_site!(),
+        "vertices",
+        AtomAttributes::builder()
+            .data_type(DataType::Float32)
+            .access_pattern(AccessPattern::sequential(4))
+            .intensity(AccessIntensity(180))
+            .reuse(Reuse(64))
+            .build(),
+    )?;
+    lib.create_atom(
+        xmem::core::call_site!(),
+        "edges",
+        AtomAttributes::builder()
+            .data_type(DataType::Int32)
+            .props(DataProps::INDEX | DataProps::SPARSE)
+            .access_pattern(AccessPattern::Irregular)
+            .rw(RwChar::ReadOnly)
+            .intensity(AccessIntensity(255))
+            .build(),
+    )?;
+
+    let segment = lib.segment();
+    let binary_blob = segment.to_bytes();
+    println!(
+        "compiler summarized {} atoms into a {}-byte atom segment (version {})",
+        segment.atoms().len(),
+        binary_blob.len(),
+        SEGMENT_VERSION
+    );
+
+    // ── load time: OS reads the segment, translator fills the PATs ──────
+    let loaded = load_process(ProcessId(1), &binary_blob, &AttributeTranslator::new())?;
+    println!("\nGAT loaded with {} atoms:", loaded.process.gat.len());
+    for atom in loaded.process.gat.iter() {
+        println!(
+            "  {}: pattern {}, rw {}, intensity {}",
+            atom,
+            atom.attrs().access_pattern(),
+            atom.attrs().rw(),
+            atom.attrs().intensity()
+        );
+    }
+    println!("\nper-component primitives after translation:");
+    for atom in loaded.process.gat.iter() {
+        println!(
+            "  {}: cache {:?} | prefetcher {:?}",
+            atom.id(),
+            loaded.cache_pat.get(atom.id()).expect("translated"),
+            loaded.pf_pat.get(atom.id()).expect("translated"),
+        );
+    }
+    for (id, placement) in &loaded.placement {
+        println!("  {id}: placement {placement:?}");
+    }
+
+    // ── forward compatibility ────────────────────────────────────────────
+    // A binary built for a future XMem generation: this system ignores it.
+    let mut future = binary_blob.clone();
+    future[8..12].copy_from_slice(&(SEGMENT_VERSION + 7).to_le_bytes());
+    match load_process(ProcessId(2), &future, &AttributeTranslator::new()) {
+        Err(XMemError::UnsupportedSegmentVersion { found, supported }) => println!(
+            "\nfuture segment (v{found}) ignored by this v{supported} system — \
+             the program still runs, just without hints"
+        ),
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+    Ok(())
+}

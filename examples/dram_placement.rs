@@ -1,0 +1,55 @@
+//! Use case 2 in miniature: XMem-guided OS page placement in DRAM (§6 of
+//! the paper) — a software-only use of XMem.
+//!
+//! A workload mixing a hot sequential stream with strided and random
+//! structures runs under three systems: the strengthened baseline (best
+//! static mapping + randomized VA→PA), XMem placement (isolate the
+//! high-row-buffer-locality structures in their own banks, spread the
+//! rest), and an ideal perfect-row-locality DRAM.
+//!
+//! ```text
+//! cargo run --release --example dram_placement
+//! ```
+
+use xmem::sim::{run_placement, Uc2System};
+use xmem::workloads::placement::PlacementWorkload;
+
+fn main() {
+    let mut workload = PlacementWorkload::by_name("milc").expect("milc exists");
+    workload.accesses = 120_000;
+    println!(
+        "workload '{}': {} data structures, {:.1} MB footprint\n",
+        workload.name,
+        workload.structs.len(),
+        workload.footprint_bytes() as f64 / (1 << 20) as f64
+    );
+    for s in &workload.structs {
+        println!(
+            "  {:<10} {:>5} KiB  {:?} (weight {})",
+            s.name, s.kib, s.kind, s.weight
+        );
+    }
+    println!();
+
+    let baseline = run_placement(&workload, Uc2System::Baseline);
+    println!(
+        "{:<10} {:>12} {:>9} {:>10} {:>12}",
+        "system", "cycles", "speedup", "row-hit%", "read lat"
+    );
+    for sys in [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl] {
+        let r = run_placement(&workload, sys);
+        println!(
+            "{:<10} {:>12} {:>9.3} {:>9.1}% {:>11.0}c",
+            sys.name(),
+            r.cycles(),
+            r.speedup_over(&baseline),
+            r.dram.row_hit_rate() * 100.0,
+            r.dram.avg_demand_read_latency(),
+        );
+    }
+    println!(
+        "\nThe OS used the atoms' access-pattern and intensity attributes to\n\
+         isolate the streaming structure in reserved banks and spread the\n\
+         irregular ones — no hardware changes, no profiling, no migration."
+    );
+}

@@ -1,0 +1,45 @@
+//! Performance portability (the Fig 5 scenario): a binary tuned for one
+//! cache size runs with less cache than it expected — because of co-running
+//! applications or an opaque virtualized environment.
+//!
+//! The baseline system degrades badly; XMem, knowing the tile's reuse and
+//! extent, keeps what fits pinned and prefetches the remainder.
+//!
+//! ```text
+//! cargo run --release --example portability
+//! ```
+
+use xmem::sim::{run_kernel, SystemKind};
+use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
+
+fn main() {
+    // Tuned for a 64 KB L3: a 32 KB tile is the sweet spot there.
+    let tuned = KernelParams {
+        n: 96,
+        tile_bytes: 32 << 10,
+        steps: 8,
+        reuse: 200,
+    };
+    let kernel = PolybenchKernel::Syrk;
+    let reference = run_kernel(kernel, &tuned, 64 << 10, SystemKind::Baseline);
+
+    println!("syrk tuned for 64KB L3; running with less cache:\n");
+    println!(
+        "{:>8} {:>16} {:>12}",
+        "L3", "Baseline slowdn", "XMem slowdn"
+    );
+    for l3 in [64u64 << 10, 32 << 10, 16 << 10] {
+        let base = run_kernel(kernel, &tuned, l3, SystemKind::Baseline);
+        let xmem = run_kernel(kernel, &tuned, l3, SystemKind::Xmem);
+        println!(
+            "{:>6}KB {:>15.2}x {:>11.2}x",
+            l3 >> 10,
+            base.normalized_time(&reference),
+            xmem.normalized_time(&reference),
+        );
+    }
+    println!(
+        "\nThe XMem binary is the same code — the hints are architecture-\n\
+         agnostic, so the *system* adapts instead of the programmer retuning."
+    );
+}

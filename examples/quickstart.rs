@@ -1,0 +1,85 @@
+//! Quickstart: expressing program semantics with XMem.
+//!
+//! This walks the full life of an atom (Figure 2 of the paper): CREATE with
+//! static attributes, MAP to a data range, ACTIVATE, query from "hardware",
+//! REMAP as the program moves to its next phase, and DEACTIVATE.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xmem::core::prelude::*;
+
+fn main() -> Result<(), XMemError> {
+    // ── CREATE ────────────────────────────────────────────────────────────
+    // The application declares what its data *means*: a hash-join build
+    // table partition — hot, sequentially swept, heavily reused.
+    let mut lib = XMemLib::new();
+    let partition = lib.create_atom(
+        xmem::core::call_site!(),
+        "hash_build_partition",
+        AtomAttributes::builder()
+            .data_type(DataType::Int64)
+            .access_pattern(AccessPattern::sequential(8))
+            .rw(RwChar::ReadWrite)
+            .intensity(AccessIntensity(220))
+            .reuse(Reuse(200))
+            .build(),
+    )?;
+    println!("created {partition} (attributes are immutable from here on)");
+
+    // ── the machine ──────────────────────────────────────────────────────
+    // One AMU manages the AAM/AST/ALB for the whole system. The MMU here is
+    // an identity mapping; in the full simulator it is the OS page table.
+    let mut amu = AtomManagementUnit::new(AmuConfig {
+        aam: AamConfig {
+            phys_bytes: 16 << 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mmu = IdentityMmu::new();
+
+    // ── MAP + ACTIVATE ───────────────────────────────────────────────────
+    let first = VirtAddr::new(0x10_0000);
+    lib.atom_map(&mut amu, &mmu, partition, first, 256 << 10)?;
+    lib.atom_activate(&mut amu, &mmu, partition)?;
+
+    // ── hardware queries (ATOM_LOOKUP) ───────────────────────────────────
+    // Any component — cache, prefetcher, memory controller — can now ask
+    // what an address means and receive actionable primitives.
+    let pa = PhysAddr::new(0x10_8000);
+    assert_eq!(amu.active_atom_at(pa), Some(partition));
+    let attrs = lib.atom(partition).expect("created above").attrs().clone();
+    let translator = AttributeTranslator::new();
+    println!(
+        "lookup {pa} -> {partition}: cache sees {:?}, prefetcher sees {:?}",
+        translator.for_cache(&attrs),
+        translator.for_prefetcher(&attrs),
+    );
+    println!(
+        "working set the system infers for {partition}: {} KB",
+        amu.mapped_bytes(partition) >> 10
+    );
+
+    // ── phase change: REMAP ──────────────────────────────────────────────
+    // The program moves to the next partition: unmap the old range, map the
+    // new one to the *same* atom (attributes stay valid, §3.2).
+    lib.atom_unmap(&mut amu, &mmu, first, 256 << 10)?;
+    let second = VirtAddr::new(0x20_0000);
+    lib.atom_map(&mut amu, &mmu, partition, second, 256 << 10)?;
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x10_8000)), None);
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x20_4000)), Some(partition));
+    println!("remapped {partition} to the next partition at {second}");
+
+    // ── DEACTIVATE ───────────────────────────────────────────────────────
+    lib.atom_deactivate(&mut amu, &mmu, partition)?;
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x20_4000)), None);
+    println!(
+        "deactivated; the system saw {} XMem instructions total ({} lookups, {:.1}% ALB hits)",
+        lib.counter().xmem_instructions(),
+        amu.alb_stats().lookups(),
+        amu.alb_stats().hit_rate() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: the atom lifecycle through a *real* page table
+//! (non-identity translation), the loader, and context switches.
+
+use xmem::core::prelude::*;
+use xmem::core::process::{ContextSwitchCost, ProcessId, XMemProcess};
+use xmem::os::loader::load_segment;
+use xmem::os::os::Os;
+use xmem::os::placement::FramePolicy;
+
+fn small_amu(phys: u64) -> AtomManagementUnit {
+    AtomManagementUnit::new(xmem::core::amu::AmuConfig {
+        aam: AamConfig {
+            phys_bytes: phys,
+            ..Default::default()
+        },
+        alb_entries: 16,
+        page_size: 4096,
+    })
+}
+
+/// Atoms mapped through a randomized page table resolve correctly at
+/// *physical* addresses even though frames are scattered.
+#[test]
+fn atom_mapping_through_scattered_frames() {
+    let mut os = Os::new(1 << 20, 4096, FramePolicy::Randomized { seed: 99 });
+    let mut amu = small_amu(1 << 20);
+    let mut lib = XMemLib::new();
+
+    let atom = lib
+        .create_atom(
+            xmem::core::call_site!(),
+            "table",
+            AtomAttributes::builder().reuse(Reuse(77)).build(),
+        )
+        .expect("create");
+    let va = os.malloc(24 << 10, Some(atom)).expect("malloc");
+    lib.atom_map(&mut amu, os.page_table(), atom, va, 24 << 10)
+        .expect("map");
+    lib.atom_activate(&mut amu, os.page_table(), atom)
+        .expect("activate");
+
+    // Every byte of the VA range must resolve to the atom via its PA,
+    // regardless of which frame backs it.
+    for off in (0..(24 << 10)).step_by(4096) {
+        let pa = os
+            .page_table()
+            .translate(va + off)
+            .expect("allocated page");
+        assert_eq!(amu.active_atom_at(pa), Some(atom), "offset {off:#x}");
+    }
+    // The working set the AMU infers matches the mapping.
+    assert_eq!(amu.mapped_bytes(atom), 24 << 10);
+
+    // An address outside the atom resolves to nothing.
+    let other = os.malloc(4096, None).expect("malloc");
+    let pa = os.page_table().translate(other).expect("mapped");
+    assert_eq!(amu.active_atom_at(pa), None);
+}
+
+/// The compile→load→translate flow preserves attribute semantics
+/// end to end.
+#[test]
+fn loader_roundtrips_attributes() {
+    let mut lib = XMemLib::new();
+    lib.create_atom(
+        xmem::core::call_site!(),
+        "hot_stream",
+        AtomAttributes::builder()
+            .data_type(DataType::Float64)
+            .access_pattern(AccessPattern::sequential(8))
+            .intensity(AccessIntensity(200))
+            .reuse(Reuse(150))
+            .build(),
+    )
+    .expect("create");
+
+    let loaded = load_segment(
+        ProcessId(1),
+        &lib.segment(),
+        &AttributeTranslator::new(),
+    )
+    .expect("load");
+    let id = AtomId::new(0);
+    let cache = loaded.cache_pat.get(id).expect("cache primitive");
+    assert!(cache.pin_candidate);
+    assert_eq!(cache.reuse, 150);
+    let pf = loaded.pf_pat.get(id).expect("prefetch primitive");
+    assert_eq!(pf.stride, Some(8));
+    let placement = &loaded.placement[0].1;
+    assert!(placement.high_rbl);
+    assert_eq!(placement.intensity, 200);
+}
+
+/// Context switches: per-process AST images swap through the AMU, ALB and
+/// PAT flushes keep lookups coherent (§4.3, §4.4(4)).
+#[test]
+fn context_switch_swaps_process_state() {
+    let mmu = IdentityMmu::new();
+    let mut amu = small_amu(1 << 20);
+    let mut lib_a = XMemLib::new();
+    let atom_a = lib_a
+        .create_atom(
+            xmem::core::call_site!(),
+            "a",
+            AtomAttributes::default(),
+        )
+        .expect("create");
+    lib_a
+        .atom_map(&mut amu, &mmu, atom_a, VirtAddr::new(0x10000), 4096)
+        .expect("map");
+    lib_a.atom_activate(&mut amu, &mmu, atom_a).expect("act");
+    assert_eq!(
+        amu.active_atom_at(PhysAddr::new(0x10800)),
+        Some(atom_a)
+    );
+
+    // "Context switch": save process A's AST image, clear hardware state
+    // (ALB flush + AAM scrub for the outgoing process), restore B's.
+    let mut proc_a = XMemProcess::load(ProcessId(1), &lib_a.segment()).expect("load");
+    proc_a.ast = amu.ast().clone();
+    amu.clear();
+    amu.flush_alb();
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x10800)), None);
+
+    // Process B maps its own atom 0 at a different place.
+    let mut lib_b = XMemLib::new();
+    let atom_b = lib_b
+        .create_atom(
+            xmem::core::call_site!(),
+            "b",
+            AtomAttributes::default(),
+        )
+        .expect("create");
+    lib_b
+        .atom_map(&mut amu, &mmu, atom_b, VirtAddr::new(0x40000), 4096)
+        .expect("map");
+    lib_b.atom_activate(&mut amu, &mmu, atom_b).expect("act");
+    assert_eq!(
+        amu.active_atom_at(PhysAddr::new(0x40000)),
+        Some(atom_b)
+    );
+    // A's old range is gone.
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x10800)), None);
+
+    // A's saved AST still records its activation for restore.
+    assert!(proc_a.ast.is_active(atom_a));
+    // And the cost model stays within the paper's envelope.
+    let cost = ContextSwitchCost::default();
+    assert!(cost.total_ns() < 1000.0);
+}
+
+/// The many-to-one invariant survives arbitrary overlapping remaps.
+#[test]
+fn overlapping_remaps_keep_single_owner() {
+    let mmu = IdentityMmu::new();
+    let mut amu = small_amu(1 << 20);
+    let mut lib = XMemLib::new();
+    let a = lib
+        .create_atom(xmem::core::call_site!(), "a", AtomAttributes::default())
+        .expect("create");
+    let b = lib
+        .create_atom(xmem::core::call_site!(), "b", AtomAttributes::default())
+        .expect("create");
+    lib.atom_activate(&mut amu, &mmu, a).expect("act");
+    lib.atom_activate(&mut amu, &mmu, b).expect("act");
+
+    // a covers [0, 64K); b then takes the middle [16K, 48K).
+    lib.atom_map(&mut amu, &mmu, a, VirtAddr::new(0), 64 << 10)
+        .expect("map");
+    lib.atom_map(&mut amu, &mmu, b, VirtAddr::new(16 << 10), 32 << 10)
+        .expect("map");
+
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0)), Some(a));
+    assert_eq!(amu.active_atom_at(PhysAddr::new(20 << 10)), Some(b));
+    assert_eq!(amu.active_atom_at(PhysAddr::new(50 << 10)), Some(a));
+    // Working sets reflect the split ownership.
+    assert_eq!(amu.mapped_bytes(b), 32 << 10);
+    assert_eq!(amu.mapped_bytes(a), 32 << 10);
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the multi-core machine: contention, fairness, and
+//! XMem's cross-core coordination.
+
+use xmem::sim::{run_corun, MultiCoreConfig, SystemKind};
+use xmem::workloads::hog::{random_hog, stream_hog};
+use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
+use xmem::workloads::sink::{LogSink, TraceEvent, TraceSink};
+
+fn record(f: impl Fn(&mut dyn TraceSink)) -> Vec<TraceEvent> {
+    let mut log = LogSink::new();
+    f(&mut log);
+    log.into_events()
+}
+
+fn kernel_log(kernel: PolybenchKernel, n: usize, tile: u64) -> Vec<TraceEvent> {
+    record(|s| {
+        kernel.generate(
+            &KernelParams {
+                n,
+                tile_bytes: tile,
+                steps: 2,
+                reuse: 200,
+            },
+            s,
+        )
+    })
+}
+
+/// Each core completes exactly its own program regardless of scheduling
+/// interleave (work conservation).
+#[test]
+fn per_core_work_is_preserved() {
+    let logs = vec![
+        kernel_log(PolybenchKernel::Gemm, 24, 2 << 10),
+        record(|s| stream_hog(s, 64 << 10, 5_000, 4)),
+        record(|s| random_hog(s, 64 << 10, 3_000, 4)),
+    ];
+    let cfg = MultiCoreConfig::scaled_corun(3, 32 << 10, SystemKind::Baseline);
+    let report = run_corun(&cfg, &logs);
+
+    // Instruction counts match what each log contains.
+    for (i, log) in logs.iter().enumerate() {
+        let expected: u64 = log
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Op(op) => op.instructions(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(
+            report.cores[i].instructions, expected,
+            "core {i} executed the wrong instruction count"
+        );
+    }
+}
+
+/// Symmetric workloads on symmetric cores finish in (nearly) symmetric time.
+#[test]
+fn symmetric_corun_is_fair() {
+    let log = record(|s| stream_hog(s, 128 << 10, 20_000, 8));
+    let cfg = MultiCoreConfig::scaled_corun(2, 32 << 10, SystemKind::Baseline);
+    let report = run_corun(&cfg, &[log.clone(), log]);
+    let (a, b) = (report.cycles(0) as f64, report.cycles(1) as f64);
+    let ratio = a.max(b) / a.min(b);
+    assert!(ratio < 1.1, "unfair split: {a} vs {b}");
+}
+
+/// More co-runners → more shared-resource pressure → monotonically more
+/// cycles for the victim.
+#[test]
+fn contention_is_monotone_in_corunners() {
+    let kernel = kernel_log(PolybenchKernel::Syrk, 32, 8 << 10);
+    let hog = record(|s| stream_hog(s, 128 << 10, 15_000, 8));
+    let mut last = 0u64;
+    for hogs in 0..=2usize {
+        let mut logs = vec![kernel.clone()];
+        for _ in 0..hogs {
+            logs.push(hog.clone());
+        }
+        let cfg = MultiCoreConfig::scaled_corun(1 + hogs, 32 << 10, SystemKind::Baseline);
+        let report = run_corun(&cfg, &logs);
+        assert!(
+            report.cycles(0) >= last,
+            "{hogs} hogs: {} < previous {last}",
+            report.cycles(0)
+        );
+        last = report.cycles(0);
+    }
+}
+
+/// The full-size Table 3 multi-core configuration runs.
+#[test]
+fn full_size_multicore_runs() {
+    let logs = vec![
+        kernel_log(PolybenchKernel::Mvt, 32, 4 << 10),
+        record(|s| stream_hog(s, 256 << 10, 5_000, 8)),
+    ];
+    let cfg = MultiCoreConfig::westmere_like(2);
+    let report = run_corun(&cfg, &logs);
+    assert!(report.cycles(0) > 0 && report.cycles(1) > 0);
+    assert!(report.l3.accesses > 0);
+}

@@ -1,0 +1,152 @@
+//! Integration of the OS placement policy with the DRAM model: the §6.2
+//! algorithm's end-to-end effect on bank assignment and row locality.
+
+use xmem::dram::{AddressMapping, Dram, DramConfig};
+use xmem::os::os::Os;
+use xmem::os::placement::FramePolicy;
+use xmem::core::amu::Mmu;
+use xmem::core::atom::AtomId;
+use xmem::core::attrs::{AccessIntensity, AccessPattern, AtomAttributes};
+use xmem::core::translate::AttributeTranslator;
+
+fn dram_cfg() -> DramConfig {
+    DramConfig::ddr3_1066(3.6).with_capacity(32 << 20)
+}
+
+fn prim(pattern: AccessPattern, intensity: u8) -> xmem::core::translate::PlacementPrimitive {
+    AttributeTranslator::new().for_placement(
+        &AtomAttributes::builder()
+            .access_pattern(pattern)
+            .intensity(AccessIntensity(intensity))
+            .build(),
+    )
+}
+
+/// A hot stream allocated through the XMem policy ends up with all its
+/// pages in its reserved banks, and a full VA walk of the structure is
+/// almost entirely row hits.
+#[test]
+fn isolated_stream_gets_row_locality() {
+    let stream = AtomId::new(0);
+    let noise = AtomId::new(1);
+    let mapping = AddressMapping::scheme5();
+    let cfg = dram_cfg();
+    let mut os = Os::new(
+        32 << 20,
+        4096,
+        FramePolicy::Xmem {
+            atoms: vec![
+                (stream, prim(AccessPattern::sequential(8), 250)),
+                (noise, prim(AccessPattern::NonDet, 200)),
+            ],
+            mapping,
+            dram: cfg,
+        },
+    );
+    let stream_va = os.malloc(2 << 20, Some(stream)).expect("malloc");
+    let _noise_va = os.malloc(2 << 20, Some(noise)).expect("malloc");
+
+    let reserved = os.frames().reserved_banks(stream);
+    assert!(!reserved.is_empty());
+
+    // Walk the stream's VA space line by line through the DRAM model.
+    let mut dram = Dram::new(cfg, mapping);
+    let mut t = 0;
+    for off in (0..(2u64 << 20)).step_by(64) {
+        let pa = os.page_table().translate(stream_va + off).expect("mapped");
+        let loc = mapping.decode(pa.raw(), &cfg);
+        assert!(
+            reserved.contains(&loc.global_bank(&cfg)),
+            "stream page escaped its banks at offset {off:#x}"
+        );
+        t += dram.access(pa.raw(), false, t);
+    }
+    assert!(
+        dram.stats().row_hit_rate() > 0.9,
+        "row hit rate {:.3}",
+        dram.stats().row_hit_rate()
+    );
+}
+
+/// Interference test: a random structure hammering DRAM concurrently does
+/// not close the isolated stream's rows (the point of §6.2), while under a
+/// shared randomized layout it does.
+#[test]
+fn isolation_shields_stream_from_interference() {
+    let cfg = dram_cfg();
+    let mapping = AddressMapping::scheme5();
+
+    // Helper: interleave a line-walk of `stream_pages` with random accesses
+    // into `noise_pages`, return the stream's share of row hits.
+    let run = |stream_frames: &[u64], noise_frames: &[u64]| -> f64 {
+        let mut dram = Dram::new(cfg, mapping);
+        let mut t = 0;
+        let mut hits_before = 0;
+        let mut stream_accesses = 0u64;
+        let mut stream_hits = 0u64;
+        let mut rng = 0x12345u64;
+        for i in 0..20_000u64 {
+            if i % 2 == 0 {
+                // stream walks sequentially
+                let line = (i / 2) % (stream_frames.len() as u64 * 64);
+                let frame = stream_frames[(line / 64) as usize];
+                let pa = frame * 4096 + (line % 64) * 64;
+                let before = dram.stats().row_hits;
+                t += dram.access(pa, false, t);
+                stream_hits += dram.stats().row_hits - before;
+                stream_accesses += 1;
+                hits_before = dram.stats().row_hits;
+            } else {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let frame = noise_frames[(rng >> 33) as usize % noise_frames.len()];
+                let pa = frame * 4096 + ((rng >> 20) % 64) * 64;
+                t += dram.access(pa, false, t);
+                let _ = hits_before;
+            }
+        }
+        stream_hits as f64 / stream_accesses as f64
+    };
+
+    // Isolated: stream in banks 0's frames, noise in other banks.
+    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); cfg.total_banks()];
+    for f in 0..(32u64 << 20) / 4096 {
+        let bank = mapping.decode(f * 4096, &cfg).global_bank(&cfg);
+        per_bank[bank].push(f);
+    }
+    let isolated_rate = run(&per_bank[0][..64], &per_bank[4].clone()[..256]);
+
+    // Shared: noise frames drawn from the SAME bank as the stream.
+    let shared_rate = run(&per_bank[0][..64], &per_bank[0][64..320].to_vec());
+
+    assert!(
+        isolated_rate > shared_rate + 0.2,
+        "isolated {isolated_rate:.3} vs shared {shared_rate:.3}"
+    );
+    assert!(isolated_rate > 0.9, "isolated {isolated_rate:.3}");
+}
+
+/// Anonymous (non-atom) allocations never land in reserved banks while
+/// shared banks have frames.
+#[test]
+fn anonymous_data_avoids_reserved_banks() {
+    let hot = AtomId::new(0);
+    let mapping = AddressMapping::scheme5();
+    let cfg = dram_cfg();
+    let mut os = Os::new(
+        32 << 20,
+        4096,
+        FramePolicy::Xmem {
+            atoms: vec![(hot, prim(AccessPattern::sequential(8), 255))],
+            mapping,
+            dram: cfg,
+        },
+    );
+    let reserved = os.frames().reserved_banks(hot);
+    assert!(!reserved.is_empty());
+    let va = os.malloc(4 << 20, None).expect("malloc");
+    for off in (0..(4u64 << 20)).step_by(4096) {
+        let pa = os.page_table().translate(va + off).expect("mapped");
+        let bank = mapping.decode(pa.raw(), &cfg).global_bank(&cfg);
+        assert!(!reserved.contains(&bank), "anon page in reserved bank {bank}");
+    }
+}
