@@ -1,13 +1,13 @@
-//! Criterion bench for the Fig 4 experiment: one full-system simulation per
-//! (system, tile-size) point, at reduced problem size so a criterion sample
+//! Microbench for the Fig 4 experiment: one full-system simulation per
+//! (system, tile-size) point, at reduced problem size so each sample
 //! completes quickly. The printed figure itself comes from the `fig4`
 //! binary; this bench tracks the *simulator's* performance on the same
 //! experiment and guards against regressions in the hot paths (cache
 //! probes, AMU lookups, pinning refresh).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::polybench::{KernelParams, PolybenchKernel};
-use xmem_sim::{run_kernel, SystemKind};
+use xmem_bench::microbench::Timer;
+use xmem_sim::{KernelRun, SystemKind};
 
 fn params(tile: u64) -> KernelParams {
     KernelParams {
@@ -18,25 +18,18 @@ fn params(tile: u64) -> KernelParams {
     }
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_tile_sweep");
-    group.sample_size(10);
+fn main() {
+    let mut t = Timer::new("fig4_tile_sweep");
     for &tile in &[1u64 << 10, 8 << 10, 32 << 10] {
         for kind in [SystemKind::Baseline, SystemKind::Xmem] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("{}KB", tile >> 10)),
-                &tile,
-                |b, &tile| {
-                    b.iter(|| {
-                        run_kernel(PolybenchKernel::Gemm, &params(tile), 8 << 10, kind)
-                            .cycles()
-                    })
-                },
-            );
+            t.case(&format!("{kind}/{}KB", tile >> 10), || {
+                KernelRun::new(PolybenchKernel::Gemm, params(tile))
+                    .l3_bytes(8 << 10)
+                    .system(kind)
+                    .run()
+                    .cycles()
+            });
         }
     }
-    group.finish();
+    t.finish();
 }
-
-criterion_group!(benches, bench_fig4);
-criterion_main!(benches);

@@ -1,33 +1,29 @@
-//! Criterion bench for the Fig 5 experiment: the same tuned binary across
+//! Microbench for the Fig 5 experiment: the same tuned binary across
 //! shrinking cache sizes, Baseline vs. XMem. Tracks full-system simulation
 //! throughput for the portability configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::polybench::{KernelParams, PolybenchKernel};
-use xmem_sim::{run_kernel, SystemKind};
+use xmem_bench::microbench::Timer;
+use xmem_sim::{KernelRun, SystemKind};
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
     let p = KernelParams {
         n: 32,
         tile_bytes: 8 << 10, // tuned for the 16 KB cache below
         steps: 3,
         reuse: 200,
     };
-    let mut group = c.benchmark_group("fig5_portability");
-    group.sample_size(10);
+    let mut t = Timer::new("fig5_portability");
     for &l3 in &[16u64 << 10, 8 << 10, 4 << 10] {
         for kind in [SystemKind::Baseline, SystemKind::Xmem] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("L3={}KB", l3 >> 10)),
-                &l3,
-                |b, &l3| {
-                    b.iter(|| run_kernel(PolybenchKernel::Syrk, &p, l3, kind).cycles())
-                },
-            );
+            t.case(&format!("{kind}/L3={}KB", l3 >> 10), || {
+                KernelRun::new(PolybenchKernel::Syrk, p)
+                    .l3_bytes(l3)
+                    .system(kind)
+                    .run()
+                    .cycles()
+            });
         }
     }
-    group.finish();
+    t.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

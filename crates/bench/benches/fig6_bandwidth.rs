@@ -1,34 +1,29 @@
-//! Criterion bench for the Fig 6 experiment: the three systems at the
-//! largest tile size under a reduced-bandwidth memory system.
+//! Microbench for the Fig 6 experiment: the three systems at the largest
+//! tile size under a reduced-bandwidth memory system.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::polybench::{KernelParams, PolybenchKernel};
-use xmem_sim::{run_kernel_bw, SystemKind};
+use xmem_bench::microbench::Timer;
+use xmem_sim::{KernelRun, SystemKind};
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     let p = KernelParams {
         n: 32,
         tile_bytes: 16 << 10,
         steps: 3,
         reuse: 200,
     };
-    let mut group = c.benchmark_group("fig6_bandwidth");
-    group.sample_size(10);
+    let mut t = Timer::new("fig6_bandwidth");
     for &bw in &[2.0f64, 0.5] {
         for kind in [SystemKind::Baseline, SystemKind::XmemPref, SystemKind::Xmem] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("{bw}GBps")),
-                &bw,
-                |b, &bw| {
-                    b.iter(|| {
-                        run_kernel_bw(PolybenchKernel::Gemm, &p, 8 << 10, kind, bw).cycles()
-                    })
-                },
-            );
+            t.case(&format!("{kind}/{bw}GBps"), || {
+                KernelRun::new(PolybenchKernel::Gemm, p)
+                    .l3_bytes(8 << 10)
+                    .system(kind)
+                    .per_core_gbps(bw)
+                    .run()
+                    .cycles()
+            });
         }
     }
-    group.finish();
+    t.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

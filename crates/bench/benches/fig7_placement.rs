@@ -1,26 +1,18 @@
-//! Criterion bench for the Fig 7/8 experiment: one placement workload under
+//! Microbench for the Fig 7/8 experiment: one placement workload under
 //! each of the three systems (reduced access count).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use workloads::placement::PlacementWorkload;
+use xmem_bench::microbench::Timer;
 use xmem_sim::{run_placement, Uc2System};
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_placement");
-    group.sample_size(10);
+fn main() {
+    let mut t = Timer::new("fig7_placement");
     for name in ["milc", "mcf", "kmeans"] {
         let mut w = PlacementWorkload::by_name(name).expect("workload exists");
         w.accesses = 10_000;
         for sys in [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl] {
-            group.bench_with_input(
-                BenchmarkId::new(sys.name(), name),
-                &w,
-                |b, w| b.iter(|| run_placement(w, sys).cycles()),
-            );
+            t.case(&format!("{sys}/{name}"), || run_placement(&w, sys).cycles());
         }
     }
-    group.finish();
+    t.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

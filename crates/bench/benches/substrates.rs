@@ -9,81 +9,73 @@
 //! * AMU `ATOM_LOOKUP` throughput with the ALB (the §4.2 "98.9% coverage"
 //!   mechanism) vs uncached AAM walks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cache_sim::{Cache, CacheConfig, InsertPriority, ReplacementPolicy};
 use dram_sim::frfcfs::{schedule, Discipline, Request};
 use dram_sim::{AddressMapping, Dram, DramConfig};
+use xmem_bench::microbench::Timer;
 use xmem_core::aam::AamConfig;
-use xmem_core::amu::{AmuConfig, AtomManagementUnit, IdentityMmu};
 use xmem_core::addr::{PhysAddr, VaRange, VirtAddr};
+use xmem_core::amu::{AmuConfig, AtomManagementUnit, IdentityMmu};
 use xmem_core::atom::AtomId;
 use xmem_core::isa::XmemInst;
 
-fn bench_replacement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_replacement_thrash");
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Drrip, ReplacementPolicy::Ship] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut cache = Cache::new(CacheConfig {
-                        size_bytes: 64 << 10,
-                        ways: 16,
-                        line_bytes: 64,
-                        latency: 1,
-                        policy,
-                    });
-                    let mut hits = 0u64;
-                    for _ in 0..4 {
-                        for i in 0..2048u64 {
-                            if cache.probe(i * 64, false) {
-                                hits += 1;
-                            } else {
-                                cache.fill(i * 64, false, InsertPriority::Normal);
-                            }
-                        }
-                    }
-                    hits
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_pinning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pinned_vs_normal_insertion");
-    for pinned in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(if pinned { "pinned" } else { "normal" }),
-            &pinned,
-            |b, &pinned| {
-                b.iter(|| {
-                    let mut cache = Cache::new(CacheConfig {
-                        size_bytes: 32 << 10,
-                        ways: 16,
-                        line_bytes: 64,
-                        latency: 1,
-                        policy: ReplacementPolicy::Drrip,
-                    });
-                    let prio = if pinned {
-                        InsertPriority::Pinned
+fn bench_replacement() {
+    let mut t = Timer::new("cache_replacement_thrash");
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Drrip,
+        ReplacementPolicy::Ship,
+    ] {
+        t.case(&format!("{policy:?}"), || {
+            let mut cache = Cache::new(CacheConfig {
+                size_bytes: 64 << 10,
+                ways: 16,
+                line_bytes: 64,
+                latency: 1,
+                policy,
+            });
+            let mut hits = 0u64;
+            for _ in 0..4 {
+                for i in 0..2048u64 {
+                    if cache.probe(i * 64, false) {
+                        hits += 1;
                     } else {
-                        InsertPriority::Normal
-                    };
-                    for i in 0..4096u64 {
-                        cache.fill(i * 64, false, prio);
+                        cache.fill(i * 64, false, InsertPriority::Normal);
                     }
-                    cache.pinned_lines()
-                })
-            },
-        );
+                }
+            }
+            hits
+        });
     }
-    group.finish();
+    t.finish();
 }
 
-fn bench_frfcfs(c: &mut Criterion) {
+fn bench_pinning() {
+    let mut t = Timer::new("pinned_vs_normal_insertion");
+    for pinned in [false, true] {
+        t.case(if pinned { "pinned" } else { "normal" }, || {
+            let mut cache = Cache::new(CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 16,
+                line_bytes: 64,
+                latency: 1,
+                policy: ReplacementPolicy::Drrip,
+            });
+            let prio = if pinned {
+                InsertPriority::Pinned
+            } else {
+                InsertPriority::Normal
+            };
+            for i in 0..4096u64 {
+                cache.fill(i * 64, false, prio);
+            }
+            cache.pinned_lines()
+        });
+    }
+    t.finish();
+}
+
+fn bench_frfcfs() {
     let cfg = DramConfig::ddr3_1066(3.6);
     let reqs: Vec<Request> = (0..512u64)
         .map(|i| Request {
@@ -92,46 +84,36 @@ fn bench_frfcfs(c: &mut Criterion) {
             is_write: i % 5 == 0,
         })
         .collect();
-    let mut group = c.benchmark_group("dram_scheduling");
+    let mut t = Timer::new("dram_scheduling");
     for disc in [Discipline::FrFcfs, Discipline::Fcfs] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{disc:?}")),
-            &disc,
-            |b, &disc| {
-                b.iter(|| schedule(&reqs, cfg, AddressMapping::scheme5(), disc).1)
-            },
-        );
+        t.case(&format!("{disc:?}"), || {
+            schedule(&reqs, cfg, AddressMapping::scheme5(), disc).1
+        });
     }
-    group.finish();
+    t.finish();
 }
 
-fn bench_mappings(c: &mut Criterion) {
+fn bench_mappings() {
     let cfg = DramConfig::ddr3_1066(3.6);
-    let mut group = c.benchmark_group("address_mapping_stream");
+    let mut t = Timer::new("address_mapping_stream");
     for mapping in [
         AddressMapping::scheme1(),
         AddressMapping::scheme5(),
         AddressMapping::scheme7(),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mapping.name()),
-            &mapping,
-            |b, &mapping| {
-                b.iter(|| {
-                    let mut dram = Dram::new(cfg, mapping);
-                    let mut t = 0u64;
-                    for line in 0..2048u64 {
-                        t += dram.access(line * 64, false, t);
-                    }
-                    t
-                })
-            },
-        );
+        t.case(mapping.name(), || {
+            let mut dram = Dram::new(cfg, mapping);
+            let mut time = 0u64;
+            for line in 0..2048u64 {
+                time += dram.access(line * 64, false, time);
+            }
+            time
+        });
     }
-    group.finish();
+    t.finish();
 }
 
-fn bench_alb(c: &mut Criterion) {
+fn bench_alb() {
     let mut amu = AtomManagementUnit::new(AmuConfig {
         aam: AamConfig {
             phys_bytes: 16 << 20,
@@ -151,30 +133,24 @@ fn bench_alb(c: &mut Criterion) {
     amu.execute(&XmemInst::Activate(AtomId::new(0)), &mmu)
         .expect("activate");
 
-    let mut group = c.benchmark_group("atom_lookup");
-    group.bench_function("with_alb", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 64) % (8 << 20);
-            amu.active_atom_at(PhysAddr::new(i))
-        })
+    let mut t = Timer::new("atom_lookup");
+    let mut i = 0u64;
+    t.case("with_alb", || {
+        i = (i + 64) % (8 << 20);
+        amu.active_atom_at(PhysAddr::new(i))
     });
-    group.bench_function("uncached_aam_walk", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 64) % (8 << 20);
-            amu.active_atom_at_uncached(PhysAddr::new(i))
-        })
+    let mut j = 0u64;
+    t.case("uncached_aam_walk", || {
+        j = (j + 64) % (8 << 20);
+        amu.active_atom_at_uncached(PhysAddr::new(j))
     });
-    group.finish();
+    t.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_replacement,
-    bench_pinning,
-    bench_frfcfs,
-    bench_mappings,
-    bench_alb
-);
-criterion_main!(benches);
+fn main() {
+    bench_replacement();
+    bench_pinning();
+    bench_frfcfs();
+    bench_mappings();
+    bench_alb();
+}

@@ -7,6 +7,9 @@
 //! Baseline vs. XMem: with XMem, the kernel's tile is pinned (and the hogs
 //! honestly declare zero reuse), so the kernel keeps its working set.
 //!
+//! All 20 multi-core simulations (4 kernels × {solo, 2 hog counts × 2
+//! systems}) run concurrently on the harness worker pool.
+//!
 //! ```text
 //! cargo run --release -p xmem-bench --bin corun [--quick]
 //! ```
@@ -15,6 +18,7 @@ use workloads::hog::stream_hog;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::{LogSink, TraceEvent};
 use xmem_bench::{geomean, print_table, quick_mode};
+use xmem_sim::harness::{default_workers, run_jobs};
 use xmem_sim::{run_corun, MultiCoreConfig, SystemKind};
 
 fn kernel_log(kernel: PolybenchKernel, n: usize, tile: u64) -> Vec<TraceEvent> {
@@ -47,11 +51,41 @@ fn main() {
         PolybenchKernel::Trmm,
         PolybenchKernel::Jacobi2d,
     ];
-    println!("# Co-run: kernel + N streaming hogs on a shared {}KB L3", l3 >> 10);
+    println!(
+        "# Co-run: kernel + N streaming hogs on a shared {}KB L3",
+        l3 >> 10
+    );
     println!("# Values: kernel slowdown vs. running alone on the Baseline.\n");
 
+    // Enumerate every (config, logs) job, kernel-major: solo first, then
+    // (hogs, system) pairs in table order.
+    let hog = hog_log(256 << 10, 60_000);
+    let mut jobs: Vec<(MultiCoreConfig, Vec<Vec<TraceEvent>>)> = Vec::new();
+    for kernel in kernels {
+        let klog = kernel_log(kernel, n, tile);
+        jobs.push((
+            MultiCoreConfig::scaled_corun(1, l3, SystemKind::Baseline),
+            vec![klog.clone()],
+        ));
+        for hogs in [1usize, 3] {
+            for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+                let mut logs = vec![klog.clone()];
+                logs.extend((0..hogs).map(|_| hog.clone()));
+                jobs.push((MultiCoreConfig::scaled_corun(1 + hogs, l3, kind), logs));
+            }
+        }
+    }
+    let reports = run_jobs(jobs.len(), default_workers(), |i| {
+        run_corun(&jobs[i].0, &jobs[i].1)
+    });
+
     let headers: Vec<String> = [
-        "kernel", "solo", "+1 hog B", "+1 hog X", "+3 hogs B", "+3 hogs X",
+        "kernel",
+        "solo",
+        "+1 hog B",
+        "+1 hog X",
+        "+3 hogs B",
+        "+3 hogs X",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -60,30 +94,19 @@ fn main() {
     let mut base3 = Vec::new();
     let mut xmem3 = Vec::new();
 
-    for kernel in kernels {
-        let klog = kernel_log(kernel, n, tile);
-        let solo_cfg = MultiCoreConfig::scaled_corun(1, l3, SystemKind::Baseline);
-        let solo = run_corun(&solo_cfg, std::slice::from_ref(&klog));
-        let reference = solo.cycles(0) as f64;
-
+    const PER_KERNEL: usize = 5;
+    for (ki, kernel) in kernels.iter().enumerate() {
+        let chunk = &reports[ki * PER_KERNEL..(ki + 1) * PER_KERNEL];
+        let reference = chunk[0].cycles(0) as f64;
         let mut row = vec![kernel.name().to_string(), "1.00".to_string()];
-        for hogs in [1usize, 3] {
-            for kind in [SystemKind::Baseline, SystemKind::Xmem] {
-                let mut logs = vec![klog.clone()];
-                for _ in 0..hogs {
-                    logs.push(hog_log(256 << 10, 60_000));
-                }
-                let cfg = MultiCoreConfig::scaled_corun(1 + hogs, l3, kind);
-                let report = run_corun(&cfg, &logs);
-                let slowdown = report.cycles(0) as f64 / reference;
-                row.push(format!("{slowdown:.2}"));
-                if hogs == 3 {
-                    if kind == SystemKind::Baseline {
-                        base3.push(slowdown);
-                    } else {
-                        xmem3.push(slowdown);
-                    }
-                }
+        for (ci, report) in chunk.iter().enumerate().skip(1) {
+            let slowdown = report.cycles(0) as f64 / reference;
+            row.push(format!("{slowdown:.2}"));
+            // Jobs 3 and 4 within a chunk are the 3-hog Baseline/XMem runs.
+            if ci == 3 {
+                base3.push(slowdown);
+            } else if ci == 4 {
+                xmem3.push(slowdown);
             }
         }
         rows.push(row);

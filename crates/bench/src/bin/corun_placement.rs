@@ -5,7 +5,8 @@
 //! Pairs of placement workloads run on two cores sharing the memory
 //! system. The XMem OS sees the merged atom set of both programs and
 //! partitions banks accordingly; the baseline uses randomized allocation
-//! on the best static mapping.
+//! on the best static mapping. All pair × system simulations run
+//! concurrently on the harness worker pool.
 //!
 //! ```text
 //! cargo run --release -p xmem-bench --bin corun_placement [--quick]
@@ -15,6 +16,7 @@ use dram_sim::AddressMapping;
 use workloads::placement::PlacementWorkload;
 use workloads::sink::{LogSink, TraceEvent};
 use xmem_bench::{geomean, print_table, quick_mode};
+use xmem_sim::harness::{default_workers, run_jobs};
 use xmem_sim::{run_corun, FramePolicyKind, MultiCoreConfig, SystemKind};
 
 fn log_of(name: &str, accesses: u64) -> Vec<TraceEvent> {
@@ -54,6 +56,19 @@ fn main() {
         ("mcf", "milc"),
     ];
     println!("# Multi-programmed DRAM placement (2 cores, shared memory)\n");
+
+    // Pair-major jobs: (baseline, xmem) per pair.
+    let jobs: Vec<(MultiCoreConfig, Vec<Vec<TraceEvent>>)> = pairs
+        .iter()
+        .flat_map(|&(a, b)| {
+            let logs = vec![log_of(a, accesses), log_of(b, accesses)];
+            [(config(false), logs.clone()), (config(true), logs)]
+        })
+        .collect();
+    let reports = run_jobs(jobs.len(), default_workers(), |i| {
+        run_corun(&jobs[i].0, &jobs[i].1)
+    });
+
     let headers: Vec<String> = [
         "pair",
         "A speedup",
@@ -67,10 +82,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
 
-    for (a, b) in pairs {
-        let logs = vec![log_of(a, accesses), log_of(b, accesses)];
-        let base = run_corun(&config(false), &logs);
-        let xmem = run_corun(&config(true), &logs);
+    for (pi, (a, b)) in pairs.iter().enumerate() {
+        let (base, xmem) = (&reports[pi * 2], &reports[pi * 2 + 1]);
         let sa = base.cycles(0) as f64 / xmem.cycles(0) as f64;
         let sb = base.cycles(1) as f64 / xmem.cycles(1) as f64;
         speedups.push(sa);

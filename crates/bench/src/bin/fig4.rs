@@ -8,20 +8,51 @@
 //! * XMem cuts the oversized-tile loss to ~26.9% avg (up to 4.6×) through
 //!   pinning + guided prefetch.
 //!
+//! The whole figure — 12 kernels × 9 tiles × 2 systems — is one parallel
+//! [`Sweep`]; records land in spec order, so the table below is identical
+//! to the old serial loops.
+//!
 //! ```text
-//! cargo run --release -p xmem-bench --bin fig4 [--quick]
+//! cargo run --release -p xmem-bench --bin fig4 [--quick] [--csv]
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::{fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
-use xmem_sim::{run_kernel, SystemKind};
+use xmem_bench::reports::ReportWriter;
+use xmem_bench::{
+    fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N,
+};
+use xmem_sim::{KernelRun, RunRecord, RunSpec, Sweep, SystemKind};
 
 fn main() {
     let n = if quick_mode() { 48 } else { UC1_N };
     let tiles = fig4_tiles();
     let l3 = UC1_L3;
-    println!("# Figure 4: execution time vs. tile size (L3 = {}, n = {n})", fmt_bytes(l3));
+    println!(
+        "# Figure 4: execution time vs. tile size (L3 = {}, n = {n})",
+        fmt_bytes(l3)
+    );
     println!("# Values are execution time normalized to each kernel's best Baseline tile.\n");
+
+    // One spec per (kernel, system, tile), kernel-major so the records
+    // slice back into per-kernel chunks.
+    let kernels = PolybenchKernel::all();
+    let systems = [SystemKind::Baseline, SystemKind::Xmem];
+    let specs: Vec<RunSpec> = kernels
+        .iter()
+        .flat_map(|&kernel| {
+            systems.iter().flat_map(move |&kind| {
+                fig4_tiles().into_iter().map(move |t| {
+                    let mut spec = KernelRun::new(kernel, uc1_params(n, t))
+                        .l3_bytes(UC1_L3)
+                        .system(kind)
+                        .spec();
+                    spec.label = format!("{}/{kind}/tile={}", kernel.name(), fmt_bytes(t));
+                    spec
+                })
+            })
+        })
+        .collect();
+    let records = Sweep::new(specs).run();
 
     let mut small_tile_slowdowns = Vec::new();
     let mut large_base_slowdowns = Vec::new();
@@ -32,21 +63,27 @@ fn main() {
     let mut headers = vec!["kernel".to_string(), "system".to_string()];
     headers.extend(tiles.iter().map(|t| fmt_bytes(*t)));
     let mut rows = Vec::new();
+    let mut writer = ReportWriter::new("fig4");
 
-    for kernel in PolybenchKernel::all() {
-        let base: Vec<u64> = tiles
+    for (ki, kernel) in kernels.iter().enumerate() {
+        let chunk = &records[ki * 2 * tiles.len()..(ki + 1) * 2 * tiles.len()];
+        let (base_recs, xmem_recs) = chunk.split_at(tiles.len());
+        let best = base_recs
             .iter()
-            .map(|&t| run_kernel(kernel, &uc1_params(n, t), l3, SystemKind::Baseline).cycles())
-            .collect();
-        let xmem: Vec<u64> = tiles
-            .iter()
-            .map(|&t| run_kernel(kernel, &uc1_params(n, t), l3, SystemKind::Xmem).cycles())
-            .collect();
-        let best = *base.iter().min().expect("non-empty sweep") as f64;
+            .map(|r| r.report.cycles())
+            .min()
+            .expect("non-empty sweep") as f64;
 
-        let norm = |v: &[u64]| -> Vec<f64> { v.iter().map(|&c| c as f64 / best).collect() };
-        let base_n = norm(&base);
-        let xmem_n = norm(&xmem);
+        let norm = |recs: &[RunRecord]| -> Vec<f64> {
+            recs.iter()
+                .map(|r| r.report.cycles() as f64 / best)
+                .collect()
+        };
+        let base_n = norm(base_recs);
+        let xmem_n = norm(xmem_recs);
+        for (r, &slowdown) in chunk.iter().zip(base_n.iter().chain(&xmem_n)) {
+            writer.emit_with(r, &[("normalized_time", slowdown.into())]);
+        }
 
         small_tile_slowdowns.push(base_n[0]);
         // "Largest tiles": every tile at or beyond the cache size (the
@@ -85,4 +122,5 @@ fn main() {
         (geomean(&large_xmem_slowdowns) - 1.0) * 100.0,
         max_xmem
     );
+    writer.finish();
 }

@@ -8,12 +8,15 @@
 //! Paper result: worst-case slowdown 55% for the Baseline vs. 6% for XMem.
 //!
 //! ```text
-//! cargo run --release -p xmem-bench --bin fig5 [--quick]
+//! cargo run --release -p xmem-bench --bin fig5 [--quick] [--csv]
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::{fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, FIG5_L3, UC1_N};
-use xmem_sim::{run_kernel, SystemKind};
+use xmem_bench::reports::ReportWriter;
+use xmem_bench::{
+    fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, FIG5_L3, UC1_N,
+};
+use xmem_sim::{KernelRun, RunSpec, Sweep, SystemKind};
 
 fn main() {
     let n = if quick_mode() { 48 } else { UC1_N };
@@ -28,6 +31,37 @@ fn main() {
     );
     println!("# Normalized to Baseline at the tuned cache size.\n");
 
+    // Tune per the sizing heuristic the paper describes (§5.4: "many
+    // optimizations typically size the tile to be as big as what can
+    // fit in the available cache space" [65, 78]): the largest sweep
+    // tile that fits the full cache.
+    let tuned_tile = fig4_tiles()
+        .into_iter()
+        .filter(|&t| t <= l3_full)
+        .max()
+        .expect("non-empty sweep");
+    let systems = [SystemKind::Baseline, SystemKind::Xmem];
+
+    // One spec per (kernel, system, cache size), kernel-major; within a
+    // kernel the first record is the Baseline-at-full-cache reference.
+    let kernels = PolybenchKernel::all();
+    let specs: Vec<RunSpec> = kernels
+        .iter()
+        .flat_map(|&kernel| {
+            systems.iter().flat_map(move |&kind| {
+                cache_sizes.into_iter().map(move |l3| {
+                    let mut spec = KernelRun::new(kernel, uc1_params(n, tuned_tile))
+                        .l3_bytes(l3)
+                        .system(kind)
+                        .spec();
+                    spec.label = format!("{}/{kind}/L3={}", kernel.name(), fmt_bytes(l3));
+                    spec
+                })
+            })
+        })
+        .collect();
+    let records = Sweep::new(specs).run();
+
     let headers: Vec<String> = ["kernel", "tuned tile", "Baseline max", "XMem max"]
         .iter()
         .map(|s| s.to_string())
@@ -35,29 +69,28 @@ fn main() {
     let mut rows = Vec::new();
     let mut base_max = Vec::new();
     let mut xmem_max = Vec::new();
+    let mut writer = ReportWriter::new("fig5");
 
-    for kernel in PolybenchKernel::all() {
-        // Tune per the sizing heuristic the paper describes (§5.4: "many
-        // optimizations typically size the tile to be as big as what can
-        // fit in the available cache space" [65, 78]): the largest sweep
-        // tile that fits the full cache.
-        let tuned_tile = fig4_tiles()
-            .into_iter()
-            .filter(|&t| t <= l3_full)
-            .max()
-            .expect("non-empty sweep");
-        let p = uc1_params(n, tuned_tile);
-        let reference =
-            run_kernel(kernel, &p, l3_full, SystemKind::Baseline).cycles() as f64;
-
-        let worst = |kind: SystemKind| -> f64 {
-            cache_sizes
-                .iter()
-                .map(|&l3| run_kernel(kernel, &p, l3, kind).cycles() as f64 / reference)
+    let per_kernel = systems.len() * cache_sizes.len();
+    for (ki, kernel) in kernels.iter().enumerate() {
+        let chunk = &records[ki * per_kernel..(ki + 1) * per_kernel];
+        let reference = chunk[0].report.cycles() as f64;
+        for r in chunk {
+            writer.emit_with(
+                r,
+                &[(
+                    "normalized_time",
+                    (r.report.cycles() as f64 / reference).into(),
+                )],
+            );
+        }
+        let worst = |recs: &[xmem_sim::RunRecord]| -> f64 {
+            recs.iter()
+                .map(|r| r.report.cycles() as f64 / reference)
                 .fold(0.0f64, f64::max)
         };
-        let b = worst(SystemKind::Baseline);
-        let x = worst(SystemKind::Xmem);
+        let b = worst(&chunk[..cache_sizes.len()]);
+        let x = worst(&chunk[cache_sizes.len()..]);
         base_max.push(b);
         xmem_max.push(x);
         rows.push(vec![
@@ -78,4 +111,5 @@ fn main() {
         "worst-case slowdown with less cache: XMem     {:+.0}%  [paper: +6%]",
         (geomean(&xmem_max) - 1.0) * 100.0
     );
+    writer.finish();
 }

@@ -9,30 +9,45 @@
 //! memory traffic, which matters more when bandwidth is scarce.
 //!
 //! ```text
-//! cargo run --release -p xmem-bench --bin fig6 [--quick]
+//! cargo run --release -p xmem-bench --bin fig6 [--quick] [--csv]
 //! ```
 
 use workloads::polybench::PolybenchKernel;
+use xmem_bench::reports::ReportWriter;
 use xmem_bench::{fig4_tiles, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
-use xmem_sim::{run_kernel_bw, SystemKind};
+use xmem_sim::{KernelRun, RunSpec, Sweep, SystemKind};
 
 fn main() {
     let n = if quick_mode() { 48 } else { UC1_N };
-    let l3 = UC1_L3;
     let tile = *fig4_tiles().last().expect("non-empty sweep");
     let bandwidths = [4.0, 2.0, 1.0, 0.5];
+    let systems = [SystemKind::Baseline, SystemKind::XmemPref, SystemKind::Xmem];
     println!("# Figure 6: speedup over Baseline at the largest tile size");
     println!("# (per-core bandwidth sweep: 4 / 2 / 1 / 0.5 GB/s; the paper reports 2/1/0.5)\n");
 
+    // One spec per (kernel, bandwidth, system): kernel-major, bandwidth
+    // next, so each (kernel, bandwidth) group of three is contiguous.
+    let kernels = PolybenchKernel::all();
+    let specs: Vec<RunSpec> = kernels
+        .iter()
+        .flat_map(|&kernel| {
+            bandwidths.into_iter().flat_map(move |bw| {
+                systems.into_iter().map(move |kind| {
+                    let mut spec = KernelRun::new(kernel, uc1_params(n, tile))
+                        .l3_bytes(UC1_L3)
+                        .system(kind)
+                        .per_core_gbps(bw)
+                        .spec();
+                    spec.label = format!("{}/{kind}/{bw}GBps", kernel.name());
+                    spec
+                })
+            })
+        })
+        .collect();
+    let records = Sweep::new(specs).run();
+
     let headers: Vec<String> = [
-        "kernel",
-        "Pref@4",
-        "XMem@4",
-        "Pref@2",
-        "XMem@2",
-        "Pref@1",
-        "XMem@1",
-        "Pref@0.5",
+        "kernel", "Pref@4", "XMem@4", "Pref@2", "XMem@2", "Pref@1", "XMem@1", "Pref@0.5",
         "XMem@0.5",
     ]
     .iter()
@@ -42,24 +57,25 @@ fn main() {
     let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
     let mut pref_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
     let mut xmem_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
+    let mut writer = ReportWriter::new("fig6");
 
-    for kernel in PolybenchKernel::all() {
-        let p = uc1_params(n, tile);
+    let per_kernel = bandwidths.len() * systems.len();
+    for (ki, kernel) in kernels.iter().enumerate() {
+        let chunk = &records[ki * per_kernel..(ki + 1) * per_kernel];
         let mut row = vec![kernel.name().to_string()];
-        for (bi, &bw) in bandwidths.iter().enumerate() {
-            let base = run_kernel_bw(kernel, &p, l3, SystemKind::Baseline, bw);
-            let pref = run_kernel_bw(kernel, &p, l3, SystemKind::XmemPref, bw);
-            let xmem = run_kernel_bw(kernel, &p, l3, SystemKind::Xmem, bw);
-            let s_pref = pref.speedup_over(&base);
-            let s_xmem = xmem.speedup_over(&base);
+        for (bi, group) in chunk.chunks(systems.len()).enumerate() {
+            let (base, pref, xmem) = (&group[0], &group[1], &group[2]);
+            let s_pref = pref.report.speedup_over(&base.report);
+            let s_xmem = xmem.report.speedup_over(&base.report);
+            writer.emit_with(base, &[("speedup", 1.0.into())]);
+            writer.emit_with(pref, &[("speedup", s_pref.into())]);
+            writer.emit_with(xmem, &[("speedup", s_xmem.into())]);
             pref_speedups[bi].push(s_pref);
             xmem_speedups[bi].push(s_xmem);
             gaps[bi].push(s_xmem / s_pref);
             row.push(format!("{s_pref:.2}"));
             row.push(format!("{s_xmem:.2}"));
         }
-        // Reorder: the row currently holds [name, p2, x2, p1, x1, p.5, x.5]
-        // in bandwidth-major order already.
         rows.push(row);
     }
     print_table(&headers, &rows);
@@ -73,4 +89,5 @@ fn main() {
             (geomean(&gaps[bi]) - 1.0) * 100.0
         );
     }
+    writer.finish();
 }

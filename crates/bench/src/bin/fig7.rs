@@ -8,22 +8,62 @@
 //!   spread the rest);
 //! * **Ideal** — perfect row-buffer locality (upper bound).
 //!
+//! Every system's §6.3 configuration grid (18 points for the Baseline, 2
+//! each for XMem/Ideal) for every workload is flattened into **one**
+//! parallel sweep — 27 × 22 = 594 simulations — and the per-system best is
+//! selected from the order-stable records, reproducing the old serial
+//! `best_of` exactly.
+//!
 //! Paper results reproduced here: XMem +8.5% avg (up to +31.9%) with a
 //! 24.4% Ideal headroom; 5 workloads flat (little headroom or random-
 //! dominated); read latency −12.6% avg (Fig 8), writes −6.2%.
 //!
 //! ```text
-//! cargo run --release -p xmem-bench --bin fig7 [--quick]
+//! cargo run --release -p xmem-bench --bin fig7 [--quick] [--csv]
 //! ```
 
 use workloads::placement::PlacementWorkload;
+use xmem_bench::reports::ReportWriter;
 use xmem_bench::{geomean, print_table, quick_mode};
-use xmem_sim::{run_placement, Uc2System};
+use xmem_sim::{placement_specs, RunRecord, Sweep, Uc2System};
+
+const SYSTEMS: [Uc2System; 3] = [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl];
 
 fn main() {
     let quick = quick_mode();
     println!("# Figure 7: speedup over strengthened Baseline (27 workloads)");
     println!("# Figure 8: memory read latency normalized to Baseline\n");
+
+    // Flatten every (workload, system) grid into one sweep, remembering
+    // each grid's extent so the best point can be picked per grid.
+    let mut workloads = PlacementWorkload::all();
+    if quick {
+        for w in &mut workloads {
+            w.accesses = 40_000;
+        }
+    }
+    let mut specs = Vec::new();
+    let mut grids = Vec::new(); // (workload idx, system, start, len)
+    for (wi, w) in workloads.iter().enumerate() {
+        for sys in SYSTEMS {
+            let grid = placement_specs(w, sys);
+            grids.push((wi, sys, specs.len(), grid.len()));
+            specs.extend(grid);
+        }
+    }
+    let records = Sweep::new(specs).run();
+
+    // Ties break by grid order, matching a serial min_by_key.
+    let best = |wi: usize, sys: Uc2System| -> &RunRecord {
+        let &(_, _, start, len) = grids
+            .iter()
+            .find(|&&(i, s, _, _)| i == wi && s == sys)
+            .expect("grid exists");
+        records[start..start + len]
+            .iter()
+            .min_by_key(|r| r.report.cycles())
+            .expect("non-empty grid")
+    };
 
     let headers: Vec<String> = [
         "workload",
@@ -44,26 +84,34 @@ fn main() {
     let mut write_lats = Vec::new();
     let mut best_xmem: (f64, &'static str) = (0.0, "");
     let mut flat = 0u32;
+    let mut writer = ReportWriter::new("fig7");
 
-    for mut w in PlacementWorkload::all() {
-        if quick {
-            w.accesses = 40_000;
-        }
-        let base = run_placement(&w, Uc2System::Baseline);
-        let xmem = run_placement(&w, Uc2System::Xmem);
-        let ideal = run_placement(&w, Uc2System::IdealRbl);
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = best(wi, Uc2System::Baseline);
+        let xmem = best(wi, Uc2System::Xmem);
+        let ideal = best(wi, Uc2System::IdealRbl);
 
-        let s_xmem = xmem.speedup_over(&base);
-        let s_ideal = ideal.speedup_over(&base);
-        let r_lat = xmem.normalized_read_latency(&base);
+        let s_xmem = xmem.report.speedup_over(&base.report);
+        let s_ideal = ideal.report.speedup_over(&base.report);
+        let r_lat = xmem.report.normalized_read_latency(&base.report);
         let w_lat = {
-            let b = base.dram.avg_write_latency();
+            let b = base.report.dram.avg_write_latency();
             if b == 0.0 {
                 1.0
             } else {
-                xmem.dram.avg_write_latency() / b
+                xmem.report.dram.avg_write_latency() / b
             }
         };
+        writer.emit_with(base, &[("speedup", 1.0.into())]);
+        writer.emit_with(
+            xmem,
+            &[
+                ("speedup", s_xmem.into()),
+                ("normalized_read_latency", r_lat.into()),
+            ],
+        );
+        writer.emit_with(ideal, &[("speedup", s_ideal.into())]);
+
         xmem_speedups.push(s_xmem);
         ideal_speedups.push(s_ideal);
         read_lats.push(r_lat);
@@ -81,8 +129,8 @@ fn main() {
             format!("{s_ideal:.3}"),
             format!("{r_lat:.3}"),
             format!("{w_lat:.3}"),
-            format!("{:.3}", base.dram.row_hit_rate()),
-            format!("{:.3}", xmem.dram.row_hit_rate()),
+            format!("{:.3}", base.report.dram.row_hit_rate()),
+            format!("{:.3}", xmem.report.dram.row_hit_rate()),
         ]);
     }
     print_table(&headers, &rows);
@@ -108,4 +156,5 @@ fn main() {
         "write latency: avg {:+.1}%   [paper: -6.2%]",
         (geomean(&write_lats) - 1.0) * 100.0
     );
+    writer.finish();
 }

@@ -6,11 +6,12 @@
 //! ```
 
 use workloads::polybench::PolybenchKernel;
+use xmem_bench::reports::ReportWriter;
 use xmem_bench::{mean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
 use xmem_core::aam::AamConfig;
 use xmem_core::overhead::storage_overhead;
 use xmem_core::process::ContextSwitchCost;
-use xmem_sim::{run_kernel, SystemKind};
+use xmem_sim::{KernelRun, Sweep, SystemKind};
 
 fn main() {
     let n = if quick_mode() { 48 } else { UC1_N };
@@ -32,7 +33,11 @@ fn main() {
     print_table(
         &["table".into(), "measured".into(), "paper".into()],
         &[
-            vec!["AST (per app)".into(), format!("{} B", d.ast_bytes), "32 B".into()],
+            vec![
+                "AST (per app)".into(),
+                format!("{} B", d.ast_bytes),
+                "32 B".into(),
+            ],
             vec![
                 "GAT (per app, 19 B/atom)".into(),
                 format!("{:.1} KB", d.gat_bytes as f64 / 1024.0),
@@ -56,8 +61,22 @@ fn main() {
     let mut overheads = Vec::new();
     let mut alb_rates = Vec::new();
     let mut rows = Vec::new();
-    for kernel in PolybenchKernel::all() {
-        let r = run_kernel(kernel, &uc1_params(n, 8 << 10), UC1_L3, SystemKind::Xmem);
+    let mut writer = ReportWriter::new("overheads");
+    let records = Sweep::new(
+        PolybenchKernel::all()
+            .into_iter()
+            .map(|kernel| {
+                KernelRun::new(kernel, uc1_params(n, 8 << 10))
+                    .l3_bytes(UC1_L3)
+                    .system(SystemKind::Xmem)
+                    .spec()
+            })
+            .collect(),
+    )
+    .run();
+    for (kernel, rec) in PolybenchKernel::all().into_iter().zip(&records) {
+        let r = &rec.report;
+        writer.emit(rec);
         overheads.push(r.instruction_overhead);
         if r.alb.lookups() > 0 {
             alb_rates.push(r.alb.hit_rate());
@@ -101,4 +120,5 @@ fn main() {
         cost.overhead_fraction(5000.0) * 100.0,
         cost.overhead_fraction(3000.0) * 100.0,
     );
+    writer.finish();
 }

@@ -13,10 +13,12 @@ use os_sim::numa::{NumaConfig, NumaSystem};
 use xmem_bench::print_table;
 use xmem_core::atom::AtomId;
 use xmem_core::attrs::{AtomAttributes, DataProps, DataType, RwChar};
+use xmem_sim::harness::{default_workers, run_jobs};
 
 fn dram_cache_demo() {
     println!("## DRAM cache management (working-set-size hints)\n");
-    let run = |with_hint: bool| {
+    let run = |with_hint: &bool| {
+        let with_hint = *with_hint;
         let mut dc = DramCache::new(DramCacheConfig::default());
         let cap = 1u64 << 20;
         let huge = 16 * cap;
@@ -32,13 +34,25 @@ fn dram_cache_demo() {
         }
         (hot_lat as f64 / hot_n as f64, dc.stats().bypassed)
     };
-    let (base, _) = run(false);
-    let (xmem, bypassed) = run(true);
+    // The two variants are independent simulations: run them concurrently
+    // on the harness pool.
+    let variants = [false, true];
+    let results = run_jobs(variants.len(), default_workers(), |i| run(&variants[i]));
+    let (base, _) = results[0];
+    let (xmem, bypassed) = results[1];
     print_table(
-        &["system".into(), "hot-data latency".into(), "bypassed".into()],
+        &[
+            "system".into(),
+            "hot-data latency".into(),
+            "bypassed".into(),
+        ],
         &[
             vec!["Baseline".into(), format!("{base:.0} cyc"), "0".into()],
-            vec!["XMem".into(), format!("{xmem:.0} cyc"), format!("{bypassed}")],
+            vec![
+                "XMem".into(),
+                format!("{xmem:.0} cyc"),
+                format!("{bypassed}"),
+            ],
         ],
     );
     println!(
@@ -51,9 +65,7 @@ fn numa_demo() {
     let cfg = NumaConfig::default();
     let table = AtomId::new(10);
     let attrs_ro = AtomAttributes::builder().rw(RwChar::ReadOnly).build();
-    let attrs_priv = AtomAttributes::builder()
-        .props(DataProps::PRIVATE)
-        .build();
+    let attrs_priv = AtomAttributes::builder().props(DataProps::PRIVATE).build();
 
     let mut ft = NumaSystem::new(cfg);
     let mut xm = NumaSystem::new(cfg);
@@ -65,7 +77,11 @@ fn numa_demo() {
     }
     for i in 0..100_000u64 {
         let w = (i % 4) as usize;
-        let atom = if i % 3 == 0 { table } else { AtomId::new(w as u8) };
+        let atom = if i % 3 == 0 {
+            table
+        } else {
+            AtomId::new(w as u8)
+        };
         ft.access(atom, w, i);
         xm.access(atom, w, i);
     }
@@ -114,10 +130,7 @@ fn approx_demo() {
         format!("{:.0}%", bytes as f64 / (values.len() * 8) as f64 * 100.0),
         format!("{:.1e}", max_relative_error(&values, &approx)),
     ]);
-    print_table(
-        &["atom".into(), "size".into(), "max rel err".into()],
-        &rows,
-    );
+    print_table(&["atom".into(), "size".into(), "max rel err".into()], &rows);
     println!("-> only atoms that declare tolerance get truncated; the attribute\n   makes the optimization safe to apply automatically\n");
 }
 

@@ -1,12 +1,15 @@
 //! `xmemcli` — run any experiment from the command line.
 //!
 //! ```text
-//! xmemcli kernel gemm --n 96 --tile 64K --l3 32K --system xmem [--tlb]
-//! xmemcli placement milc --system xmem [--accesses 150000]
+//! xmemcli kernel gemm --n 96 --tile 64K --l3 32K --system xmem [--tlb] [--json]
+//! xmemcli placement milc --system xmem [--accesses 150000] [--json]
 //! xmemcli record gemm --out /tmp/gemm.trace --n 48 --tile 8K
-//! xmemcli replay /tmp/gemm.trace --l3 32K --system baseline
+//! xmemcli replay /tmp/gemm.trace --l3 32K --system baseline [--json]
 //! xmemcli list
 //! ```
+//!
+//! `--json` replaces the human-readable report with one structured
+//! `xmem-report-v1` document on stdout (same schema as the fig* reports).
 
 use std::fs::File;
 use std::process::exit;
@@ -14,16 +17,19 @@ use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::LogSink;
 use workloads::trace_file::{read_trace, replay, write_trace};
-use xmem_sim::{run_placement, run_workload, RunReport, SystemConfig, SystemKind, Uc2System};
+use xmem_sim::{
+    placement_specs, run_workload, JsonSink, ReportSink, RunRecord, RunReport, RunSpec, Sweep,
+    SystemConfig, SystemKind, Uc2System, WorkloadSpec,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          xmemcli kernel <name> [--n N] [--tile BYTES] [--l3 BYTES] [--steps K]\n          \
-         [--system baseline|pref|xmem] [--bw GBPS] [--tlb]\n  \
-         xmemcli placement <name> [--system baseline|xmem|ideal] [--accesses N]\n  \
+         [--system baseline|pref|xmem] [--bw GBPS] [--tlb] [--json]\n  \
+         xmemcli placement <name> [--system baseline|xmem|ideal] [--accesses N] [--json]\n  \
          xmemcli record <kernel> --out FILE [--n N] [--tile BYTES] [--steps K]\n  \
-         xmemcli replay <FILE> [--l3 BYTES] [--system ...] [--tlb]\n  \
+         xmemcli replay <FILE> [--l3 BYTES] [--system ...] [--tlb] [--json]\n  \
          xmemcli list"
     );
     exit(2)
@@ -52,6 +58,7 @@ struct Flags {
     tlb: bool,
     accesses: Option<u64>,
     out: Option<String>,
+    json: bool,
 }
 
 impl Default for Flags {
@@ -67,6 +74,7 @@ impl Default for Flags {
             tlb: false,
             accesses: None,
             out: None,
+            json: false,
         }
     }
 }
@@ -90,6 +98,7 @@ fn parse_flags(args: &[String]) -> Flags {
             }
             "--out" => f.out = Some(value(args, &mut i)),
             "--tlb" => f.tlb = true,
+            "--json" => f.json = true,
             "--system" => match value(args, &mut i).as_str() {
                 "baseline" => {
                     f.system = SystemKind::Baseline;
@@ -153,6 +162,18 @@ fn print_report(r: &RunReport) {
     );
 }
 
+/// Prints either the human-readable report or, with `--json`, the full
+/// structured record (config + stats + derived metrics).
+fn emit(f: &Flags, record: &RunRecord) {
+    if f.json {
+        let mut sink = JsonSink::new();
+        sink.emit(record);
+        println!("{}", sink.render());
+    } else {
+        print_report(&record.report);
+    }
+}
+
 fn sys_config(f: &Flags) -> SystemConfig {
     let mut cfg = SystemConfig::scaled_use_case1(f.l3, f.system);
     if let Some(bw) = f.bw {
@@ -189,16 +210,19 @@ fn main() {
                 reuse: 200,
             };
             let cfg = sys_config(&f);
-            println!(
-                "# {} n={} tile={} l3={} system={}\n",
-                name,
-                f.n,
-                f.tile,
-                f.l3,
-                f.system.name()
+            if !f.json {
+                println!(
+                    "# {} n={} tile={} l3={} system={}\n",
+                    name, f.n, f.tile, f.l3, f.system
+                );
+            }
+            let spec = RunSpec::new(
+                format!("{name}/{}", f.system),
+                cfg,
+                WorkloadSpec::kernel(kernel, p),
             );
-            let report = run_workload(&cfg, |s| kernel.generate(&p, s));
-            print_report(&report);
+            let records = Sweep::new(vec![spec]).run();
+            emit(&f, &records[0]);
         }
         "placement" => {
             let name = args.get(1).unwrap_or_else(|| usage());
@@ -210,9 +234,11 @@ fn main() {
             if let Some(a) = f.accesses {
                 w.accesses = a;
             }
-            println!("# {} system={}\n", name, f.uc2.name());
-            let report = run_placement(&w, f.uc2);
-            print_report(&report);
+            if !f.json {
+                println!("# {} system={}\n", name, f.uc2);
+            }
+            let best = Sweep::new(placement_specs(&w, f.uc2)).best();
+            emit(&f, &best);
         }
         "record" => {
             let name = args.get(1).unwrap_or_else(|| usage());
@@ -250,14 +276,22 @@ fn main() {
                 exit(1)
             });
             let cfg = sys_config(&f);
-            println!(
-                "# replay {path} ({} events) l3={} system={}\n",
-                events.len(),
-                f.l3,
-                f.system.name()
-            );
+            if !f.json {
+                println!(
+                    "# replay {path} ({} events) l3={} system={}\n",
+                    events.len(),
+                    f.l3,
+                    f.system
+                );
+            }
             let report = run_workload(&cfg, |s| replay(&events, s));
-            print_report(&report);
+            let record = RunRecord {
+                label: format!("replay/{}", f.system),
+                config: cfg,
+                workload: "replay",
+                report,
+            };
+            emit(&f, &record);
         }
         _ => usage(),
     }

@@ -120,6 +120,175 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+pub mod reports {
+    //! Shared structured-report emission for the bench binaries.
+    //!
+    //! Every figure binary prints its human-readable table to stdout and,
+    //! through a [`ReportWriter`], also serializes the underlying
+    //! [`RunRecord`]s with the shared sinks:
+    //!
+    //! * JSON (`xmem-report-v1`) is always written, to
+    //!   `target/xmem-reports/<bin>.json` by default;
+    //! * `--csv` additionally writes the flat CSV table next to it;
+    //! * `--report-dir=DIR` redirects both;
+    //! * `--no-report` suppresses file output entirely.
+
+    use cpu_sim::kv::KvValue;
+    use std::path::PathBuf;
+    use xmem_sim::report_sink::write_report;
+    use xmem_sim::{CsvSink, JsonSink, ReportSink, RunRecord};
+
+    /// Collects records during a run and writes the report files at the
+    /// end.
+    #[derive(Debug)]
+    pub struct ReportWriter {
+        name: String,
+        dir: Option<PathBuf>,
+        json: JsonSink,
+        csv: Option<CsvSink>,
+    }
+
+    impl ReportWriter {
+        /// A writer for the binary `name`, configured from `std::env::args`
+        /// (see the module docs for the flags).
+        pub fn new(name: &str) -> Self {
+            let mut dir = Some(PathBuf::from("target/xmem-reports"));
+            let mut csv = None;
+            for arg in std::env::args() {
+                if arg == "--no-report" {
+                    dir = None;
+                } else if let Some(d) = arg.strip_prefix("--report-dir=") {
+                    dir = Some(PathBuf::from(d));
+                } else if arg == "--csv" {
+                    csv = Some(CsvSink::new());
+                }
+            }
+            ReportWriter {
+                name: name.to_string(),
+                dir,
+                json: JsonSink::new(),
+                csv,
+            }
+        }
+
+        /// Adds one record.
+        pub fn emit(&mut self, record: &RunRecord) {
+            self.emit_with(record, &[]);
+        }
+
+        /// Adds one record with derived extras (speedups etc.).
+        pub fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
+            self.json.emit_with(record, extras);
+            if let Some(csv) = &mut self.csv {
+                csv.emit_with(record, extras);
+            }
+        }
+
+        /// Writes the report files and prints their paths.
+        pub fn finish(self) {
+            let Some(dir) = self.dir else { return };
+            let mut sinks: Vec<&dyn ReportSink> = vec![&self.json];
+            if let Some(csv) = &self.csv {
+                sinks.push(csv);
+            }
+            for sink in sinks {
+                let path = dir.join(format!("{}.{}", self.name, sink.extension()));
+                match write_report(&path, sink) {
+                    Ok(()) => println!("\nwrote {}", path.display()),
+                    Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+}
+
+pub mod microbench {
+    //! A minimal wall-clock micro-benchmark timer (std-only; the offline
+    //! build cannot depend on criterion).
+    //!
+    //! Each case is warmed up, then run in growing batches until it has
+    //! accumulated enough wall time for a stable per-iteration figure. The
+    //! result table reports the *median* of several batch measurements,
+    //! which is robust to scheduler noise without statistics machinery.
+
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Target accumulated measurement time per case.
+    const TARGET_NANOS: u128 = 200_000_000;
+    /// Number of batch samples the median is taken over.
+    const SAMPLES: usize = 7;
+
+    /// Collects timed cases and prints one table at the end.
+    #[derive(Debug, Default)]
+    pub struct Timer {
+        group: String,
+        rows: Vec<(String, f64)>,
+    }
+
+    impl Timer {
+        /// A new timer for a named group of cases.
+        pub fn new(group: &str) -> Self {
+            Timer {
+                group: group.to_string(),
+                rows: Vec::new(),
+            }
+        }
+
+        /// Times `f`, recording median ns/iteration under `name`.
+        pub fn case<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+            // Warm-up and batch-size calibration: grow until one batch
+            // takes a measurable slice of the target.
+            let mut batch = 1u64;
+            loop {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                let elapsed = t.elapsed().as_nanos().max(1);
+                if elapsed * (SAMPLES as u128) >= TARGET_NANOS || batch >= 1 << 20 {
+                    break;
+                }
+                batch = batch.saturating_mul(2);
+            }
+            let mut samples: Vec<f64> = (0..SAMPLES)
+                .map(|_| {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    t.elapsed().as_nanos() as f64 / batch as f64
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            self.rows.push((name.to_string(), samples[SAMPLES / 2]));
+        }
+
+        /// Prints the result table for this group.
+        pub fn finish(self) {
+            println!("\n## {}", self.group);
+            let headers = vec!["case".to_string(), "median".to_string()];
+            let rows: Vec<Vec<String>> = self
+                .rows
+                .iter()
+                .map(|(name, ns)| vec![name.clone(), fmt_nanos(*ns)])
+                .collect();
+            super::print_table(&headers, &rows);
+        }
+    }
+
+    /// Formats nanoseconds with an adaptive unit (ns / µs / ms).
+    pub fn fmt_nanos(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else {
+            format!("{:.3} ms", ns / 1_000_000.0)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

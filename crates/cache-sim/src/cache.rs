@@ -72,6 +72,19 @@ impl CacheStats {
             self.misses() as f64 * 1000.0 / per_thousand_of as f64
         }
     }
+
+    /// Exports counters and derived metrics for the report sinks.
+    pub fn kv(&self) -> cpu_sim::kv::KvPairs {
+        vec![
+            ("accesses", self.accesses.into()),
+            ("hits", self.hits.into()),
+            ("misses", self.misses().into()),
+            ("fills", self.fills.into()),
+            ("evictions", self.evictions.into()),
+            ("writebacks", self.writebacks.into()),
+            ("hit_rate", self.hit_rate().into()),
+        ]
+    }
 }
 
 const RRPV_MAX: u8 = 3;
@@ -272,7 +285,7 @@ impl Cache {
         };
         let brrip_long = {
             self.brrip_ctr = self.brrip_ctr.wrapping_add(1);
-            self.brrip_ctr % BRRIP_LONG_EVERY == 0
+            self.brrip_ctr.is_multiple_of(BRRIP_LONG_EVERY)
         };
         let pin_cap = self.pin_cap_ways;
 
@@ -318,9 +331,7 @@ impl Cache {
                     // RRIP victim search: find RRPV == MAX among unpinned,
                     // aging as needed.
                     loop {
-                        if let Some(i) = lines
-                            .iter()
-                            .position(|l| !l.pinned && l.rrpv >= RRPV_MAX)
+                        if let Some(i) = lines.iter().position(|l| !l.pinned && l.rrpv >= RRPV_MAX)
                         {
                             break i;
                         }
@@ -488,13 +499,15 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = tiny(ReplacementPolicy::Lru);
         let sets = c.config().sets() as u64; // 16 sets
-        // Fill all 4 ways of set 0.
+                                             // Fill all 4 ways of set 0.
         for i in 0..4u64 {
             c.fill(i * 64 * sets, false, InsertPriority::Normal);
         }
         // Touch line 0 so line 1 is LRU.
         assert!(c.probe(0, false));
-        let ev = c.fill(4 * 64 * sets, false, InsertPriority::Normal).unwrap();
+        let ev = c
+            .fill(4 * 64 * sets, false, InsertPriority::Normal)
+            .unwrap();
         assert_eq!(ev.addr, 64 * sets);
     }
 
@@ -506,7 +519,9 @@ mod tests {
         for i in 1..4u64 {
             c.fill(i * 64 * sets, false, InsertPriority::Normal);
         }
-        let ev = c.fill(4 * 64 * sets, false, InsertPriority::Normal).unwrap();
+        let ev = c
+            .fill(4 * 64 * sets, false, InsertPriority::Normal)
+            .unwrap();
         assert!(ev.dirty);
         assert_eq!(ev.addr, 0);
         assert_eq!(c.stats().writebacks, 1);
@@ -579,7 +594,9 @@ mod tests {
             c.fill(i * 64 * sets, false, InsertPriority::Normal);
         }
         c.fill(3 * 64 * sets, false, InsertPriority::Low);
-        let ev = c.fill(4 * 64 * sets, false, InsertPriority::Normal).unwrap();
+        let ev = c
+            .fill(4 * 64 * sets, false, InsertPriority::Normal)
+            .unwrap();
         assert_eq!(ev.addr, 3 * 64 * sets);
     }
 

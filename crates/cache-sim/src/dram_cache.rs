@@ -95,8 +95,7 @@ impl DramCache {
         self.stats.accesses += 1;
         let bypass = match working_set {
             Some(ws) => {
-                ws as f64
-                    > self.config.cache.size_bytes as f64 * self.config.bypass_ws_fraction
+                ws as f64 > self.config.cache.size_bytes as f64 * self.config.bypass_ws_fraction
             }
             None => false,
         };
@@ -166,7 +165,11 @@ mod tests {
         let (baseline_hot, base_stats) = run(false);
         let (xmem_hot, xmem_stats) = run(true);
         assert_eq!(base_stats.bypassed, 0);
-        assert!(xmem_stats.bypassed > 300_000, "stream bypasses: {}", xmem_stats.bypassed);
+        assert!(
+            xmem_stats.bypassed > 300_000,
+            "stream bypasses: {}",
+            xmem_stats.bypassed
+        );
         assert!(
             xmem_hot < baseline_hot * 0.75,
             "hot latency {xmem_hot:.0} vs baseline {baseline_hot:.0}"

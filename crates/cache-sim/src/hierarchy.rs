@@ -248,13 +248,7 @@ impl Hierarchy {
     /// broadcasts extent information for exactly this purpose, §4.2(4)).
     /// When the walk reaches the end of the atom it wraps to the beginning —
     /// tiles are swept repeatedly, so the wrap is the right continuation.
-    fn xmem_prefetch(
-        &mut self,
-        pa: u64,
-        atom: AtomId,
-        ctx: &mut XmemContext<'_>,
-        t_mem: u64,
-    ) {
+    fn xmem_prefetch(&mut self, pa: u64, atom: AtomId, ctx: &mut XmemContext<'_>, t_mem: u64) {
         let Some(prim) = ctx.pf_pat.get(atom) else {
             return;
         };
@@ -454,15 +448,12 @@ impl Hierarchy {
         t_mem: u64,
     ) -> bool {
         match (xmem, self.config.xmem, atom) {
-            (Some(ctx), XmemMode::Full, Some(a)) => {
+            (Some(ctx), XmemMode::Full, Some(a))
                 // §5.2(4): accesses to *pinned* atoms drive guided prefetch.
-                if self.pinned.contains(&a) {
+                if self.pinned.contains(&a) => {
                     self.xmem_prefetch(pa, a, ctx, t_mem);
                     true
-                } else {
-                    false
                 }
-            }
             (Some(ctx), XmemMode::PrefetchOnly, Some(a)) => {
                 // XMem-Pref: pattern-directed prefetch for any active atom
                 // with expressed reuse (software-prefetch-like, §5.4).
@@ -478,11 +469,7 @@ impl Hierarchy {
         }
     }
 
-    fn issue_stride_prefetches(
-        &mut self,
-        reqs: Vec<crate::prefetch::PrefetchRequest>,
-        t_mem: u64,
-    ) {
+    fn issue_stride_prefetches(&mut self, reqs: Vec<crate::prefetch::PrefetchRequest>, t_mem: u64) {
         for req in reqs {
             let target = req.addr & !(self.config.l3.line_bytes - 1);
             if self.l3.contains(target) {
@@ -533,7 +520,10 @@ mod tests {
             xmem_prefetch_degree: 4,
             xmem: mode,
         };
-        Hierarchy::new(cfg, Dram::new(DramConfig::ddr3_1066(3.6), AddressMapping::scheme1()))
+        Hierarchy::new(
+            cfg,
+            Dram::new(DramConfig::ddr3_1066(3.6), AddressMapping::scheme1()),
+        )
     }
 
     #[test]
@@ -598,11 +588,11 @@ mod tests {
 
     #[test]
     fn guided_prefetch_follows_negative_stride() {
-        use xmem_core::amu::{AmuConfig, AtomManagementUnit, IdentityMmu};
         use xmem_core::aam::AamConfig;
+        use xmem_core::addr::{VaRange, VirtAddr};
+        use xmem_core::amu::{AmuConfig, AtomManagementUnit, IdentityMmu};
         use xmem_core::attrs::{AccessPattern, AtomAttributes, Reuse};
         use xmem_core::isa::XmemInst;
-        use xmem_core::addr::{VaRange, VirtAddr};
         use xmem_core::pat::Pat;
         use xmem_core::translate::AttributeTranslator;
 

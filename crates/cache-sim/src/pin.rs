@@ -91,10 +91,7 @@ mod tests {
             &[cand(0, 10, 100), cand(1, 200, 100), cand(2, 50, 100)],
             1 << 20,
         );
-        assert_eq!(
-            pinned,
-            vec![AtomId::new(1), AtomId::new(2), AtomId::new(0)]
-        );
+        assert_eq!(pinned, vec![AtomId::new(1), AtomId::new(2), AtomId::new(0)]);
     }
 
     #[test]

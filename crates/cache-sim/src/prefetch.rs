@@ -31,6 +31,15 @@ impl PrefetchStats {
             self.useful as f64 / self.issued as f64
         }
     }
+
+    /// Exports counters and derived metrics for the report sinks.
+    pub fn kv(&self) -> cpu_sim::kv::KvPairs {
+        vec![
+            ("issued", self.issued.into()),
+            ("useful", self.useful.into()),
+            ("accuracy", self.accuracy().into()),
+        ]
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -251,7 +260,7 @@ mod tests {
         pf.train(1 << 13); // region 2
         pf.train(64); // touch region 0
         pf.train(1 << 20); // region X evicts region 2
-        // Region 0 still trained.
+                           // Region 0 still trained.
         pf.train(128);
         assert!(!pf.train(192).is_empty());
     }

@@ -208,9 +208,7 @@ pub fn fpc_decode(data: &[u8]) -> Line {
                 u32::from_le_bytes([b, b, b, b])
             }
             _ => {
-                let v = u32::from_le_bytes(
-                    data[pos..pos + 4].try_into().expect("payload"),
-                );
+                let v = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("payload"));
                 pos += 4;
                 v
             }

@@ -27,5 +27,5 @@ pub use crate::algorithms::{
     CompressedSize, Line,
 };
 pub use crate::approx::{level_for, max_relative_error, store, TruncationLevel};
-pub use crate::selector::{compress_with, mean_ratio};
 pub use crate::selector::datagen;
+pub use crate::selector::{compress_with, mean_ratio};

@@ -36,10 +36,7 @@ pub fn mean_ratio(algo: CompressionAlgo, lines: &[Line]) -> f64 {
     if lines.is_empty() {
         return 1.0;
     }
-    let total: usize = lines
-        .iter()
-        .map(|l| compress_with(algo, l).0.min(64))
-        .sum();
+    let total: usize = lines.iter().map(|l| compress_with(algo, l).0.min(64)).sum();
     64.0 * lines.len() as f64 / total as f64
 }
 
@@ -62,7 +59,7 @@ pub mod datagen {
             .map(|_| {
                 let mut l = [0u8; 64];
                 for b in l.iter_mut() {
-                    if splitmix(&mut s) % 10 == 0 {
+                    if splitmix(&mut s).is_multiple_of(10) {
                         *b = (splitmix(&mut s) & 0xFF) as u8;
                     }
                 }

@@ -90,6 +90,18 @@ impl CoreStats {
     pub fn seconds(&self, freq_ghz: f64) -> f64 {
         self.cycles as f64 / (freq_ghz * 1e9)
     }
+
+    /// Exports counters and derived metrics for the report sinks.
+    pub fn kv(&self) -> crate::kv::KvPairs {
+        vec![
+            ("cycles", self.cycles.into()),
+            ("instructions", self.instructions.into()),
+            ("loads", self.loads.into()),
+            ("stores", self.stores.into()),
+            ("ipc", self.ipc().into()),
+            ("avg_load_latency", self.avg_load_latency().into()),
+        ]
+    }
 }
 
 /// The core timing model.

@@ -1,0 +1,64 @@
+//! A tiny typed key/value vocabulary for exporting statistics.
+//!
+//! Every stats struct in the simulator stack exposes a `kv()` method
+//! returning `Vec<(&'static str, KvValue)>` — a flat, ordered list of
+//! metric names and values. The sweep harness's report sinks
+//! (`xmem-sim::report_sink`) turn those lists into JSON objects and CSV
+//! columns without any serialization framework; this module lives in
+//! `cpu-sim` because it is the root of the stats dependency chain.
+
+/// One exported metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvValue {
+    /// An exact counter.
+    U64(u64),
+    /// A derived ratio or average.
+    F64(f64),
+    /// A configuration flag.
+    Bool(bool),
+}
+
+impl KvValue {
+    /// The value as `f64` (counters widen; bools become 0/1).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            KvValue::U64(v) => v as f64,
+            KvValue::F64(v) => v,
+            KvValue::Bool(b) => u64::from(b) as f64,
+        }
+    }
+}
+
+impl From<u64> for KvValue {
+    fn from(v: u64) -> Self {
+        KvValue::U64(v)
+    }
+}
+
+impl From<f64> for KvValue {
+    fn from(v: f64) -> Self {
+        KvValue::F64(v)
+    }
+}
+
+impl From<bool> for KvValue {
+    fn from(v: bool) -> Self {
+        KvValue::Bool(v)
+    }
+}
+
+/// An ordered list of exported metrics.
+pub type KvPairs = Vec<(&'static str, KvValue)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_widen() {
+        assert_eq!(KvValue::from(3u64).as_f64(), 3.0);
+        assert_eq!(KvValue::from(0.5).as_f64(), 0.5);
+        assert_eq!(KvValue::from(true).as_f64(), 1.0);
+        assert_eq!(KvValue::from(false).as_f64(), 0.0);
+    }
+}

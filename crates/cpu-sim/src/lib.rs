@@ -22,9 +22,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod core;
+pub mod kv;
 pub mod stats;
 pub mod trace;
 
 pub use crate::core::{Core, CoreConfig, CoreStats};
+pub use crate::kv::{KvPairs, KvValue};
 pub use crate::stats::LatencyHistogram;
 pub use crate::trace::{FixedLatency, MemoryModel, Op};

@@ -109,6 +109,25 @@ impl DramStats {
             self.total_write_latency as f64 / self.writes as f64
         }
     }
+
+    /// Exports counters and derived metrics for the report sinks.
+    pub fn kv(&self) -> cpu_sim::kv::KvPairs {
+        vec![
+            ("reads", self.reads.into()),
+            ("demand_reads", self.demand_reads.into()),
+            ("writes", self.writes.into()),
+            ("row_hits", self.row_hits.into()),
+            ("row_misses", self.row_misses.into()),
+            ("row_conflicts", self.row_conflicts.into()),
+            ("row_hit_rate", self.row_hit_rate().into()),
+            ("avg_read_latency", self.avg_read_latency().into()),
+            (
+                "avg_demand_read_latency",
+                self.avg_demand_read_latency().into(),
+            ),
+            ("avg_write_latency", self.avg_write_latency().into()),
+        ]
+    }
 }
 
 /// The DRAM device model.
@@ -222,11 +241,7 @@ impl Dram {
             let start = now.max(bank.ready_at);
             let (outcome, cmd_cycles, ras_wait) = match bank.open_row {
                 Some(r) if r == loc.row => (RowOutcome::Hit, self.config.t_cl, 0),
-                None => (
-                    RowOutcome::Miss,
-                    self.config.t_rcd + self.config.t_cl,
-                    0,
-                ),
+                None => (RowOutcome::Miss, self.config.t_rcd + self.config.t_cl, 0),
                 Some(_) => {
                     // Must respect tRAS of the currently open row before
                     // precharging it.
@@ -344,9 +359,7 @@ mod tests {
         for i in 0..64u64 {
             t2 += conflicter.access((i % 2) * cfg.row_bytes, false, t2);
         }
-        assert!(
-            conflicter.stats().avg_read_latency() > 1.5 * hitter.stats().avg_read_latency()
-        );
+        assert!(conflicter.stats().avg_read_latency() > 1.5 * hitter.stats().avg_read_latency());
     }
 
     #[test]

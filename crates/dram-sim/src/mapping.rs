@@ -86,7 +86,13 @@ impl AddressMapping {
     /// then columns: maximizes channel parallelism for sequential streams.
     pub fn scheme1() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Channel, Field::Column, Field::Bank, Field::Rank, Field::Row],
+            order_lsb_to_msb: [
+                Field::Channel,
+                Field::Column,
+                Field::Bank,
+                Field::Rank,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:rank:bank:col:chan",
         }
@@ -96,7 +102,13 @@ impl AddressMapping {
     /// channel; channels interleave at row granularity.
     pub fn scheme2() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Column, Field::Channel, Field::Bank, Field::Rank, Field::Row],
+            order_lsb_to_msb: [
+                Field::Column,
+                Field::Channel,
+                Field::Bank,
+                Field::Rank,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:rank:bank:col*:chan*",
         }
@@ -106,7 +118,13 @@ impl AddressMapping {
     /// sequential streams sweep all banks before moving within a row.
     pub fn scheme3() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Channel, Field::Bank, Field::Rank, Field::Column, Field::Row],
+            order_lsb_to_msb: [
+                Field::Channel,
+                Field::Bank,
+                Field::Rank,
+                Field::Column,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:col:rank:bank:chan",
         }
@@ -115,7 +133,13 @@ impl AddressMapping {
     /// `row:bank:rank:col:chan` — like scheme1 but ranks swap with banks.
     pub fn scheme4() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Channel, Field::Column, Field::Rank, Field::Bank, Field::Row],
+            order_lsb_to_msb: [
+                Field::Channel,
+                Field::Column,
+                Field::Rank,
+                Field::Bank,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:bank:rank:col:chan",
         }
@@ -127,7 +151,13 @@ impl AddressMapping {
     /// (and no parallelism).
     pub fn scheme5() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Column, Field::Row, Field::Bank, Field::Rank, Field::Channel],
+            order_lsb_to_msb: [
+                Field::Column,
+                Field::Row,
+                Field::Bank,
+                Field::Rank,
+                Field::Channel,
+            ],
             bank_xor: false,
             name: "chan:rank:bank:row:col",
         }
@@ -136,7 +166,13 @@ impl AddressMapping {
     /// `row:col:bank:rank:chan` — rank interleave below bank.
     pub fn scheme6() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Channel, Field::Rank, Field::Bank, Field::Column, Field::Row],
+            order_lsb_to_msb: [
+                Field::Channel,
+                Field::Rank,
+                Field::Bank,
+                Field::Column,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:col:bank:rank:chan",
         }
@@ -146,7 +182,13 @@ impl AddressMapping {
     /// lines hit different banks (maximal bank rotation).
     pub fn scheme7() -> AddressMapping {
         AddressMapping {
-            order_lsb_to_msb: [Field::Bank, Field::Rank, Field::Column, Field::Channel, Field::Row],
+            order_lsb_to_msb: [
+                Field::Bank,
+                Field::Rank,
+                Field::Column,
+                Field::Channel,
+                Field::Row,
+            ],
             bank_xor: false,
             name: "row:chan:col:rank:bank",
         }
@@ -224,7 +266,7 @@ fn log2(n: u64) -> u32 {
 
 #[inline]
 fn take(rest: &mut u64, bits: u32) -> u64 {
-    let v = *rest & ((1u64 << bits) - 1).max(0);
+    let v = *rest & ((1u64 << bits) - 1);
     *rest >>= bits;
     v
 }

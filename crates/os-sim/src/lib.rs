@@ -25,8 +25,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod hybrid;
-pub mod numa;
 pub mod loader;
+pub mod numa;
 pub mod os;
 pub mod placement;
 pub mod tlb;

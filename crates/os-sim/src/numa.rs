@@ -116,9 +116,7 @@ impl NumaSystem {
         let local = match placement {
             NumaPlacement::Replicated => true,
             NumaPlacement::OnSocket(s) => s == socket,
-            NumaPlacement::Interleaved => {
-                (salt % self.config.sockets as u64) as usize == socket
-            }
+            NumaPlacement::Interleaved => (salt % self.config.sockets as u64) as usize == socket,
         };
         let lat = if local {
             self.config.local_latency

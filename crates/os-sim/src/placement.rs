@@ -15,9 +15,8 @@
 //!   across the remaining banks to maximize memory-level parallelism.
 
 use dram_sim::{AddressMapping, DramConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use xmem_core::atom::AtomId;
+use xmem_core::rng::SplitMix64;
 use xmem_core::translate::PlacementPrimitive;
 
 /// A frame allocator over a fixed pool of physical frames.
@@ -51,14 +50,8 @@ pub enum FramePolicy {
 
 #[derive(Debug)]
 enum PolicyState {
-    Sequential {
-        free: Vec<u64>,
-        next: usize,
-    },
-    Randomized {
-        free: Vec<u64>,
-        rng: StdRng,
-    },
+    Sequential { free: Vec<u64>, next: usize },
+    Randomized { free: Vec<u64>, rng: SplitMix64 },
     Xmem(XmemPlacement),
 }
 
@@ -78,7 +71,7 @@ impl FrameAllocator {
             },
             FramePolicy::Randomized { seed } => PolicyState::Randomized {
                 free: (0..frames).collect(),
-                rng: StdRng::seed_from_u64(seed),
+                rng: SplitMix64::new(seed),
             },
             FramePolicy::Xmem {
                 atoms,
@@ -115,7 +108,7 @@ impl FrameAllocator {
                 if free.is_empty() {
                     None
                 } else {
-                    let i = rng.gen_range(0..free.len());
+                    let i = rng.below(free.len() as u64) as usize;
                     Some(free.swap_remove(i))
                 }
             }
@@ -180,11 +173,7 @@ impl XmemPlacement {
 
         // Rank atoms: isolate high-RBL atoms whose intensity is at least
         // half of the hottest atom's.
-        let max_intensity = atoms
-            .iter()
-            .map(|(_, p)| p.intensity)
-            .max()
-            .unwrap_or(0);
+        let max_intensity = atoms.iter().map(|(_, p)| p.intensity).max().unwrap_or(0);
         let threshold = max_intensity / 2;
         let mut isolated: Vec<(AtomId, u8)> = atoms
             .iter()
@@ -198,7 +187,11 @@ impl XmemPlacement {
         // a structure carrying most of the traffic needs most of the banks),
         // always leaving a shared remainder for spread/anonymous data when
         // any exists.
-        let i_total: u64 = atoms.iter().map(|(_, p)| p.intensity as u64).sum::<u64>().max(1);
+        let i_total: u64 = atoms
+            .iter()
+            .map(|(_, p)| p.intensity as u64)
+            .sum::<u64>()
+            .max(1);
         let any_shared_atom = atoms
             .iter()
             .any(|(a, p)| !isolated.iter().any(|(ia, _)| ia == a) || !p.high_rbl);
@@ -222,7 +215,8 @@ impl XmemPlacement {
             if available == 0 {
                 break;
             }
-            let want = ((total_banks as u64 * intensity as u64 + i_total - 1) / i_total)
+            let want = (total_banks as u64 * intensity as u64)
+                .div_ceil(i_total)
                 .max(1) as usize;
             let take = want.min(available);
             let banks: Vec<usize> = bank_order[cursor..cursor + take].to_vec();
@@ -255,10 +249,7 @@ impl XmemPlacement {
                 let banks = banks.clone();
                 // Pick the reserved bank with the most free frames (keeps
                 // row runs long while balancing).
-                if let Some(&bank) = banks
-                    .iter()
-                    .max_by_key(|&&b| self.per_bank[b].len())
-                {
+                if let Some(&bank) = banks.iter().max_by_key(|&&b| self.per_bank[b].len()) {
                     if let Some(f) = self.per_bank[bank].pop() {
                         return Some(f);
                     }
@@ -286,7 +277,7 @@ impl XmemPlacement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xmem_core::attrs::{AccessPattern, AtomAttributes, AccessIntensity};
+    use xmem_core::attrs::{AccessIntensity, AccessPattern, AtomAttributes};
     use xmem_core::translate::AttributeTranslator;
 
     fn prim(high_rbl: bool, intensity: u8) -> PlacementPrimitive {
@@ -330,8 +321,7 @@ mod tests {
     #[test]
     fn randomized_is_deterministic_per_seed_and_exhaustive() {
         let run = |seed| {
-            let mut a =
-                FrameAllocator::new(64 * 4096, 4096, FramePolicy::Randomized { seed });
+            let mut a = FrameAllocator::new(64 * 4096, 4096, FramePolicy::Randomized { seed });
             (0..64).map(|_| a.alloc(None).unwrap()).collect::<Vec<_>>()
         };
         let x = run(1);
@@ -360,7 +350,10 @@ mod tests {
         for _ in 0..32 {
             let f = a.alloc(Some(hot)).unwrap();
             let bank = mapping.decode(f * 4096, &dram).global_bank(&dram);
-            assert!(banks.contains(&bank), "frame {f} in bank {bank}, not {banks:?}");
+            assert!(
+                banks.contains(&bank),
+                "frame {f} in bank {bank}, not {banks:?}"
+            );
         }
         // And the cold atom never lands there.
         for _ in 0..32 {

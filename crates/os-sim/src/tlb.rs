@@ -152,7 +152,11 @@ mod tests {
         tlb.translate_cost(VirtAddr::new(0)); // touch page 0
         tlb.translate_cost(VirtAddr::new(8192)); // page 2 evicts page 1
         assert_eq!(tlb.translate_cost(VirtAddr::new(0)), 0, "page 0 resident");
-        assert_eq!(tlb.translate_cost(VirtAddr::new(4096)), 30, "page 1 evicted");
+        assert_eq!(
+            tlb.translate_cost(VirtAddr::new(4096)),
+            30,
+            "page 1 evicted"
+        );
     }
 
     #[test]

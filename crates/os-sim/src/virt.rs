@@ -78,7 +78,9 @@ impl NestedPageTable {
     pub fn guest_pa_to_host(&self, gpa: u64) -> Option<u64> {
         let gpfn = gpa / self.page_size;
         let offset = gpa % self.page_size;
-        self.host.get(&gpfn).map(|hpfn| hpfn * self.page_size + offset)
+        self.host
+            .get(&gpfn)
+            .map(|hpfn| hpfn * self.page_size + offset)
     }
 }
 
@@ -185,13 +187,17 @@ mod tests {
         let mut lib = XMemLib::new();
         let atom = lib
             .create_atom(
-                CallSite { file: "guest", line: 1 },
+                CallSite {
+                    file: "guest",
+                    line: 1,
+                },
                 "guest_data",
                 AtomAttributes::default(),
             )
             .unwrap();
         let gva = vm.galloc(16 << 10).unwrap();
-        lib.atom_map(&mut amu, &vm.pages, atom, gva, 16 << 10).unwrap();
+        lib.atom_map(&mut amu, &vm.pages, atom, gva, 16 << 10)
+            .unwrap();
         lib.atom_activate(&mut amu, &vm.pages, atom).unwrap();
 
         // The AAM is host-PA indexed: querying through the nested walk
@@ -211,14 +217,35 @@ mod tests {
         let mut lib1 = XMemLib::new();
         let mut lib2 = XMemLib::new();
         let a1 = lib1
-            .create_atom(CallSite { file: "g1", line: 1 }, "a", AtomAttributes::default())
+            .create_atom(
+                CallSite {
+                    file: "g1",
+                    line: 1,
+                },
+                "a",
+                AtomAttributes::default(),
+            )
             .unwrap();
         // Give VM2's atom a distinct global ID (process-level tracking).
         let _ = lib2
-            .create_atom(CallSite { file: "g2", line: 0 }, "pad", AtomAttributes::default())
+            .create_atom(
+                CallSite {
+                    file: "g2",
+                    line: 0,
+                },
+                "pad",
+                AtomAttributes::default(),
+            )
             .unwrap();
         let a2 = lib2
-            .create_atom(CallSite { file: "g2", line: 1 }, "b", AtomAttributes::default())
+            .create_atom(
+                CallSite {
+                    file: "g2",
+                    line: 1,
+                },
+                "b",
+                AtomAttributes::default(),
+            )
             .unwrap();
         assert_ne!(a1, a2);
 

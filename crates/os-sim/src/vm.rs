@@ -91,7 +91,10 @@ mod tests {
         let mut pt = PageTable::new(4096);
         pt.map_page(0, 7);
         pt.map_page(5, 0);
-        assert_eq!(pt.translate(VirtAddr::new(10)).unwrap().raw(), 7 * 4096 + 10);
+        assert_eq!(
+            pt.translate(VirtAddr::new(10)).unwrap().raw(),
+            7 * 4096 + 10
+        );
         assert_eq!(
             pt.translate(VirtAddr::new(5 * 4096 + 4095)).unwrap().raw(),
             4095

@@ -1,28 +1,119 @@
 //! Experiment runners for the paper's two use cases.
 //!
-//! These functions encapsulate the exact system configurations each figure
-//! compares; the `xmem-bench` crate loops them over workloads and
-//! parameters to regenerate the figures.
+//! [`KernelRun`] is the entry point for use-case-1 experiments (Figs 4–6):
+//! a builder naming the kernel, its parameters, and the system to run it
+//! on. [`run_placement`] / [`placement_specs`] cover use case 2 (Figs
+//! 7–8); the spec form exposes each system's §6.3 configuration grid so
+//! the bench binaries can flatten entire figures into one parallel
+//! [`Sweep`](crate::harness::Sweep).
 
 use crate::config::{FramePolicyKind, SystemConfig, SystemKind};
+use crate::harness::{RunSpec, Sweep, WorkloadSpec};
 use crate::machine::run_workload;
 use crate::report::RunReport;
 use dram_sim::AddressMapping;
+use std::fmt;
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 
+/// One use-case-1 kernel experiment, built up fluently:
+///
+/// ```
+/// use workloads::polybench::{KernelParams, PolybenchKernel};
+/// use xmem_sim::{KernelRun, SystemKind};
+///
+/// let p = KernelParams { n: 16, tile_bytes: 1024, steps: 1, reuse: 200 };
+/// let report = KernelRun::new(PolybenchKernel::Gemm, p)
+///     .l3_bytes(32 << 10)
+///     .system(SystemKind::Xmem)
+///     .run();
+/// assert!(report.cycles() > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRun {
+    kernel: PolybenchKernel,
+    params: KernelParams,
+    l3_bytes: u64,
+    system: SystemKind,
+    per_core_gbps: Option<f64>,
+}
+
+impl KernelRun {
+    /// A run of `kernel` with `params` on the scaled use-case-1 machine
+    /// (32 KB L3, [`SystemKind::Baseline`] until overridden).
+    pub fn new(kernel: PolybenchKernel, params: KernelParams) -> Self {
+        KernelRun {
+            kernel,
+            params,
+            l3_bytes: 32 << 10,
+            system: SystemKind::Baseline,
+            per_core_gbps: None,
+        }
+    }
+
+    /// Sets the scaled L3 capacity (Fig 4/5 sweep axis).
+    pub fn l3_bytes(mut self, bytes: u64) -> Self {
+        self.l3_bytes = bytes;
+        self
+    }
+
+    /// Sets which of the paper's systems to model.
+    pub fn system(mut self, kind: SystemKind) -> Self {
+        self.system = kind;
+        self
+    }
+
+    /// Overrides per-core memory bandwidth (Fig 6: 2 / 1 / 0.5 GB/s).
+    pub fn per_core_gbps(mut self, gbps: f64) -> Self {
+        self.per_core_gbps = Some(gbps);
+        self
+    }
+
+    /// The complete system configuration this run will simulate.
+    pub fn config(&self) -> SystemConfig {
+        let cfg = SystemConfig::scaled_use_case1(self.l3_bytes, self.system);
+        match self.per_core_gbps {
+            Some(gbps) => cfg.with_per_core_bandwidth(gbps),
+            None => cfg,
+        }
+    }
+
+    /// This run as an enumerable [`RunSpec`] (for batching many runs into
+    /// one parallel sweep). The label is `<kernel>/<system>`.
+    pub fn spec(&self) -> RunSpec {
+        RunSpec::new(
+            format!("{}/{}", self.kernel.name(), self.system),
+            self.config(),
+            WorkloadSpec::kernel(self.kernel, self.params),
+        )
+    }
+
+    /// Executes the run.
+    pub fn run(&self) -> RunReport {
+        run_workload(&self.config(), |sink| {
+            self.kernel.generate(&self.params, sink)
+        })
+    }
+}
+
 /// Runs one use-case-1 kernel on the scaled system (Figs 4 and 5).
+#[deprecated(note = "use the KernelRun builder: \
+    `KernelRun::new(kernel, params).l3_bytes(..).system(..).run()`")]
 pub fn run_kernel(
     kernel: PolybenchKernel,
     params: &KernelParams,
     l3_bytes: u64,
     kind: SystemKind,
 ) -> RunReport {
-    let cfg = SystemConfig::scaled_use_case1(l3_bytes, kind);
-    run_workload(&cfg, |sink| kernel.generate(params, sink))
+    KernelRun::new(kernel, *params)
+        .l3_bytes(l3_bytes)
+        .system(kind)
+        .run()
 }
 
 /// Runs one use-case-1 kernel with a per-core bandwidth override (Fig 6).
+#[deprecated(note = "use the KernelRun builder: \
+    `KernelRun::new(kernel, params).per_core_gbps(..).run()`")]
 pub fn run_kernel_bw(
     kernel: PolybenchKernel,
     params: &KernelParams,
@@ -30,9 +121,11 @@ pub fn run_kernel_bw(
     kind: SystemKind,
     per_core_gbps: f64,
 ) -> RunReport {
-    let cfg =
-        SystemConfig::scaled_use_case1(l3_bytes, kind).with_per_core_bandwidth(per_core_gbps);
-    run_workload(&cfg, |sink| kernel.generate(params, sink))
+    KernelRun::new(kernel, *params)
+        .l3_bytes(l3_bytes)
+        .system(kind)
+        .per_core_gbps(per_core_gbps)
+        .run()
 }
 
 /// The three systems compared in Figs 7 and 8.
@@ -50,12 +143,23 @@ pub enum Uc2System {
 
 impl Uc2System {
     /// Display name matching the paper's figures.
+    #[deprecated(note = "use the Display impl: `format!(\"{sys}\")`")]
     pub fn name(self) -> &'static str {
         match self {
             Uc2System::Baseline => "Baseline",
             Uc2System::Xmem => "XMem",
             Uc2System::IdealRbl => "Ideal",
         }
+    }
+}
+
+impl fmt::Display for Uc2System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Uc2System::Baseline => "Baseline",
+            Uc2System::Xmem => "XMem",
+            Uc2System::IdealRbl => "Ideal",
+        })
     }
 }
 
@@ -68,64 +172,67 @@ fn uc2_config(
     ideal: bool,
     prefetcher: bool,
 ) -> SystemConfig {
-    let mut cfg = SystemConfig::westmere_like();
-    cfg.phys_bytes = UC2_PHYS;
-    cfg.dram = dram_sim::DramConfig::ddr3_1066(3.6).with_capacity(UC2_PHYS);
-    cfg.mapping = mapping;
-    cfg.frame_policy = policy;
-    cfg.ideal_rbl = ideal;
-    cfg.hierarchy.stride_prefetcher = prefetcher;
-    cfg
+    SystemConfig::builder()
+        .phys_bytes(UC2_PHYS)
+        .mapping(mapping)
+        .frame_policy(policy)
+        .ideal_rbl(ideal)
+        .stride_prefetcher(prefetcher)
+        .build()
 }
 
-fn best_of(configs: impl IntoIterator<Item = SystemConfig>, w: &PlacementWorkload) -> RunReport {
-    configs
-        .into_iter()
-        .map(|cfg| run_workload(&cfg, |sink| w.generate(sink)))
-        .min_by_key(|r| r.cycles())
-        .expect("at least one configuration")
-}
-
-/// Runs one placement workload under the given system (Figs 7 and 8).
+/// The §6.3 configuration grid for one placement workload under one
+/// system, as enumerable specs (label `<workload>/<system>/<mapping>/pf±`).
 ///
-/// Per §6.3, every system takes the best of prefetcher-on/off; the baseline
-/// additionally takes the best of all nine address mappings.
+/// Per §6.3, every system takes the best of prefetcher-on/off; the
+/// baseline additionally takes the best of all nine address mappings, so
+/// its grid has 18 points.
+pub fn placement_specs(w: &PlacementWorkload, system: Uc2System) -> Vec<RunSpec> {
+    let grid: Vec<(AddressMapping, FramePolicyKind, bool)> = match system {
+        Uc2System::Baseline => AddressMapping::all_schemes()
+            .into_iter()
+            .map(|m| (m, FramePolicyKind::Randomized { seed: 0xA70 }, false))
+            .collect(),
+        // The OS places at data-structure granularity, which requires a
+        // mapping whose bank bits sit above the page offset: the
+        // bank-partitioned scheme5.
+        Uc2System::Xmem => vec![(
+            AddressMapping::scheme5(),
+            FramePolicyKind::XmemPlacement,
+            false,
+        )],
+        Uc2System::IdealRbl => vec![(
+            AddressMapping::scheme1(),
+            FramePolicyKind::Randomized { seed: 0xA70 },
+            true,
+        )],
+    };
+    grid.into_iter()
+        .flat_map(|(mapping, policy, ideal)| {
+            [true, false].map(|pf| {
+                RunSpec::new(
+                    format!(
+                        "{}/{system}/{}/{}",
+                        w.name,
+                        mapping.name(),
+                        if pf { "pf+" } else { "pf-" }
+                    ),
+                    uc2_config(mapping, policy, ideal, pf),
+                    WorkloadSpec::placement(w.clone()),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Runs one placement workload under the given system (Figs 7 and 8),
+/// executing the system's §6.3 configuration grid on the parallel sweep
+/// engine and keeping the fastest point.
+///
+/// Tie-breaking matches a serial `min_by_key` over the grid order, so the
+/// result is deterministic and worker-count independent.
 pub fn run_placement(w: &PlacementWorkload, system: Uc2System) -> RunReport {
-    match system {
-        Uc2System::Baseline => best_of(
-            AddressMapping::all_schemes().into_iter().flat_map(|m| {
-                [true, false].map(|pf| {
-                    uc2_config(m, FramePolicyKind::Randomized { seed: 0xA70 }, false, pf)
-                })
-            }),
-            w,
-        ),
-        Uc2System::Xmem => best_of(
-            // The OS places at data-structure granularity, which requires a
-            // mapping whose bank bits sit above the page offset: the
-            // bank-partitioned scheme5.
-            [true, false].map(|pf| {
-                uc2_config(
-                    AddressMapping::scheme5(),
-                    FramePolicyKind::XmemPlacement,
-                    false,
-                    pf,
-                )
-            }),
-            w,
-        ),
-        Uc2System::IdealRbl => best_of(
-            [true, false].map(|pf| {
-                uc2_config(
-                    AddressMapping::scheme1(),
-                    FramePolicyKind::Randomized { seed: 0xA70 },
-                    true,
-                    pf,
-                )
-            }),
-            w,
-        ),
-    }
+    Sweep::new(placement_specs(w, system)).best().report
 }
 
 #[cfg(test)]
@@ -151,9 +258,10 @@ mod tests {
             steps: 2,
             reuse: 200,
         };
-        let l3 = 32 << 10;
-        let base = run_kernel(PolybenchKernel::Gemm, &p, l3, SystemKind::Baseline);
-        let xmem = run_kernel(PolybenchKernel::Gemm, &p, l3, SystemKind::Xmem);
+        let base = KernelRun::new(PolybenchKernel::Gemm, p).run();
+        let xmem = KernelRun::new(PolybenchKernel::Gemm, p)
+            .system(SystemKind::Xmem)
+            .run();
         assert!(
             xmem.cycles() < base.cycles(),
             "xmem {} vs baseline {}",
@@ -165,9 +273,24 @@ mod tests {
     #[test]
     fn bandwidth_reduction_slows_everything() {
         let p = tiny_kernel_params();
-        let fast = run_kernel_bw(PolybenchKernel::Mvt, &p, 32 << 10, SystemKind::Baseline, 2.0);
-        let slow = run_kernel_bw(PolybenchKernel::Mvt, &p, 32 << 10, SystemKind::Baseline, 0.5);
+        let fast = KernelRun::new(PolybenchKernel::Mvt, p)
+            .per_core_gbps(2.0)
+            .run();
+        let slow = KernelRun::new(PolybenchKernel::Mvt, p)
+            .per_core_gbps(0.5)
+            .run();
         assert!(slow.cycles() >= fast.cycles());
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_builder() {
+        let p = tiny_kernel_params();
+        #[allow(deprecated)]
+        let old = run_kernel(PolybenchKernel::Mvt, &p, 32 << 10, SystemKind::Xmem);
+        let new = KernelRun::new(PolybenchKernel::Mvt, p)
+            .system(SystemKind::Xmem)
+            .run();
+        assert_eq!(old, new);
     }
 
     #[test]
@@ -195,5 +318,13 @@ mod tests {
             assert!(r.cycles() > 0, "{:?}", sys);
             assert!(r.dram.accesses() > 0, "{:?} never reached DRAM", sys);
         }
+    }
+
+    #[test]
+    fn baseline_grid_has_eighteen_points() {
+        let w = PlacementWorkload::by_name("milc").unwrap();
+        assert_eq!(placement_specs(&w, Uc2System::Baseline).len(), 18);
+        assert_eq!(placement_specs(&w, Uc2System::Xmem).len(), 2);
+        assert_eq!(placement_specs(&w, Uc2System::IdealRbl).len(), 2);
     }
 }

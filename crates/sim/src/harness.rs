@@ -1,0 +1,300 @@
+//! The experiment-sweep engine: enumerable run specifications executed on
+//! a fixed-size worker pool with deterministic, order-stable results.
+//!
+//! Every figure in the paper is a *sweep*: the cross product of workloads,
+//! system configurations, and parameter values, each point an independent
+//! full-system simulation. This module gives that structure a first-class
+//! API —
+//!
+//! * [`RunSpec`] names one point: a label, a [`SystemConfig`], and a
+//!   [`WorkloadSpec`] saying what trace to run on it;
+//! * [`Sweep`] executes a list of specs on `std::thread::scope` workers and
+//!   returns one [`RunRecord`] per spec, **in spec order** regardless of
+//!   which worker finished first;
+//! * [`run_jobs`] is the underlying generic pool for jobs that do not fit
+//!   the `RunSpec` mold (e.g. multi-core co-runs).
+//!
+//! Simulations are pure functions of their config, so a parallel sweep is
+//! bit-identical to a serial one — `tests/harness.rs` proves it.
+//!
+//! ```
+//! use workloads::polybench::{KernelParams, PolybenchKernel};
+//! use xmem_sim::harness::{RunSpec, Sweep, WorkloadSpec};
+//! use xmem_sim::{SystemConfig, SystemKind};
+//!
+//! let p = KernelParams { n: 16, tile_bytes: 1024, steps: 1, reuse: 200 };
+//! let sweep = Sweep::new(
+//!     [SystemKind::Baseline, SystemKind::Xmem]
+//!         .map(|kind| RunSpec {
+//!             label: format!("mvt/{kind}"),
+//!             config: SystemConfig::scaled_use_case1(8 << 10, kind),
+//!             workload: WorkloadSpec::kernel(PolybenchKernel::Mvt, p),
+//!         })
+//!         .to_vec(),
+//! );
+//! let records = sweep.run();
+//! assert_eq!(records.len(), 2);
+//! assert!(records[0].label.starts_with("mvt"));
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::config::SystemConfig;
+use crate::machine::run_workload;
+use crate::report::RunReport;
+use workloads::placement::PlacementWorkload;
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use workloads::sink::TraceSink;
+
+/// Runs `jobs` independent jobs on at most `workers` scoped threads and
+/// returns their results **indexed by job**, not by completion order.
+///
+/// Jobs are handed out from a shared atomic counter, so workers stay busy
+/// even when job runtimes vary wildly (a placement sweep mixes millisecond
+/// and second-long simulations). `run` must be a pure function of the job
+/// index for the sweep to be deterministic; the pool itself never reorders
+/// results.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins.
+pub fn run_jobs<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(jobs.max(1));
+    // One slot per job: each is written exactly once, by whichever worker
+    // drew that index.
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = run(i);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every job index was claimed and ran")
+        })
+        .collect()
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// What one run simulates: a workload-generator closure in data form, so
+/// specs can be stored, enumerated, and shipped across threads.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// A use-case-1 polybench kernel (Figs 4–6).
+    Kernel {
+        /// Which kernel.
+        kernel: PolybenchKernel,
+        /// Problem-size / tile parameters.
+        params: KernelParams,
+    },
+    /// A use-case-2 placement workload (Figs 7–8).
+    Placement(PlacementWorkload),
+}
+
+impl WorkloadSpec {
+    /// A kernel workload.
+    pub fn kernel(kernel: PolybenchKernel, params: KernelParams) -> Self {
+        WorkloadSpec::Kernel { kernel, params }
+    }
+
+    /// A placement workload.
+    pub fn placement(w: PlacementWorkload) -> Self {
+        WorkloadSpec::Placement(w)
+    }
+
+    /// The workload's short name (kernel or workload name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Kernel { kernel, .. } => kernel.name(),
+            WorkloadSpec::Placement(w) => w.name,
+        }
+    }
+
+    /// Replays the workload into a trace sink (what [`run_workload`] does
+    /// twice: once to scan, once to execute).
+    pub fn generate(&self, sink: &mut dyn TraceSink) {
+        match self {
+            WorkloadSpec::Kernel { kernel, params } => kernel.generate(params, sink),
+            WorkloadSpec::Placement(w) => w.generate(sink),
+        }
+    }
+}
+
+/// One enumerable experiment point.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Human-readable point label (becomes the report's `label` field).
+    pub label: String,
+    /// The complete system configuration to simulate.
+    pub config: SystemConfig,
+    /// What to run on it.
+    pub workload: WorkloadSpec,
+}
+
+impl RunSpec {
+    /// A spec with a label built from the workload name.
+    pub fn new(label: impl Into<String>, config: SystemConfig, workload: WorkloadSpec) -> Self {
+        RunSpec {
+            label: label.into(),
+            config,
+            workload,
+        }
+    }
+
+    /// Executes this spec (one full two-pass simulation). Pure: equal specs
+    /// give equal reports.
+    pub fn execute(&self) -> RunReport {
+        run_workload(&self.config, |sink| self.workload.generate(sink))
+    }
+}
+
+/// A run spec together with its measured report — the unit every
+/// [`crate::report_sink::ReportSink`] serializes.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec's label.
+    pub label: String,
+    /// The configuration that produced the report.
+    pub config: SystemConfig,
+    /// The workload's short name.
+    pub workload: &'static str,
+    /// The measurements.
+    pub report: RunReport,
+}
+
+/// A batch of [`RunSpec`]s executed on a worker pool.
+///
+/// Results come back in spec order; with pure specs the records are
+/// byte-identical whether `workers` is 1 or 64.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    specs: Vec<RunSpec>,
+    workers: usize,
+}
+
+impl Sweep {
+    /// A sweep over `specs` using every available core.
+    pub fn new(specs: Vec<RunSpec>) -> Self {
+        Sweep {
+            specs,
+            workers: default_workers(),
+        }
+    }
+
+    /// Overrides the worker count (`1` = serial reference execution).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Appends a spec.
+    pub fn push(&mut self, spec: RunSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The specs, in execution/result order.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Executes every spec and returns one record per spec, in spec order.
+    pub fn run(&self) -> Vec<RunRecord> {
+        let reports = run_jobs(self.specs.len(), self.workers, |i| self.specs[i].execute());
+        self.specs
+            .iter()
+            .zip(reports)
+            .map(|(spec, report)| RunRecord {
+                label: spec.label.clone(),
+                config: spec.config,
+                workload: spec.workload.name(),
+                report,
+            })
+            .collect()
+    }
+
+    /// Executes every spec and returns the record with the fewest cycles
+    /// (ties broken by spec order, exactly like a serial `min_by_key`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
+    pub fn best(&self) -> RunRecord {
+        self.run()
+            .into_iter()
+            .min_by_key(|r| r.report.cycles())
+            .expect("at least one spec")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+
+    #[test]
+    fn run_jobs_is_order_stable() {
+        // Job i sleeps inversely to its index so completion order is the
+        // reverse of submission order; results must still come back by index.
+        let out = run_jobs(8, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_jobs_handles_edge_counts() {
+        assert_eq!(run_jobs(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_jobs(1, 64, |i| i + 1), vec![1]);
+        assert_eq!(run_jobs(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_preserves_spec_order_and_labels() {
+        let p = KernelParams {
+            n: 12,
+            tile_bytes: 512,
+            steps: 1,
+            reuse: 200,
+        };
+        let specs: Vec<RunSpec> = [SystemKind::Baseline, SystemKind::Xmem]
+            .into_iter()
+            .map(|kind| {
+                RunSpec::new(
+                    format!("{kind}"),
+                    SystemConfig::scaled_use_case1(8 << 10, kind),
+                    WorkloadSpec::kernel(PolybenchKernel::Mvt, p),
+                )
+            })
+            .collect();
+        let records = Sweep::new(specs).run();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].label, "Baseline");
+        assert_eq!(records[1].label, "XMem");
+        assert_eq!(records[0].workload, "mvt");
+        assert!(records.iter().all(|r| r.report.cycles() > 0));
+    }
+}

@@ -31,12 +31,22 @@
 
 pub mod config;
 pub mod experiments;
+pub mod harness;
 pub mod machine;
 pub mod multicore;
 pub mod report;
+pub mod report_sink;
 
-pub use crate::config::{FramePolicyKind, MultiCoreConfig, SystemConfig, SystemKind};
-pub use crate::experiments::{run_kernel, run_kernel_bw, run_placement, Uc2System};
+pub use crate::config::{
+    FramePolicyKind, MultiCoreConfig, SystemConfig, SystemConfigBuilder, SystemKind,
+};
+pub use crate::experiments::{placement_specs, run_placement, KernelRun, Uc2System};
+#[allow(deprecated)]
+pub use crate::experiments::{run_kernel, run_kernel_bw};
+pub use crate::harness::{run_jobs, RunRecord, RunSpec, Sweep, WorkloadSpec};
 pub use crate::machine::{run_workload, Machine, ScanSink};
 pub use crate::multicore::{run_corun, CorunReport};
 pub use crate::report::RunReport;
+pub use crate::report_sink::{
+    write_report, CsvSink, JsonError, JsonSink, JsonValue, ReportSink, JSON_SCHEMA,
+};

@@ -115,7 +115,7 @@ impl MemoryModel for MemSystem {
             .page_table()
             .translate(VirtAddr::new(va))
             .unwrap_or_else(|| panic!("access to unallocated VA {va:#x}"));
-        let ctx = self.xmem_enabled.then(|| XmemContext {
+        let ctx = self.xmem_enabled.then_some(XmemContext {
             amu: &mut self.amu,
             cache_pat: &self.cache_pat,
             pf_pat: &self.pf_pat,
@@ -334,18 +334,14 @@ impl TraceSink for Machine {
 /// let report = run_workload(&cfg, |sink| PolybenchKernel::Gemm.generate(&p, sink));
 /// assert!(report.core.cycles > 0);
 /// ```
-pub fn run_workload(
-    config: &SystemConfig,
-    generate: impl Fn(&mut dyn TraceSink),
-) -> RunReport {
+pub fn run_workload(config: &SystemConfig, generate: impl Fn(&mut dyn TraceSink)) -> RunReport {
     // Pass 1: compile-time summarization.
     let mut scan = ScanSink::new();
     generate(&mut scan);
     let segment = scan.segment();
     // Load time: GAT + translator + PATs + placement primitives.
     let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
-    let loaded =
-        load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
+    let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
     // Execution.
     let mut machine = Machine::new(config, &loaded);
     generate(&mut machine);

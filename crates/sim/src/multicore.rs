@@ -182,8 +182,7 @@ impl SharedMem {
         }
         if self.l2s[core].probe(pa, false) {
             if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
-                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr)
-                {
+                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
                     let _ = self.dram.access(ev.addr, true, now);
                 }
             }
@@ -213,8 +212,7 @@ impl SharedMem {
                 }
             }
             if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
-                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr)
-                {
+                if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
                     let _ = self.dram.access(ev.addr, true, now);
                 }
             }
@@ -350,7 +348,11 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                 if count == 0 {
                     atom_base[core] = id.raw();
                 }
-                segment.push(StaticAtom::new(id, format!("c{core}:{label}"), attrs.clone()));
+                segment.push(StaticAtom::new(
+                    id,
+                    format!("c{core}:{label}"),
+                    attrs.clone(),
+                ));
                 count += 1;
             }
         }
@@ -383,9 +385,9 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
         dram: Dram::new(config.dram, config.mapping),
         stride_pfs: (0..config.cores)
             .map(|_| {
-                config
-                    .stride_prefetcher
-                    .then(|| MultiStridePrefetcher::new(config.stride_streams, config.prefetch_degree))
+                config.stride_prefetcher.then(|| {
+                    MultiStridePrefetcher::new(config.stride_streams, config.prefetch_degree)
+                })
             })
             .collect(),
         amu: AtomManagementUnit::new(AmuConfig {

@@ -6,7 +6,7 @@ use dram_sim::DramStats;
 use xmem_core::alb::AlbStats;
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunReport {
     /// Core-level statistics (cycles, instructions, loads).
     pub core: CoreStats,

@@ -1,0 +1,770 @@
+//! Structured observability for sweep results: JSON and CSV emission.
+//!
+//! A [`ReportSink`] consumes [`RunRecord`]s and renders them as a machine-
+//! readable document — [`JsonSink`] produces the `xmem-report-v1` schema
+//! (one object per record, nested by component), [`CsvSink`] a flat table
+//! with dotted column names (`core.cycles`, `dram.row_hit_rate`, …). Both
+//! are hand-rolled on `std` only; [`JsonValue`] includes a parser so tests
+//! (and downstream tooling) can round-trip reports.
+//!
+//! ```
+//! use workloads::polybench::{KernelParams, PolybenchKernel};
+//! use xmem_sim::{JsonSink, KernelRun, ReportSink, Sweep};
+//!
+//! let p = KernelParams { n: 12, tile_bytes: 512, steps: 1, reuse: 200 };
+//! let records = Sweep::new(vec![KernelRun::new(PolybenchKernel::Mvt, p).spec()]).run();
+//! let mut sink = JsonSink::new();
+//! for r in &records {
+//!     sink.emit(r);
+//! }
+//! let doc = xmem_sim::report_sink::JsonValue::parse(&sink.render()).unwrap();
+//! assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("xmem-report-v1"));
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::config::{FramePolicyKind, SystemConfig};
+use crate::harness::RunRecord;
+use crate::report::RunReport;
+use cpu_sim::kv::{KvPairs, KvValue};
+
+/// The schema identifier stamped into every JSON report document.
+pub const JSON_SCHEMA: &str = "xmem-report-v1";
+
+// ──────────────────────────── JSON values ────────────────────────────
+
+/// A JSON document tree. Objects preserve insertion order, so rendering is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters).
+    U64(u64),
+    /// A float (ratios, averages). Always rendered with a decimal point or
+    /// exponent so the type survives a round-trip.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (ordered key → value pairs).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<KvValue> for JsonValue {
+    fn from(v: KvValue) -> Self {
+        match v {
+            KvValue::U64(v) => JsonValue::U64(v),
+            KvValue::F64(v) => JsonValue::F64(v),
+            KvValue::Bool(v) => JsonValue::Bool(v),
+        }
+    }
+}
+
+impl JsonValue {
+    /// An object from named pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An object from a stats `kv()` list.
+    pub fn from_kv(pairs: KvPairs) -> Self {
+        JsonValue::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => render_f64(*v, out),
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (strict enough for everything this module
+    /// renders; accepts arbitrary whitespace).
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // Keep the float/integer distinction through a round-trip.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Advance over a run of plain bytes, then re-decode as UTF-8.
+            while self
+                .peek()
+                .is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if text.contains(['.', 'e', 'E']) || text.starts_with('-') {
+            text.parse::<f64>()
+                .map(JsonValue::F64)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::U64)
+                .map_err(|_| self.err("bad number"))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ─────────────────────── record serialization ────────────────────────
+
+fn frame_policy_str(policy: FramePolicyKind) -> String {
+    match policy {
+        FramePolicyKind::Sequential => "sequential".to_string(),
+        FramePolicyKind::Randomized { seed } => format!("randomized({seed:#x})"),
+        FramePolicyKind::XmemPlacement => "xmem-placement".to_string(),
+    }
+}
+
+/// The configuration summary serialized with every record.
+pub fn config_kv(cfg: &SystemConfig) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        (
+            "xmem_mode",
+            JsonValue::Str(format!("{:?}", cfg.hierarchy.xmem)),
+        ),
+        ("mapping", JsonValue::Str(cfg.mapping.name().to_string())),
+        (
+            "frame_policy",
+            JsonValue::Str(frame_policy_str(cfg.frame_policy)),
+        ),
+        ("ideal_rbl", JsonValue::Bool(cfg.ideal_rbl)),
+        (
+            "stride_prefetcher",
+            JsonValue::Bool(cfg.hierarchy.stride_prefetcher),
+        ),
+        ("l1_bytes", JsonValue::U64(cfg.hierarchy.l1.size_bytes)),
+        ("l2_bytes", JsonValue::U64(cfg.hierarchy.l2.size_bytes)),
+        ("l3_bytes", JsonValue::U64(cfg.hierarchy.l3.size_bytes)),
+        ("phys_bytes", JsonValue::U64(cfg.phys_bytes)),
+        ("dram_channels", JsonValue::U64(cfg.dram.channels as u64)),
+        ("tlb", JsonValue::Bool(cfg.tlb.is_some())),
+    ]
+}
+
+/// The derived headline metrics serialized with every record (Figs 4–8
+/// plotting axes: IPC, MPKI, row locality, ALB coverage, overheads).
+pub fn derived_kv(report: &RunReport) -> KvPairs {
+    vec![
+        ("ipc", report.core.ipc().into()),
+        ("l3_mpki", report.l3_mpki().into()),
+        ("row_hit_rate", report.dram.row_hit_rate().into()),
+        ("alb_coverage", report.alb.hit_rate().into()),
+        (
+            "avg_demand_read_latency",
+            report.dram.avg_demand_read_latency().into(),
+        ),
+        ("instruction_overhead", report.instruction_overhead.into()),
+    ]
+}
+
+impl RunRecord {
+    /// This record as one `xmem-report-v1` JSON object, nested by
+    /// component.
+    pub fn to_json(&self) -> JsonValue {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`RunRecord::to_json`], with caller-computed extras (e.g.
+    /// speedups over a baseline record) merged into the `derived` object.
+    pub fn to_json_with(&self, extras: &[(&'static str, KvValue)]) -> JsonValue {
+        let r = &self.report;
+        let mut derived = derived_kv(r);
+        derived.extend(extras.iter().copied());
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("workload".into(), JsonValue::Str(self.workload.to_string())),
+            ("config".into(), JsonValue::object(config_kv(&self.config))),
+            ("core".into(), JsonValue::from_kv(r.core.kv())),
+            ("l1".into(), JsonValue::from_kv(r.l1.kv())),
+            ("l2".into(), JsonValue::from_kv(r.l2.kv())),
+            ("l3".into(), JsonValue::from_kv(r.l3.kv())),
+            ("dram".into(), JsonValue::from_kv(r.dram.kv())),
+            (
+                // xmem-core sits outside the cpu-sim stats chain, so the
+                // ALB is spelled out rather than via kv().
+                "alb".into(),
+                JsonValue::object([
+                    ("hits", JsonValue::U64(r.alb.hits)),
+                    ("misses", JsonValue::U64(r.alb.misses)),
+                    ("hit_rate", JsonValue::F64(r.alb.hit_rate())),
+                ]),
+            ),
+            (
+                "xmem".into(),
+                JsonValue::object([
+                    ("instructions", JsonValue::U64(r.xmem_instructions)),
+                    (
+                        "instruction_overhead",
+                        JsonValue::F64(r.instruction_overhead),
+                    ),
+                ]),
+            ),
+            (
+                "xmem_prefetch".into(),
+                JsonValue::from_kv(r.xmem_prefetch.kv()),
+            ),
+            (
+                "stride_prefetch".into(),
+                match &r.stride_prefetch {
+                    Some(p) => JsonValue::from_kv(p.kv()),
+                    None => JsonValue::Null,
+                },
+            ),
+        ];
+        fields.push(("derived".into(), JsonValue::from_kv(derived)));
+        JsonValue::Object(fields)
+    }
+
+    /// This record as flat `(column, value)` cells with dotted names — the
+    /// CSV row form.
+    pub fn flat_cells(&self, extras: &[(&'static str, KvValue)]) -> Vec<(String, JsonValue)> {
+        fn flatten(prefix: &str, value: &JsonValue, out: &mut Vec<(String, JsonValue)>) {
+            match value {
+                JsonValue::Object(pairs) => {
+                    for (k, v) in pairs {
+                        let name = if prefix.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{prefix}.{k}")
+                        };
+                        flatten(&name, v, out);
+                    }
+                }
+                other => out.push((prefix.to_string(), other.clone())),
+            }
+        }
+        let mut out = Vec::new();
+        flatten("", &self.to_json_with(extras), &mut out);
+        out
+    }
+}
+
+// ──────────────────────────── report sinks ───────────────────────────
+
+/// A consumer of run records that renders a machine-readable document.
+pub trait ReportSink {
+    /// Adds one record.
+    fn emit(&mut self, record: &RunRecord) {
+        self.emit_with(record, &[]);
+    }
+
+    /// Adds one record with caller-computed derived extras (e.g. a
+    /// `speedup` over some baseline the sink cannot know about).
+    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]);
+
+    /// Renders everything emitted so far.
+    fn render(&self) -> String;
+
+    /// The conventional file extension for this sink's format.
+    fn extension(&self) -> &'static str;
+}
+
+/// Renders records as one `xmem-report-v1` JSON document.
+#[derive(Debug, Default)]
+pub struct JsonSink {
+    records: Vec<JsonValue>,
+}
+
+impl JsonSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReportSink for JsonSink {
+    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
+        self.records.push(record.to_json_with(extras));
+    }
+
+    fn render(&self) -> String {
+        JsonValue::object([
+            ("schema", JsonValue::Str(JSON_SCHEMA.to_string())),
+            ("records", JsonValue::Array(self.records.clone())),
+        ])
+        .render()
+    }
+
+    fn extension(&self) -> &'static str {
+        "json"
+    }
+}
+
+/// Renders records as a flat CSV table. Columns come from the first
+/// emitted record; later records must flatten to the same columns.
+#[derive(Debug, Default)]
+pub struct CsvSink {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses CSV text produced by this sink back into cells (quoted
+    /// fields included) — the inverse used by the round-trip tests.
+    pub fn parse(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut quoted = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cell.is_empty() => quoted = true,
+                ',' if !quoted => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\n' if !quoted => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' if !quoted => {}
+                c => cell.push(c),
+            }
+        }
+        if !cell.is_empty() || !row.is_empty() {
+            row.push(cell);
+            rows.push(row);
+        }
+        rows
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+fn csv_cell(value: &JsonValue) -> String {
+    match value {
+        JsonValue::Str(s) => csv_escape(s),
+        JsonValue::Null => String::new(),
+        other => other.render(),
+    }
+}
+
+impl ReportSink for CsvSink {
+    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
+        let cells = record.flat_cells(extras);
+        if self.header.is_empty() {
+            self.header = cells.iter().map(|(name, _)| name.clone()).collect();
+        } else {
+            let names: Vec<&String> = cells.iter().map(|(name, _)| name).collect();
+            assert!(
+                self.header.iter().collect::<Vec<_>>() == names,
+                "CSV records must share a column set (got {names:?}, header {:?})",
+                self.header
+            );
+        }
+        self.rows
+            .push(cells.iter().map(|(_, v)| csv_cell(v)).collect());
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| csv_escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn extension(&self) -> &'static str {
+        "csv"
+    }
+}
+
+/// Writes a sink's rendered document to `path`, creating parent
+/// directories as needed.
+pub fn write_report(path: impl AsRef<Path>, sink: &dyn ReportSink) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, sink.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_and_parses_scalars() {
+        let v = JsonValue::object([
+            ("u", JsonValue::U64(42)),
+            ("f", JsonValue::F64(0.5)),
+            ("whole_f", JsonValue::F64(2.0)),
+            ("b", JsonValue::Bool(true)),
+            ("n", JsonValue::Null),
+            ("s", JsonValue::Str("a \"quote\"\nline".to_string())),
+            (
+                "arr",
+                JsonValue::Array(vec![JsonValue::U64(1), JsonValue::Null]),
+            ),
+        ]);
+        let text = v.render();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        // Whole floats keep their type.
+        assert!(text.contains("\"whole_f\":2.0"));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("[1,2").is_err());
+        assert!(JsonValue::parse("12 34").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn csv_escaping_round_trips() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let parsed = CsvSink::parse("a,\"b,c\",\"say \"\"hi\"\"\"\n1,2,3\n");
+        assert_eq!(
+            parsed,
+            vec![
+                vec!["a".to_string(), "b,c".to_string(), "say \"hi\"".to_string()],
+                vec!["1".to_string(), "2".to_string(), "3".to_string()],
+            ]
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the experiment-sweep engine: the parallel pool
+//! must be indistinguishable from a serial loop, and the structured
+//! reports must survive a round trip through their serialized forms.
+
+use workloads::placement::PlacementWorkload;
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use xmem_sim::{
+    placement_specs, CsvSink, JsonSink, KernelRun, ReportSink, RunRecord, RunSpec, Sweep,
+    SystemKind, Uc2System, JSON_SCHEMA,
+};
+
+fn kernel_grid() -> Vec<RunSpec> {
+    let p = KernelParams {
+        n: 32,
+        tile_bytes: 8 << 10,
+        steps: 3,
+        reuse: 200,
+    };
+    let mut specs = Vec::new();
+    for kernel in [
+        PolybenchKernel::Gemm,
+        PolybenchKernel::Syrk,
+        PolybenchKernel::Jacobi2d,
+        PolybenchKernel::Mvt,
+    ] {
+        for kind in [SystemKind::Baseline, SystemKind::XmemPref, SystemKind::Xmem] {
+            specs.push(KernelRun::new(kernel, p).system(kind).spec());
+        }
+    }
+    specs
+}
+
+/// The tentpole guarantee: running a sweep on the worker pool yields the
+/// exact same `RunReport`s, in the exact same order, as running it one
+/// spec at a time. Every stats struct is compared via `PartialEq`.
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let serial = Sweep::new(kernel_grid()).workers(1).run();
+    let parallel = Sweep::new(kernel_grid()).workers(8).run();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.report, p.report, "{}: reports diverge", s.label);
+    }
+}
+
+/// The parallel placement engine must pick the same §6.3 winner as the
+/// old serial `best_of` loop: iterate the grid in order, keep the first
+/// point with the minimum cycle count.
+#[test]
+fn placement_best_matches_serial_best_of() {
+    let mut w = PlacementWorkload::by_name("milc").expect("milc exists");
+    w.accesses = 25_000;
+    for sys in [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl] {
+        let grid = placement_specs(&w, sys);
+        // The old bespoke loop: serial execution, first-minimum wins.
+        let serial: Vec<RunRecord> = Sweep::new(placement_specs(&w, sys)).workers(1).run();
+        let serial_best = serial
+            .iter()
+            .min_by_key(|r| r.report.cycles())
+            .expect("non-empty grid");
+        let parallel_best = Sweep::new(grid).best();
+        assert_eq!(serial_best.label, parallel_best.label, "{sys}");
+        assert_eq!(serial_best.report, parallel_best.report, "{sys}");
+    }
+}
+
+/// The §6.3 Baseline grid is 9 mappings × {pf on, off}; XMem and Ideal
+/// fix the mapping and only toggle the prefetcher.
+#[test]
+fn placement_grid_sizes() {
+    let w = PlacementWorkload::by_name("mcf").expect("mcf exists");
+    assert_eq!(placement_specs(&w, Uc2System::Baseline).len(), 18);
+    assert_eq!(placement_specs(&w, Uc2System::Xmem).len(), 2);
+    assert_eq!(placement_specs(&w, Uc2System::IdealRbl).len(), 2);
+}
+
+fn sample_records() -> Vec<RunRecord> {
+    let p = KernelParams {
+        n: 24,
+        tile_bytes: 4 << 10,
+        steps: 2,
+        reuse: 200,
+    };
+    Sweep::new(vec![
+        KernelRun::new(PolybenchKernel::Gemm, p).spec(),
+        KernelRun::new(PolybenchKernel::Gemm, p)
+            .system(SystemKind::Xmem)
+            .spec(),
+    ])
+    .run()
+}
+
+/// A rendered JSON report parses back to the identical value tree, and
+/// the headline fields survive with full fidelity.
+#[test]
+fn json_report_round_trips() {
+    let records = sample_records();
+    let mut sink = JsonSink::new();
+    for r in &records {
+        sink.emit(r);
+    }
+    let text = sink.render();
+    let doc = xmem_sim::JsonValue::parse(&text).expect("sink output parses");
+    // Round trip: render(parse(render(x))) == render(x).
+    assert_eq!(doc.render(), text);
+
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(JSON_SCHEMA)
+    );
+    let parsed = doc
+        .get("records")
+        .and_then(|v| v.as_array())
+        .expect("records");
+    assert_eq!(parsed.len(), records.len());
+    for (json, rec) in parsed.iter().zip(&records) {
+        assert_eq!(
+            json.get("label").and_then(|v| v.as_str()),
+            Some(rec.label.as_str())
+        );
+        assert_eq!(
+            json.get("core")
+                .and_then(|c| c.get("cycles"))
+                .and_then(|v| v.as_u64()),
+            Some(rec.report.cycles())
+        );
+        assert_eq!(
+            json.get("derived")
+                .and_then(|d| d.get("ipc"))
+                .and_then(|v| v.as_f64()),
+            Some(rec.report.core.ipc())
+        );
+        // The whole record tree is identical to a fresh serialization.
+        assert_eq!(json, &rec.to_json());
+    }
+}
+
+/// The CSV emitter's `parse` is an exact inverse of `render`: same rows,
+/// same cells, including the header.
+#[test]
+fn csv_report_round_trips() {
+    let records = sample_records();
+    let mut sink = CsvSink::new();
+    for r in &records {
+        sink.emit(r);
+    }
+    let text = sink.render();
+    let rows = CsvSink::parse(&text);
+    assert_eq!(rows.len(), 1 + records.len(), "header + one row per record");
+    let header = &rows[0];
+    assert!(header.iter().any(|c| c == "label"));
+    assert!(header.iter().any(|c| c == "core.cycles"));
+    assert!(header.iter().any(|c| c == "derived.ipc"));
+    for (row, rec) in rows[1..].iter().zip(&records) {
+        assert_eq!(row.len(), header.len());
+        let col = |name: &str| {
+            let i = header.iter().position(|c| c == name).expect("column");
+            row[i].as_str()
+        };
+        assert_eq!(col("label"), rec.label);
+        assert_eq!(col("core.cycles"), rec.report.cycles().to_string());
+    }
+}

@@ -46,7 +46,9 @@ pub fn random_hog(sink: &mut dyn TraceSink, bytes: u64, accesses: u64, compute: 
     let lines = (bytes / 64).max(1);
     let mut state = 0x243F6A8885A308D3u64 ^ bytes;
     for _ in 0..accesses {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         sink.load(base + ((state >> 24) % lines) * 64);
         sink.compute(compute);
     }
@@ -85,7 +87,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(distinct.len() > 300, "only {} distinct lines", distinct.len());
+        assert!(
+            distinct.len() > 300,
+            "only {} distinct lines",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -96,61 +96,296 @@ impl PlacementWorkload {
         vec![
             // ---- SPEC CPU2006-like ----
             // libquantum: one dominant sequential sweep over a huge vector.
-            w("libquantum", vec![S("reg", 8192, Stream, 15, 25), S("work", 512, Stream, 1, 10)], 105, 400_000),
+            w(
+                "libquantum",
+                vec![
+                    S("reg", 8192, Stream, 15, 25),
+                    S("work", 512, Stream, 1, 10),
+                ],
+                105,
+                400_000,
+            ),
             // lbm: two large grids streamed with writes.
-            w("lbm", vec![S("src", 6144, Stream, 8, 0), S("dst", 6144, Stream, 8, 100), S("obst", 2048, Strided(4096), 3, 0)], 87, 400_000),
+            w(
+                "lbm",
+                vec![
+                    S("src", 6144, Stream, 8, 0),
+                    S("dst", 6144, Stream, 8, 100),
+                    S("obst", 2048, Strided(4096), 3, 0),
+                ],
+                87,
+                400_000,
+            ),
             // milc: large strided lattice + streaming.
-            w("milc", vec![S("lattice", 8192, Strided(4096), 8, 30), S("gauge", 4096, Stream, 6, 0)], 122, 350_000),
+            w(
+                "milc",
+                vec![
+                    S("lattice", 8192, Strided(4096), 8, 30),
+                    S("gauge", 4096, Stream, 6, 0),
+                ],
+                122,
+                350_000,
+            ),
             // mcf: pointer chasing over arcs/nodes.
-            w("mcf", vec![S("arcs", 6144, PointerChase, 10, 10), S("nodes", 2048, Random, 5, 20)], 70, 250_000),
+            w(
+                "mcf",
+                vec![
+                    S("arcs", 6144, PointerChase, 10, 10),
+                    S("nodes", 2048, Random, 5, 20),
+                ],
+                70,
+                250_000,
+            ),
             // soplex: sparse matrix (random) + dense vectors (stream).
-            w("soplex", vec![S("cols", 4096, Random, 6, 10), S("vec", 2048, Stream, 7, 30), S("rows", 3072, Strided(2048), 4, 10)], 105, 350_000),
+            w(
+                "soplex",
+                vec![
+                    S("cols", 4096, Random, 6, 10),
+                    S("vec", 2048, Stream, 7, 30),
+                    S("rows", 3072, Strided(2048), 4, 10),
+                ],
+                105,
+                350_000,
+            ),
             // gcc: mixed pools, moderately random.
-            w("gcc", vec![S("ir", 3072, Random, 6, 30), S("strings", 1024, Stream, 3, 10), S("tables", 2048, Strided(2048), 3, 10)], 140, 300_000),
+            w(
+                "gcc",
+                vec![
+                    S("ir", 3072, Random, 6, 30),
+                    S("strings", 1024, Stream, 3, 10),
+                    S("tables", 2048, Strided(2048), 3, 10),
+                ],
+                140,
+                300_000,
+            ),
             // bwaves: big stencil-ish streams.
-            w("bwaves", vec![S("q", 6144, Stream, 8, 40), S("rhs", 6144, Stream, 8, 40), S("blk", 3072, Strided(8192), 4, 10)], 105, 400_000),
+            w(
+                "bwaves",
+                vec![
+                    S("q", 6144, Stream, 8, 40),
+                    S("rhs", 6144, Stream, 8, 40),
+                    S("blk", 3072, Strided(8192), 4, 10),
+                ],
+                105,
+                400_000,
+            ),
             // GemsFDTD: multiple field arrays streamed together.
-            w("gems", vec![S("ex", 4096, Stream, 5, 30), S("ey", 4096, Stream, 5, 30), S("ez", 4096, Stream, 5, 30), S("bc", 2048, Strided(4096), 4, 20)], 105, 380_000),
+            w(
+                "gems",
+                vec![
+                    S("ex", 4096, Stream, 5, 30),
+                    S("ey", 4096, Stream, 5, 30),
+                    S("ez", 4096, Stream, 5, 30),
+                    S("bc", 2048, Strided(4096), 4, 20),
+                ],
+                105,
+                380_000,
+            ),
             // omnetpp: event heap + message pools, random.
-            w("omnetpp", vec![S("heap", 3072, Random, 8, 30), S("msgs", 3072, PointerChase, 5, 20), S("fes", 2048, Stream, 4, 10)], 105, 280_000),
+            w(
+                "omnetpp",
+                vec![
+                    S("heap", 3072, Random, 8, 30),
+                    S("msgs", 3072, PointerChase, 5, 20),
+                    S("fes", 2048, Stream, 4, 10),
+                ],
+                105,
+                280_000,
+            ),
             // leslie3d: many medium streams.
-            w("leslie3d", vec![S("u", 3072, Stream, 5, 30), S("v", 3072, Stream, 5, 30), S("w", 3072, Stream, 5, 30), S("p", 3072, Strided(8192), 3, 10)], 105, 380_000),
+            w(
+                "leslie3d",
+                vec![
+                    S("u", 3072, Stream, 5, 30),
+                    S("v", 3072, Stream, 5, 30),
+                    S("w", 3072, Stream, 5, 30),
+                    S("p", 3072, Strided(8192), 3, 10),
+                ],
+                105,
+                380_000,
+            ),
             // sphinx3: acoustic model scans (stream) + hash lookups.
-            w("sphinx3", vec![S("gauden", 6144, Stream, 9, 0), S("dict", 1536, Random, 4, 5)], 122, 340_000),
+            w(
+                "sphinx3",
+                vec![
+                    S("gauden", 6144, Stream, 9, 0),
+                    S("dict", 1536, Random, 4, 5),
+                ],
+                122,
+                340_000,
+            ),
             // xalancbmk: DOM pointer chasing.
-            w("xalancbmk", vec![S("dom", 5120, PointerChase, 10, 15), S("text", 2048, Random, 4, 10)], 87, 250_000),
+            w(
+                "xalancbmk",
+                vec![
+                    S("dom", 5120, PointerChase, 10, 15),
+                    S("text", 2048, Random, 4, 10),
+                ],
+                87,
+                250_000,
+            ),
             // cactusADM: 3D grid sweeps, large strides at plane boundaries.
-            w("cactus", vec![S("grid", 8192, Strided(2048), 10, 40), S("coeff", 1024, Stream, 3, 0)], 122, 360_000),
+            w(
+                "cactus",
+                vec![
+                    S("grid", 8192, Strided(2048), 10, 40),
+                    S("coeff", 1024, Stream, 3, 0),
+                ],
+                122,
+                360_000,
+            ),
             // zeusmp: multiple grid streams.
-            w("zeusmp", vec![S("d", 4096, Stream, 6, 35), S("e", 4096, Stream, 6, 35), S("v3", 4096, Strided(4096), 4, 20)], 105, 380_000),
+            w(
+                "zeusmp",
+                vec![
+                    S("d", 4096, Stream, 6, 35),
+                    S("e", 4096, Stream, 6, 35),
+                    S("v3", 4096, Strided(4096), 4, 20),
+                ],
+                105,
+                380_000,
+            ),
             // astar: graph random walks + open list.
-            w("astar", vec![S("grid", 4096, Random, 8, 15), S("open", 1024, Random, 4, 40), S("cost", 3072, Stream, 5, 30)], 105, 280_000),
+            w(
+                "astar",
+                vec![
+                    S("grid", 4096, Random, 8, 15),
+                    S("open", 1024, Random, 4, 40),
+                    S("cost", 3072, Stream, 5, 30),
+                ],
+                105,
+                280_000,
+            ),
             // gobmk: board evaluations, small working random pools.
-            w("gobmk", vec![S("board", 2048, Random, 6, 25), S("cache", 2048, Random, 4, 25), S("patterns", 3072, Stream, 5, 0)], 140, 300_000),
+            w(
+                "gobmk",
+                vec![
+                    S("board", 2048, Random, 6, 25),
+                    S("cache", 2048, Random, 4, 25),
+                    S("patterns", 3072, Stream, 5, 0),
+                ],
+                140,
+                300_000,
+            ),
             // ---- Rodinia-like ----
             // kmeans: features streamed repeatedly + centroids (hot, small).
-            w("kmeans", vec![S("features", 8192, Stream, 12, 0), S("member", 2048, Strided(2048), 4, 60), S("centroids", 256, Random, 2, 50)], 105, 400_000),
+            w(
+                "kmeans",
+                vec![
+                    S("features", 8192, Stream, 12, 0),
+                    S("member", 2048, Strided(2048), 4, 60),
+                    S("centroids", 256, Random, 2, 50),
+                ],
+                105,
+                400_000,
+            ),
             // bfs (Rodinia): frontier random + edge lists.
-            w("bfsRod", vec![S("edges", 6144, PointerChase, 9, 0), S("visited", 2048, Random, 5, 50)], 70, 250_000),
+            w(
+                "bfsRod",
+                vec![
+                    S("edges", 6144, PointerChase, 9, 0),
+                    S("visited", 2048, Random, 5, 50),
+                ],
+                70,
+                250_000,
+            ),
             // hotspot: two grids streamed (power, temp).
-            w("hotspot", vec![S("temp", 4096, Stream, 7, 50), S("power", 4096, Stream, 7, 0), S("border", 2048, Strided(8192), 3, 10)], 105, 380_000),
+            w(
+                "hotspot",
+                vec![
+                    S("temp", 4096, Stream, 7, 50),
+                    S("power", 4096, Stream, 7, 0),
+                    S("border", 2048, Strided(8192), 3, 10),
+                ],
+                105,
+                380_000,
+            ),
             // srad: image streamed with neighbor strides.
-            w("srad", vec![S("image", 6144, Stream, 9, 40), S("coeff", 3072, Strided(4096), 5, 30)], 105, 360_000),
+            w(
+                "srad",
+                vec![
+                    S("image", 6144, Stream, 9, 40),
+                    S("coeff", 3072, Strided(4096), 5, 30),
+                ],
+                105,
+                360_000,
+            ),
             // streamcluster (sc): distance computations, random points.
-            w("sc", vec![S("points", 6144, Random, 10, 5), S("centers", 512, Random, 5, 30)], 87, 280_000),
+            w(
+                "sc",
+                vec![
+                    S("points", 6144, Random, 10, 5),
+                    S("centers", 512, Random, 5, 30),
+                ],
+                87,
+                280_000,
+            ),
             // pathfinder: row-by-row dynamic programming streams.
-            w("pathfinder", vec![S("wall", 6144, Stream, 10, 0), S("result", 1024, Stream, 4, 60), S("prev", 2048, Strided(4096), 4, 20)], 105, 380_000),
+            w(
+                "pathfinder",
+                vec![
+                    S("wall", 6144, Stream, 10, 0),
+                    S("result", 1024, Stream, 4, 60),
+                    S("prev", 2048, Strided(4096), 4, 20),
+                ],
+                105,
+                380_000,
+            ),
             // lavaMD: neighbor-box particle access, blocked random.
-            w("lavaMD", vec![S("particles", 4096, Random, 8, 30), S("boxes", 2048, Strided(8192), 4, 10)], 122, 320_000),
+            w(
+                "lavaMD",
+                vec![
+                    S("particles", 4096, Random, 8, 30),
+                    S("boxes", 2048, Strided(8192), 4, 10),
+                ],
+                122,
+                320_000,
+            ),
             // ---- Parboil-like ----
             // histo: streamed input + random histogram updates.
-            w("histo", vec![S("input", 6144, Stream, 9, 0), S("bins", 2048, Random, 6, 80)], 87, 330_000),
+            w(
+                "histo",
+                vec![
+                    S("input", 6144, Stream, 9, 0),
+                    S("bins", 2048, Random, 6, 80),
+                ],
+                87,
+                330_000,
+            ),
             // spmv: row pointers stream, column-index gathers random.
-            w("spmv", vec![S("vals", 5120, Stream, 7, 0), S("x", 2048, Random, 7, 0), S("rowptr", 2048, Strided(2048), 3, 0), S("y", 1024, Stream, 2, 70)], 87, 340_000),
+            w(
+                "spmv",
+                vec![
+                    S("vals", 5120, Stream, 7, 0),
+                    S("x", 2048, Random, 7, 0),
+                    S("rowptr", 2048, Strided(2048), 3, 0),
+                    S("y", 1024, Stream, 2, 70),
+                ],
+                87,
+                340_000,
+            ),
             // stencil (Parboil): 3D 7-point, two grids.
-            w("stencil", vec![S("a", 5120, Stream, 8, 0), S("b", 5120, Stream, 8, 70), S("halo", 2048, Strided(8192), 3, 10)], 105, 380_000),
+            w(
+                "stencil",
+                vec![
+                    S("a", 5120, Stream, 8, 0),
+                    S("b", 5120, Stream, 8, 70),
+                    S("halo", 2048, Strided(8192), 3, 10),
+                ],
+                105,
+                380_000,
+            ),
             // cutcp: lattice random scatter + atom list stream.
-            w("cutcp", vec![S("lattice", 5120, Random, 8, 60), S("atoms", 2048, Stream, 5, 0), S("bins", 2048, Strided(4096), 4, 10)], 105, 320_000),
+            w(
+                "cutcp",
+                vec![
+                    S("lattice", 5120, Random, 8, 60),
+                    S("atoms", 2048, Stream, 5, 0),
+                    S("bins", 2048, Strided(4096), 4, 10),
+                ],
+                105,
+                320_000,
+            ),
         ]
     }
 
@@ -176,7 +411,7 @@ impl PlacementWorkload {
                     RwChar::ReadWrite
                 })
                 .intensity(AccessIntensity(
-                    (spec.weight * 255 / max_weight).min(255) as u8,
+                    (spec.weight * 255 / max_weight).min(255) as u8
                 ))
                 .build();
             let atom = sink.create_atom(spec.name, attrs);
@@ -271,20 +506,15 @@ mod tests {
     #[test]
     fn twenty_seven_workloads() {
         assert_eq!(PlacementWorkload::all().len(), 27);
-        let names: std::collections::HashSet<_> = PlacementWorkload::all()
-            .iter()
-            .map(|w| w.name)
-            .collect();
+        let names: std::collections::HashSet<_> =
+            PlacementWorkload::all().iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 27, "names must be unique");
     }
 
     #[test]
     fn by_name_finds_mcf() {
         let w = PlacementWorkload::by_name("mcf").unwrap();
-        assert!(w
-            .structs
-            .iter()
-            .any(|s| s.kind == AccessKind::PointerChase));
+        assert!(w.structs.iter().any(|s| s.kind == AccessKind::PointerChase));
         assert!(PlacementWorkload::by_name("nonexistent").is_none());
     }
 

@@ -152,8 +152,22 @@ impl PolybenchKernel {
     pub fn extended() -> [PolybenchKernel; 16] {
         use PolybenchKernel::*;
         [
-            Gemm, TwoMm, ThreeMm, Syrk, Syr2k, Trmm, Mvt, Gemver, Gesummv, Jacobi2d, Seidel2d,
-            Heat3d, Cholesky, Lu, FloydWarshall, Adi,
+            Gemm,
+            TwoMm,
+            ThreeMm,
+            Syrk,
+            Syr2k,
+            Trmm,
+            Mvt,
+            Gemver,
+            Gesummv,
+            Jacobi2d,
+            Seidel2d,
+            Heat3d,
+            Cholesky,
+            Lu,
+            FloydWarshall,
+            Adi,
         ]
     }
 
@@ -346,8 +360,20 @@ fn syr2k(p: &KernelParams, sink: &mut dyn TraceSink) {
         let kb = t.min(n - kk);
         for jj in (0..n).step_by(t) {
             let jb = t.min(n - jj);
-            sink.map_2d(atom, a.at(jj, kk), kb as u64 * ELEM, jb as u64, a.row_bytes());
-            sink.map_2d(atom, b.at(jj, kk), kb as u64 * ELEM, jb as u64, b.row_bytes());
+            sink.map_2d(
+                atom,
+                a.at(jj, kk),
+                kb as u64 * ELEM,
+                jb as u64,
+                a.row_bytes(),
+            );
+            sink.map_2d(
+                atom,
+                b.at(jj, kk),
+                kb as u64 * ELEM,
+                jb as u64,
+                b.row_bytes(),
+            );
             sink.activate(atom);
             for i in 0..n {
                 for j in jj..jj + jb {
@@ -381,7 +407,13 @@ fn trmm(p: &KernelParams, sink: &mut dyn TraceSink) {
         let kb = t.min(n - kk);
         for jj in (0..n).step_by(t) {
             let jb = t.min(n - jj);
-            sink.map_2d(atom, b.at(kk, jj), jb as u64 * ELEM, kb as u64, b.row_bytes());
+            sink.map_2d(
+                atom,
+                b.at(kk, jj),
+                jb as u64 * ELEM,
+                kb as u64,
+                b.row_bytes(),
+            );
             sink.activate(atom);
             // Innermost j walks the B-tile row contiguously.
             for i in kk + 1..n {
@@ -605,10 +637,7 @@ fn seidel2d(p: &KernelParams, sink: &mut dyn TraceSink) {
                 for j in 1..n - 1 {
                     for di in -1i64..=1 {
                         for dj in -1i64..=1 {
-                            sink.load(a.at(
-                                (i as i64 + di) as usize,
-                                (j as i64 + dj) as usize,
-                            ));
+                            sink.load(a.at((i as i64 + di) as usize, (j as i64 + dj) as usize));
                         }
                     }
                     sink.compute(9);
@@ -662,7 +691,6 @@ fn heat3d(p: &KernelParams, sink: &mut dyn TraceSink) {
     }
     sink.deactivate(atom);
 }
-
 
 fn cholesky(p: &KernelParams, sink: &mut dyn TraceSink) {
     // Right-looking Cholesky: at step k, column k below the diagonal is the
@@ -847,11 +875,7 @@ mod tests {
                 k.name(),
                 sink.memory_ops()
             );
-            assert!(
-                !sink.events.is_empty(),
-                "{} expressed no atoms",
-                k.name()
-            );
+            assert!(!sink.events.is_empty(), "{} expressed no atoms", k.name());
         }
     }
 
@@ -891,9 +915,10 @@ mod tests {
         for k in PolybenchKernel::extended() {
             let mut sink = CollectSink::new();
             k.generate(&params(2048), &mut sink);
-            let has_map = sink.events.iter().any(|e| {
-                matches!(e, HintEvent::Map { .. } | HintEvent::Map2d { .. })
-            });
+            let has_map = sink
+                .events
+                .iter()
+                .any(|e| matches!(e, HintEvent::Map { .. } | HintEvent::Map2d { .. }));
             let has_activate = sink
                 .events
                 .iter()

@@ -182,8 +182,8 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceEvent>> {
                 let label = std::str::from_utf8(c.take(len)?)
                     .map_err(|_| bad("label not utf-8"))?
                     .to_owned();
-                let (attrs, used) = decode_attrs_bytes(&c.bytes[c.pos..])
-                    .map_err(|e| bad(&e.to_string()))?;
+                let (attrs, used) =
+                    decode_attrs_bytes(&c.bytes[c.pos..]).map_err(|e| bad(&e.to_string()))?;
                 c.pos += used;
                 TraceEvent::Create { label, attrs }
             }
@@ -224,7 +224,6 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceEvent>> {
     }
     Ok(events)
 }
-
 
 /// Replays a recorded trace into a sink, re-binding allocations.
 ///
@@ -271,9 +270,7 @@ pub fn replay(events: &[TraceEvent], sink: &mut dyn crate::sink::TraceSink) {
             TraceEvent::Map { atom, start, len } => {
                 sink.map(*atom, translate(&ranges, *start), *len)
             }
-            TraceEvent::Unmap { start, len } => {
-                sink.unmap(translate(&ranges, *start), *len)
-            }
+            TraceEvent::Unmap { start, len } => sink.unmap(translate(&ranges, *start), *len),
             TraceEvent::Map2d {
                 atom,
                 base,

@@ -179,12 +179,7 @@ impl AtomAddressMap {
         self.for_each_unit(pa, len, |slot| *slot = NO_ATOM)
     }
 
-    fn for_each_unit(
-        &mut self,
-        pa: PhysAddr,
-        len: u64,
-        mut f: impl FnMut(&mut u8),
-    ) -> Result<()> {
+    fn for_each_unit(&mut self, pa: PhysAddr, len: u64, mut f: impl FnMut(&mut u8)) -> Result<()> {
         if len == 0 {
             return Ok(());
         }
@@ -271,8 +266,10 @@ mod tests {
     fn many_to_one_last_writer_wins() {
         // §3.2: any VA maps to at most one atom; remapping replaces.
         let mut aam = small_aam();
-        aam.map_range(PhysAddr::new(0), 4096, AtomId::new(1)).unwrap();
-        aam.map_range(PhysAddr::new(512), 512, AtomId::new(2)).unwrap();
+        aam.map_range(PhysAddr::new(0), 4096, AtomId::new(1))
+            .unwrap();
+        aam.map_range(PhysAddr::new(512), 512, AtomId::new(2))
+            .unwrap();
         assert_eq!(aam.lookup(PhysAddr::new(0)), Some(AtomId::new(1)));
         assert_eq!(aam.lookup(PhysAddr::new(600)), Some(AtomId::new(2)));
         assert_eq!(aam.lookup(PhysAddr::new(1024)), Some(AtomId::new(1)));
@@ -313,7 +310,8 @@ mod tests {
     #[test]
     fn page_entry_shape() {
         let mut aam = small_aam();
-        aam.map_range(PhysAddr::new(4096), 512, AtomId::new(9)).unwrap();
+        aam.map_range(PhysAddr::new(4096), 512, AtomId::new(9))
+            .unwrap();
         let entry = aam.page_entry(PhysAddr::new(4100), 4096);
         assert_eq!(entry.len(), 8); // 4096 / 512
         assert_eq!(entry[0], Some(AtomId::new(9)));

@@ -107,14 +107,9 @@ impl AtomLookasideBuffer {
     pub fn lookup(&mut self, pa: PhysAddr, aam: &AtomAddressMap) -> Option<AtomId> {
         self.clock += 1;
         let page_index = pa.page_index(self.page_size);
-        let unit_in_page =
-            (pa.page_offset(self.page_size) / aam.config().granularity) as usize;
+        let unit_in_page = (pa.page_offset(self.page_size) / aam.config().granularity) as usize;
 
-        if let Some(entry) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.page_index == page_index)
-        {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.page_index == page_index) {
             entry.last_used = self.clock;
             self.stats.hits += 1;
             return entry.units.get(unit_in_page).copied().flatten();
@@ -186,7 +181,8 @@ mod tests {
             granularity: 512,
             id_bits: 8,
         });
-        aam.map_range(PhysAddr::new(0), 8192, AtomId::new(4)).unwrap();
+        aam.map_range(PhysAddr::new(0), 8192, AtomId::new(4))
+            .unwrap();
         aam
     }
 

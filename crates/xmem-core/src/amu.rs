@@ -304,7 +304,7 @@ impl AtomManagementUnit {
                     run_len = chunk;
                 }
             }
-            va = va + chunk;
+            va += chunk;
         }
         if let Some(start) = run_start {
             f(self, start, run_len)?;
@@ -543,10 +543,7 @@ mod tests {
         .unwrap();
         amu.execute(&XmemInst::Activate(a), &mmu).unwrap();
         // Plane 1 starts at base + len_x * len_y = 0x40000 + 16384.
-        assert_eq!(
-            amu.active_atom_at(PhysAddr::new(0x40000 + 16384)),
-            Some(a)
-        );
+        assert_eq!(amu.active_atom_at(PhysAddr::new(0x40000 + 16384)), Some(a));
         assert_eq!(amu.mapped_bytes(a), 4 * 512);
     }
 
@@ -555,7 +552,8 @@ mod tests {
         let mut amu = small_amu();
         let mmu = IdentityMmu::new();
         let e0 = amu.epoch();
-        amu.execute(&XmemInst::Activate(AtomId::new(0)), &mmu).unwrap();
+        amu.execute(&XmemInst::Activate(AtomId::new(0)), &mmu)
+            .unwrap();
         assert!(amu.epoch() > e0);
         let e1 = amu.epoch();
         amu.execute(
@@ -595,10 +593,12 @@ mod tests {
         let mmu = IdentityMmu::new();
         let (a, b) = (AtomId::new(1), AtomId::new(2));
         let r = VaRange::new(VirtAddr::new(0x3000), 0x1000);
-        amu.execute(&XmemInst::Map { atom: a, range: r }, &mmu).unwrap();
+        amu.execute(&XmemInst::Map { atom: a, range: r }, &mmu)
+            .unwrap();
         amu.execute(&XmemInst::Activate(a), &mmu).unwrap();
         amu.execute(&XmemInst::Activate(b), &mmu).unwrap();
-        amu.execute(&XmemInst::Map { atom: b, range: r }, &mmu).unwrap();
+        amu.execute(&XmemInst::Map { atom: b, range: r }, &mmu)
+            .unwrap();
         assert_eq!(amu.active_atom_at(PhysAddr::new(0x3000)), Some(b));
     }
 
@@ -634,7 +634,8 @@ mod tests {
         let mmu = IdentityMmu::new();
         let a = AtomId::new(1);
         let range = VaRange::new(VirtAddr::new(0x10_000), 64 << 10);
-        amu.execute(&XmemInst::Map { atom: a, range }, &mmu).unwrap();
+        amu.execute(&XmemInst::Map { atom: a, range }, &mmu)
+            .unwrap();
         amu.execute(&XmemInst::Activate(a), &mmu).unwrap();
         // Warm the ALB with a page in the *middle* of the range.
         assert_eq!(amu.active_atom_at(PhysAddr::new(0x18_000)), Some(a));

@@ -8,7 +8,6 @@
 //! module together with [`crate::amu::AtomManagementUnit`].
 
 use crate::attrs::AtomAttributes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A per-process atom identifier.
@@ -24,9 +23,7 @@ use std::fmt;
 /// let id = AtomId::new(3);
 /// assert_eq!(id.index(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AtomId(u8);
 
 impl AtomId {
@@ -59,7 +56,7 @@ impl fmt::Display for AtomId {
 }
 
 /// Whether an atom's attributes are currently valid for the data it maps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AtomState {
     /// The system must ignore the atom's attributes.
     #[default]
@@ -84,7 +81,7 @@ impl AtomState {
 /// ([`crate::aam::AtomAddressMap`], [`crate::ast::AtomStatusTable`]), not
 /// here, mirroring the paper's split between static summarization and
 /// hardware runtime tracking.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StaticAtom {
     id: AtomId,
     /// An optional human-readable label (e.g. the data structure name).

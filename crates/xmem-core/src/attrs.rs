@@ -19,14 +19,13 @@
 //! remapped. This is what lets the whole attribute table be summarized at
 //! compile time and conveyed at load time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The primitive type of the values stored in the data an atom describes.
 ///
 /// Used e.g. by memory/cache compression to select a type-specific
 /// compression algorithm (Table 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 8-bit signed integer data.
     Int8,
@@ -99,9 +98,7 @@ impl fmt::Display for DataType {
 /// assert!(p.contains(DataProps::SPARSE));
 /// assert!(!p.contains(DataProps::APPROXIMABLE));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct DataProps(u32);
 
 impl DataProps {
@@ -198,7 +195,7 @@ impl fmt::Display for DataProps {
 }
 
 /// The access pattern of the data mapped to an atom (§3.3(2), `AccessPattern`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessPattern {
     /// A regular pattern with a repeated stride in bytes.
     ///
@@ -257,7 +254,7 @@ impl fmt::Display for AccessPattern {
 }
 
 /// Read/write characteristics of the data at a given time (§3.3(2), `RWChar`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RwChar {
     /// The data is only read while the atom is active.
     ReadOnly,
@@ -283,9 +280,7 @@ impl fmt::Display for RwChar {
 ///
 /// An 8-bit ranking *between* atoms, not an absolute rate — exactly as in the
 /// paper, which stresses architecture-agnostic, relative expression.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AccessIntensity(pub u8);
 
 impl AccessIntensity {
@@ -306,9 +301,7 @@ impl fmt::Display for AccessIntensity {
 /// Software cache optimizations (tiling, hash-join partitioning) express the
 /// high-reuse working set by mapping it to an atom with a high `Reuse` value;
 /// the cache then prioritizes keeping such atoms resident (§5).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Reuse(pub u8);
 
 impl Reuse {
@@ -344,7 +337,7 @@ impl fmt::Display for Reuse {
 /// assert_eq!(attrs.data_type(), Some(DataType::Float64));
 /// assert_eq!(attrs.reuse(), Reuse(200));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AtomAttributes {
     data_type: Option<DataType>,
     props: DataProps,

@@ -90,12 +90,9 @@ pub enum XmemInst {
 impl fmt::Display for XmemInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            XmemInst::Map { atom, range } => write!(
-                f,
-                "ATOM_MAP {atom}, [{}, {})",
-                range.start(),
-                range.end()
-            ),
+            XmemInst::Map { atom, range } => {
+                write!(f, "ATOM_MAP {atom}, [{}, {})", range.start(), range.end())
+            }
             XmemInst::Unmap { range } => {
                 write!(f, "ATOM_UNMAP [{}, {})", range.start(), range.end())
             }

@@ -84,6 +84,7 @@ pub mod isa;
 pub mod overhead;
 pub mod pat;
 pub mod process;
+pub mod rng;
 pub mod segment;
 pub mod translate;
 pub mod xmemlib;

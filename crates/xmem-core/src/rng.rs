@@ -1,0 +1,138 @@
+//! A tiny deterministic PRNG (SplitMix64) for seeded policies and tests.
+//!
+//! The build environment is offline, so the simulators cannot pull in the
+//! `rand` crate; every randomized component (the §6.3 randomized frame
+//! policy, the property tests) instead seeds one of these. SplitMix64 is
+//! the standard 64-bit mixer from Steele et al., "Fast Splittable
+//! Pseudorandom Number Generators" (OOPSLA 2014): one add and three
+//! xor-shift-multiply rounds per draw, passes BigCrush, and is trivially
+//! reproducible across platforms.
+
+/// A 64-bit SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `percent / 100`.
+    #[inline]
+    pub fn percent(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(8);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = SplitMix64::new(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..100 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

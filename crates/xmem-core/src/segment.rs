@@ -17,7 +17,6 @@ use crate::attrs::{
     AccessIntensity, AccessPattern, AtomAttributes, DataProps, DataType, Reuse, RwChar,
 };
 use crate::error::{Result, XMemError};
-use serde::{Deserialize, Serialize};
 
 /// Magic bytes identifying an atom segment.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"XMEMATOM";
@@ -41,7 +40,7 @@ pub const SEGMENT_VERSION: u32 = 1;
 /// assert_eq!(parsed.atoms().len(), 1);
 /// # Ok::<(), xmem_core::error::XMemError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AtomSegment {
     atoms: Vec<StaticAtom>,
 }
@@ -62,7 +61,7 @@ impl AtomSegment {
         &self.atoms
     }
 
-    /// Serializes to the versioned binary format.
+    /// s to the versioned binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.atoms.len() * 40);
         out.extend_from_slice(SEGMENT_MAGIC);

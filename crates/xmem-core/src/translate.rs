@@ -145,9 +145,7 @@ impl AttributeTranslator {
     /// primitive.
     pub fn for_placement(&self, attrs: &AtomAttributes) -> PlacementPrimitive {
         let high_rbl = match attrs.access_pattern() {
-            AccessPattern::Regular { stride } => {
-                stride != 0 && stride.abs() < self.row_bytes / 8
-            }
+            AccessPattern::Regular { stride } => stride != 0 && stride.abs() < self.row_bytes / 8,
             _ => false,
         };
         PlacementPrimitive {
@@ -271,7 +269,11 @@ mod tests {
         let stride512 = AtomAttributes::builder()
             .access_pattern(AccessPattern::Regular { stride: 512 })
             .build();
-        assert!(AttributeTranslator::new().for_placement(&stride512).high_rbl);
+        assert!(
+            AttributeTranslator::new()
+                .for_placement(&stride512)
+                .high_rbl
+        );
         let tight = AttributeTranslator::with_row_bytes(2048);
         assert!(!tight.for_placement(&stride512).high_rbl);
     }

@@ -167,12 +167,7 @@ impl XMemLib {
         }
     }
 
-    fn exec(
-        &mut self,
-        amu: &mut AtomManagementUnit,
-        mmu: &dyn Mmu,
-        inst: XmemInst,
-    ) -> Result<()> {
+    fn exec(&mut self, amu: &mut AtomManagementUnit, mmu: &dyn Mmu, inst: XmemInst) -> Result<()> {
         self.counter.count_xmem(1);
         amu.execute(&inst, mmu)
     }
@@ -398,10 +393,7 @@ mod tests {
         for i in 0..5u32 {
             let id = lib
                 .create_atom(
-                    CallSite {
-                        file: "f",
-                        line: i,
-                    },
+                    CallSite { file: "f", line: i },
                     "a",
                     AtomAttributes::default(),
                 )
@@ -415,10 +407,7 @@ mod tests {
         let mut lib = XMemLib::new();
         for i in 0..255u32 {
             lib.create_atom(
-                CallSite {
-                    file: "f",
-                    line: i,
-                },
+                CallSite { file: "f", line: i },
                 "a",
                 AtomAttributes::default(),
             )

@@ -12,9 +12,9 @@
 //! ```
 
 use xmem::core::prelude::*;
+use xmem::core::process::ProcessId;
 use xmem::core::segment::SEGMENT_VERSION;
 use xmem::os::loader::load_process;
-use xmem::core::process::ProcessId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── "compile time": the program's atoms ─────────────────────────────

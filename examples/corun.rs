@@ -48,7 +48,7 @@ fn main() {
         let r = run_corun(&cfg, &logs);
         println!(
             "syrk + 2 hogs ({:>8}):   {:>9} cycles ({:.2}x slower than alone)",
-            kind.name(),
+            format!("{kind}"),
             r.cycles(0),
             r.cycles(0) as f64 / solo.cycles(0) as f64
         );

@@ -40,7 +40,7 @@ fn main() {
         let r = run_placement(&workload, sys);
         println!(
             "{:<10} {:>12} {:>9.3} {:>9.1}% {:>11.0}c",
-            sys.name(),
+            format!("{sys}"),
             r.cycles(),
             r.speedup_over(&baseline),
             r.dram.row_hit_rate() * 100.0,

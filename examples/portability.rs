@@ -9,7 +9,7 @@
 //! cargo run --release --example portability
 //! ```
 
-use xmem::sim::{run_kernel, SystemKind};
+use xmem::sim::{KernelRun, SystemKind};
 use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
 
 fn main() {
@@ -21,7 +21,8 @@ fn main() {
         reuse: 200,
     };
     let kernel = PolybenchKernel::Syrk;
-    let reference = run_kernel(kernel, &tuned, 64 << 10, SystemKind::Baseline);
+    let syrk = KernelRun::new(kernel, tuned);
+    let reference = syrk.l3_bytes(64 << 10).run();
 
     println!("syrk tuned for 64KB L3; running with less cache:\n");
     println!(
@@ -29,8 +30,8 @@ fn main() {
         "L3", "Baseline slowdn", "XMem slowdn"
     );
     for l3 in [64u64 << 10, 32 << 10, 16 << 10] {
-        let base = run_kernel(kernel, &tuned, l3, SystemKind::Baseline);
-        let xmem = run_kernel(kernel, &tuned, l3, SystemKind::Xmem);
+        let base = syrk.l3_bytes(l3).run();
+        let xmem = syrk.l3_bytes(l3).system(SystemKind::Xmem).run();
         println!(
             "{:>6}KB {:>15.2}x {:>11.2}x",
             l3 >> 10,

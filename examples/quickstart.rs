@@ -69,7 +69,10 @@ fn main() -> Result<(), XMemError> {
     let second = VirtAddr::new(0x20_0000);
     lib.atom_map(&mut amu, &mmu, partition, second, 256 << 10)?;
     assert_eq!(amu.active_atom_at(PhysAddr::new(0x10_8000)), None);
-    assert_eq!(amu.active_atom_at(PhysAddr::new(0x20_4000)), Some(partition));
+    assert_eq!(
+        amu.active_atom_at(PhysAddr::new(0x20_4000)),
+        Some(partition)
+    );
     println!("remapped {partition} to the next partition at {second}");
 
     // ── DEACTIVATE ───────────────────────────────────────────────────────

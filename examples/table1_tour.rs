@@ -7,8 +7,8 @@
 //! ```
 
 use xmem::cache::dram_cache::{DramCache, DramCacheConfig};
-use xmem::compress::{datagen, mean_ratio};
 use xmem::compress::approx::{level_for, store, TruncationLevel};
+use xmem::compress::{datagen, mean_ratio};
 use xmem::core::atom::AtomId;
 use xmem::core::attrs::{AtomAttributes, DataProps, DataType, RwChar};
 use xmem::core::translate::AttributeTranslator;
@@ -43,7 +43,11 @@ fn main() {
     let mk = |ro: bool, intensity: u8| {
         translator.for_placement(
             &AtomAttributes::builder()
-                .rw(if ro { RwChar::ReadOnly } else { RwChar::ReadWrite })
+                .rw(if ro {
+                    RwChar::ReadOnly
+                } else {
+                    RwChar::ReadWrite
+                })
                 .intensity(xmem::core::attrs::AccessIntensity(intensity))
                 .build(),
         )
@@ -51,7 +55,10 @@ fn main() {
     let mem = HybridMemory::new(
         HybridConfig::default(),
         &HybridPolicy::Xmem {
-            atoms: vec![(hot_log, mk(false, 250), 4 << 20), (ro_table, mk(true, 200), 32 << 20)],
+            atoms: vec![
+                (hot_log, mk(false, 250), 4 << 20),
+                (ro_table, mk(true, 200), 32 << 20),
+            ],
         },
     );
     println!(

@@ -11,7 +11,7 @@
 //! cargo run --release --example tiled_matmul
 //! ```
 
-use xmem::sim::{run_kernel, SystemKind};
+use xmem::sim::{KernelRun, SystemKind};
 use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
 
 fn main() {
@@ -26,11 +26,12 @@ fn main() {
     let l3 = 32 << 10;
 
     println!("tiled gemm, tile = 64KB, available L3 = 32KB\n");
-    let baseline = run_kernel(PolybenchKernel::Gemm, &params, l3, SystemKind::Baseline);
+    let gemm = KernelRun::new(PolybenchKernel::Gemm, params).l3_bytes(l3);
+    let baseline = gemm.run();
     let mut rows = Vec::new();
     for kind in [SystemKind::Baseline, SystemKind::XmemPref, SystemKind::Xmem] {
-        let r = run_kernel(PolybenchKernel::Gemm, &params, l3, kind);
-        rows.push((kind.name(), r));
+        let r = gemm.system(kind).run();
+        rows.push((format!("{kind}"), r));
     }
     println!(
         "{:<10} {:>12} {:>8} {:>10} {:>10} {:>12}",

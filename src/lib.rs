@@ -47,12 +47,34 @@
 //! Or run a whole experiment (see `examples/` for more):
 //!
 //! ```
-//! use xmem::sim::{run_kernel, SystemKind};
+//! use xmem::sim::{KernelRun, SystemKind};
 //! use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
 //!
 //! let p = KernelParams { n: 24, tile_bytes: 2048, steps: 2, reuse: 200 };
-//! let report = run_kernel(PolybenchKernel::Gemm, &p, 16 << 10, SystemKind::Xmem);
+//! let report = KernelRun::new(PolybenchKernel::Gemm, p)
+//!     .l3_bytes(16 << 10)
+//!     .system(SystemKind::Xmem)
+//!     .run();
 //! assert!(report.core.ipc() > 0.0);
+//! ```
+//!
+//! Batches of runs go through the parallel sweep engine
+//! ([`sim::harness`], also re-exported as [`harness`]): enumerate
+//! [`RunSpec`](sim::harness::RunSpec)s, run them on a worker pool, and
+//! get order-stable [`RunRecord`](sim::harness::RunRecord)s back:
+//!
+//! ```
+//! use xmem::harness::Sweep;
+//! use xmem::sim::{KernelRun, SystemKind};
+//! use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
+//!
+//! let p = KernelParams { n: 24, tile_bytes: 2048, steps: 2, reuse: 200 };
+//! let specs = [SystemKind::Baseline, SystemKind::Xmem]
+//!     .into_iter()
+//!     .map(|kind| KernelRun::new(PolybenchKernel::Gemm, p).system(kind).spec())
+//!     .collect();
+//! let records = Sweep::new(specs).run();
+//! assert_eq!(records[0].label, "gemm/Baseline");
 //! ```
 
 #![warn(missing_docs)]
@@ -65,3 +87,5 @@ pub use os_sim as os;
 pub use workloads;
 pub use xmem_core as core;
 pub use xmem_sim as sim;
+pub use xmem_sim::harness;
+pub use xmem_sim::report_sink;

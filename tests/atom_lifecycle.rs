@@ -42,10 +42,7 @@ fn atom_mapping_through_scattered_frames() {
     // Every byte of the VA range must resolve to the atom via its PA,
     // regardless of which frame backs it.
     for off in (0..(24 << 10)).step_by(4096) {
-        let pa = os
-            .page_table()
-            .translate(va + off)
-            .expect("allocated page");
+        let pa = os.page_table().translate(va + off).expect("allocated page");
         assert_eq!(amu.active_atom_at(pa), Some(atom), "offset {off:#x}");
     }
     // The working set the AMU infers matches the mapping.
@@ -74,12 +71,8 @@ fn loader_roundtrips_attributes() {
     )
     .expect("create");
 
-    let loaded = load_segment(
-        ProcessId(1),
-        &lib.segment(),
-        &AttributeTranslator::new(),
-    )
-    .expect("load");
+    let loaded =
+        load_segment(ProcessId(1), &lib.segment(), &AttributeTranslator::new()).expect("load");
     let id = AtomId::new(0);
     let cache = loaded.cache_pat.get(id).expect("cache primitive");
     assert!(cache.pin_candidate);
@@ -99,20 +92,13 @@ fn context_switch_swaps_process_state() {
     let mut amu = small_amu(1 << 20);
     let mut lib_a = XMemLib::new();
     let atom_a = lib_a
-        .create_atom(
-            xmem::core::call_site!(),
-            "a",
-            AtomAttributes::default(),
-        )
+        .create_atom(xmem::core::call_site!(), "a", AtomAttributes::default())
         .expect("create");
     lib_a
         .atom_map(&mut amu, &mmu, atom_a, VirtAddr::new(0x10000), 4096)
         .expect("map");
     lib_a.atom_activate(&mut amu, &mmu, atom_a).expect("act");
-    assert_eq!(
-        amu.active_atom_at(PhysAddr::new(0x10800)),
-        Some(atom_a)
-    );
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x10800)), Some(atom_a));
 
     // "Context switch": save process A's AST image, clear hardware state
     // (ALB flush + AAM scrub for the outgoing process), restore B's.
@@ -125,20 +111,13 @@ fn context_switch_swaps_process_state() {
     // Process B maps its own atom 0 at a different place.
     let mut lib_b = XMemLib::new();
     let atom_b = lib_b
-        .create_atom(
-            xmem::core::call_site!(),
-            "b",
-            AtomAttributes::default(),
-        )
+        .create_atom(xmem::core::call_site!(), "b", AtomAttributes::default())
         .expect("create");
     lib_b
         .atom_map(&mut amu, &mmu, atom_b, VirtAddr::new(0x40000), 4096)
         .expect("map");
     lib_b.atom_activate(&mut amu, &mmu, atom_b).expect("act");
-    assert_eq!(
-        amu.active_atom_at(PhysAddr::new(0x40000)),
-        Some(atom_b)
-    );
+    assert_eq!(amu.active_atom_at(PhysAddr::new(0x40000)), Some(atom_b));
     // A's old range is gone.
     assert_eq!(amu.active_atom_at(PhysAddr::new(0x10800)), None);
 

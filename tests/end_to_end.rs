@@ -1,9 +1,15 @@
 //! End-to-end invariants of the full system: the properties §2.1 of the
 //! paper promises must hold across every configuration.
 
-use xmem::sim::{run_kernel, run_placement, run_workload, SystemConfig, SystemKind, Uc2System};
+use xmem::sim::{
+    run_placement, run_workload, KernelRun, RunReport, SystemConfig, SystemKind, Uc2System,
+};
 use xmem::workloads::placement::PlacementWorkload;
 use xmem::workloads::polybench::{KernelParams, PolybenchKernel};
+
+fn run_on(kernel: PolybenchKernel, p: KernelParams, l3: u64, kind: SystemKind) -> RunReport {
+    KernelRun::new(kernel, p).l3_bytes(l3).system(kind).run()
+}
 
 fn small_params(tile: u64) -> KernelParams {
     KernelParams {
@@ -21,9 +27,9 @@ fn small_params(tile: u64) -> KernelParams {
 fn hints_do_not_change_program_work() {
     for kernel in PolybenchKernel::all() {
         let p = small_params(4 << 10);
-        let base = run_kernel(kernel, &p, 16 << 10, SystemKind::Baseline);
-        let pref = run_kernel(kernel, &p, 16 << 10, SystemKind::XmemPref);
-        let xmem = run_kernel(kernel, &p, 16 << 10, SystemKind::Xmem);
+        let base = run_on(kernel, p, 16 << 10, SystemKind::Baseline);
+        let pref = run_on(kernel, p, 16 << 10, SystemKind::XmemPref);
+        let xmem = run_on(kernel, p, 16 << 10, SystemKind::Xmem);
         assert_eq!(
             base.core.instructions,
             xmem.core.instructions,
@@ -44,8 +50,8 @@ fn full_system_determinism() {
     for kernel in [PolybenchKernel::Gemm, PolybenchKernel::Jacobi2d] {
         for kind in [SystemKind::Baseline, SystemKind::Xmem] {
             let p = small_params(8 << 10);
-            let a = run_kernel(kernel, &p, 8 << 10, kind);
-            let b = run_kernel(kernel, &p, 8 << 10, kind);
+            let a = run_on(kernel, p, 8 << 10, kind);
+            let b = run_on(kernel, p, 8 << 10, kind);
             assert_eq!(a.core, b.core, "{} {:?}", kernel.name(), kind);
             assert_eq!(a.dram, b.dram, "{} {:?}", kernel.name(), kind);
             assert_eq!(a.l3, b.l3, "{} {:?}", kernel.name(), kind);
@@ -65,8 +71,8 @@ fn xmem_mitigates_thrashing() {
     };
     let l3 = 16 << 10; // ...on a 16 KB cache
     for kernel in [PolybenchKernel::Gemm, PolybenchKernel::Syrk] {
-        let base = run_kernel(kernel, &p, l3, SystemKind::Baseline);
-        let xmem = run_kernel(kernel, &p, l3, SystemKind::Xmem);
+        let base = run_on(kernel, p, l3, SystemKind::Baseline);
+        let xmem = run_on(kernel, p, l3, SystemKind::Xmem);
         assert!(
             xmem.cycles() < base.cycles(),
             "{}: xmem {} >= baseline {}",
@@ -83,8 +89,8 @@ fn xmem_mitigates_thrashing() {
 fn xmem_harmless_when_tile_fits() {
     let p = small_params(2 << 10);
     for kernel in PolybenchKernel::all() {
-        let base = run_kernel(kernel, &p, 32 << 10, SystemKind::Baseline);
-        let xmem = run_kernel(kernel, &p, 32 << 10, SystemKind::Xmem);
+        let base = run_on(kernel, p, 32 << 10, SystemKind::Baseline);
+        let xmem = run_on(kernel, p, 32 << 10, SystemKind::Xmem);
         assert!(
             (xmem.cycles() as f64) < base.cycles() as f64 * 1.15,
             "{}: xmem {} vs baseline {}",
@@ -101,7 +107,7 @@ fn xmem_harmless_when_tile_fits() {
 fn instruction_overhead_bounded() {
     for kernel in PolybenchKernel::all() {
         let p = small_params(4 << 10);
-        let r = run_kernel(kernel, &p, 16 << 10, SystemKind::Xmem);
+        let r = run_on(kernel, p, 16 << 10, SystemKind::Xmem);
         assert!(
             r.instruction_overhead < 0.005,
             "{}: {:.4}%",

@@ -1,13 +1,13 @@
 //! Integration of the OS placement policy with the DRAM model: the §6.2
 //! algorithm's end-to-end effect on bank assignment and row locality.
 
-use xmem::dram::{AddressMapping, Dram, DramConfig};
-use xmem::os::os::Os;
-use xmem::os::placement::FramePolicy;
 use xmem::core::amu::Mmu;
 use xmem::core::atom::AtomId;
 use xmem::core::attrs::{AccessIntensity, AccessPattern, AtomAttributes};
 use xmem::core::translate::AttributeTranslator;
+use xmem::dram::{AddressMapping, Dram, DramConfig};
+use xmem::os::os::Os;
+use xmem::os::placement::FramePolicy;
 
 fn dram_cfg() -> DramConfig {
     DramConfig::ddr3_1066(3.6).with_capacity(32 << 20)
@@ -116,7 +116,7 @@ fn isolation_shields_stream_from_interference() {
     let isolated_rate = run(&per_bank[0][..64], &per_bank[4].clone()[..256]);
 
     // Shared: noise frames drawn from the SAME bank as the stream.
-    let shared_rate = run(&per_bank[0][..64], &per_bank[0][64..320].to_vec());
+    let shared_rate = run(&per_bank[0][..64], &per_bank[0][64..320]);
 
     assert!(
         isolated_rate > shared_rate + 0.2,
@@ -147,6 +147,9 @@ fn anonymous_data_avoids_reserved_banks() {
     for off in (0..(4u64 << 20)).step_by(4096) {
         let pa = os.page_table().translate(va + off).expect("mapped");
         let bank = mapping.decode(pa.raw(), &cfg).global_bank(&cfg);
-        assert!(!reserved.contains(&bank), "anon page in reserved bank {bank}");
+        assert!(
+            !reserved.contains(&bank),
+            "anon page in reserved bank {bank}"
+        );
     }
 }
