@@ -18,7 +18,7 @@ use workloads::hog::stream_hog;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::{LogSink, TraceEvent};
 use xmem_bench::{geomean, print_table, quick_mode};
-use xmem_sim::harness::{default_workers, run_jobs};
+use xmem_sim::harness::{default_workers, run_jobs, Progress};
 use xmem_sim::{run_corun, MultiCoreConfig, SystemKind};
 
 fn kernel_log(kernel: PolybenchKernel, n: usize, tile: u64) -> Vec<TraceEvent> {
@@ -75,9 +75,13 @@ fn main() {
             }
         }
     }
+    let progress = Progress::new("corun", jobs.len());
     let reports = run_jobs(jobs.len(), default_workers(), |i| {
-        run_corun(&jobs[i].0, &jobs[i].1)
+        let r = run_corun(&jobs[i].0, &jobs[i].1);
+        progress.tick(false);
+        r
     });
+    progress.finish();
 
     let headers: Vec<String> = [
         "kernel",

@@ -16,7 +16,7 @@ use dram_sim::AddressMapping;
 use workloads::placement::PlacementWorkload;
 use workloads::sink::{LogSink, TraceEvent};
 use xmem_bench::{geomean, print_table, quick_mode};
-use xmem_sim::harness::{default_workers, run_jobs};
+use xmem_sim::harness::{default_workers, run_jobs, Progress};
 use xmem_sim::{run_corun, FramePolicyKind, MultiCoreConfig, SystemKind};
 
 fn log_of(name: &str, accesses: u64) -> Vec<TraceEvent> {
@@ -65,9 +65,13 @@ fn main() {
             [(config(false), logs.clone()), (config(true), logs)]
         })
         .collect();
+    let progress = Progress::new("corun_placement", jobs.len());
     let reports = run_jobs(jobs.len(), default_workers(), |i| {
-        run_corun(&jobs[i].0, &jobs[i].1)
+        let r = run_corun(&jobs[i].0, &jobs[i].1);
+        progress.tick(false);
+        r
     });
+    progress.finish();
 
     let headers: Vec<String> = [
         "pair",

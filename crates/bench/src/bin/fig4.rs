@@ -17,7 +17,7 @@
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::reports::ReportWriter;
+use xmem_bench::reports::{require_complete, ReportWriter};
 use xmem_bench::{
     fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N,
 };
@@ -52,7 +52,8 @@ fn main() {
             })
         })
         .collect();
-    let records = Sweep::new(specs).run();
+    let mut writer = ReportWriter::new("fig4");
+    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
 
     let mut small_tile_slowdowns = Vec::new();
     let mut large_base_slowdowns = Vec::new();
@@ -63,7 +64,6 @@ fn main() {
     let mut headers = vec!["kernel".to_string(), "system".to_string()];
     headers.extend(tiles.iter().map(|t| fmt_bytes(*t)));
     let mut rows = Vec::new();
-    let mut writer = ReportWriter::new("fig4");
 
     for (ki, kernel) in kernels.iter().enumerate() {
         let chunk = &records[ki * 2 * tiles.len()..(ki + 1) * 2 * tiles.len()];

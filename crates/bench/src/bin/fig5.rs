@@ -12,7 +12,7 @@
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::reports::ReportWriter;
+use xmem_bench::reports::{require_complete, ReportWriter};
 use xmem_bench::{
     fig4_tiles, fmt_bytes, geomean, print_table, quick_mode, uc1_params, FIG5_L3, UC1_N,
 };
@@ -60,7 +60,8 @@ fn main() {
             })
         })
         .collect();
-    let records = Sweep::new(specs).run();
+    let mut writer = ReportWriter::new("fig5");
+    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
 
     let headers: Vec<String> = ["kernel", "tuned tile", "Baseline max", "XMem max"]
         .iter()
@@ -69,7 +70,6 @@ fn main() {
     let mut rows = Vec::new();
     let mut base_max = Vec::new();
     let mut xmem_max = Vec::new();
-    let mut writer = ReportWriter::new("fig5");
 
     let per_kernel = systems.len() * cache_sizes.len();
     for (ki, kernel) in kernels.iter().enumerate() {

@@ -13,7 +13,7 @@
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::reports::ReportWriter;
+use xmem_bench::reports::{require_complete, ReportWriter};
 use xmem_bench::{fig4_tiles, geomean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
 use xmem_sim::{KernelRun, RunSpec, Sweep, SystemKind};
 
@@ -44,7 +44,8 @@ fn main() {
             })
         })
         .collect();
-    let records = Sweep::new(specs).run();
+    let mut writer = ReportWriter::new("fig6");
+    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
 
     let headers: Vec<String> = [
         "kernel", "Pref@4", "XMem@4", "Pref@2", "XMem@2", "Pref@1", "XMem@1", "Pref@0.5",
@@ -57,7 +58,6 @@ fn main() {
     let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
     let mut pref_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
     let mut xmem_speedups: Vec<Vec<f64>> = vec![Vec::new(); bandwidths.len()];
-    let mut writer = ReportWriter::new("fig6");
 
     let per_kernel = bandwidths.len() * systems.len();
     for (ki, kernel) in kernels.iter().enumerate() {

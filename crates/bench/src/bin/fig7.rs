@@ -23,7 +23,7 @@
 //! ```
 
 use workloads::placement::PlacementWorkload;
-use xmem_bench::reports::ReportWriter;
+use xmem_bench::reports::{require_complete, ReportWriter};
 use xmem_bench::{geomean, print_table, quick_mode};
 use xmem_sim::{placement_specs, RunRecord, Sweep, Uc2System};
 
@@ -51,7 +51,8 @@ fn main() {
             specs.extend(grid);
         }
     }
-    let records = Sweep::new(specs).run();
+    let mut writer = ReportWriter::new("fig7");
+    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
 
     // Ties break by grid order, matching a serial min_by_key.
     let best = |wi: usize, sys: Uc2System| -> &RunRecord {
@@ -84,7 +85,6 @@ fn main() {
     let mut write_lats = Vec::new();
     let mut best_xmem: (f64, &'static str) = (0.0, "");
     let mut flat = 0u32;
-    let mut writer = ReportWriter::new("fig7");
 
     for (wi, w) in workloads.iter().enumerate() {
         let base = best(wi, Uc2System::Baseline);

@@ -6,7 +6,7 @@
 //! ```
 
 use workloads::polybench::PolybenchKernel;
-use xmem_bench::reports::ReportWriter;
+use xmem_bench::reports::{require_complete, ReportWriter};
 use xmem_bench::{mean, print_table, quick_mode, uc1_params, UC1_L3, UC1_N};
 use xmem_core::aam::AamConfig;
 use xmem_core::overhead::storage_overhead;
@@ -62,18 +62,21 @@ fn main() {
     let mut alb_rates = Vec::new();
     let mut rows = Vec::new();
     let mut writer = ReportWriter::new("overheads");
-    let records = Sweep::new(
-        PolybenchKernel::all()
-            .into_iter()
-            .map(|kernel| {
-                KernelRun::new(kernel, uc1_params(n, 8 << 10))
-                    .l3_bytes(UC1_L3)
-                    .system(SystemKind::Xmem)
-                    .spec()
-            })
-            .collect(),
-    )
-    .run();
+    let records = require_complete(
+        writer
+            .sweep(Sweep::new(
+                PolybenchKernel::all()
+                    .into_iter()
+                    .map(|kernel| {
+                        KernelRun::new(kernel, uc1_params(n, 8 << 10))
+                            .l3_bytes(UC1_L3)
+                            .system(SystemKind::Xmem)
+                            .spec()
+                    })
+                    .collect(),
+            ))
+            .run_outcomes(),
+    );
     for (kernel, rec) in PolybenchKernel::all().into_iter().zip(&records) {
         let r = &rec.report;
         writer.emit(rec);

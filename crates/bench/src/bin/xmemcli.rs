@@ -237,7 +237,10 @@ fn main() {
             if !f.json {
                 println!("# {} system={}\n", name, f.uc2);
             }
-            let best = Sweep::new(placement_specs(&w, f.uc2)).best();
+            let Some(best) = Sweep::new(placement_specs(&w, f.uc2)).best() else {
+                eprintln!("placement sweep produced no completed records");
+                exit(1)
+            };
             emit(&f, &best);
         }
         "record" => {
@@ -290,6 +293,7 @@ fn main() {
                 config: cfg,
                 workload: "replay",
                 report,
+                run: None,
             };
             emit(&f, &record);
         }

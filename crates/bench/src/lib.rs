@@ -130,13 +130,16 @@ pub mod reports {
     //! * JSON (`xmem-report-v1`) is always written, to
     //!   `target/xmem-reports/<bin>.json` by default;
     //! * `--csv` additionally writes the flat CSV table next to it;
-    //! * `--report-dir=DIR` redirects both;
+    //! * `--report-dir=DIR` redirects both — and, being an explicit
+    //!   durable location, turns on per-point streaming and resume: each
+    //!   finished point lands in `DIR/<bin>.points/` as it completes, and
+    //!   a re-run reloads finished labels instead of re-simulating them;
     //! * `--no-report` suppresses file output entirely.
 
     use cpu_sim::kv::KvValue;
     use std::path::PathBuf;
     use xmem_sim::report_sink::write_report;
-    use xmem_sim::{CsvSink, JsonSink, ReportSink, RunRecord};
+    use xmem_sim::{CsvSink, JsonSink, ReportSink, RunFailure, RunOutcome, RunRecord, Sweep};
 
     /// Collects records during a run and writes the report files at the
     /// end.
@@ -144,6 +147,7 @@ pub mod reports {
     pub struct ReportWriter {
         name: String,
         dir: Option<PathBuf>,
+        explicit_dir: bool,
         json: JsonSink,
         csv: Option<CsvSink>,
     }
@@ -153,12 +157,15 @@ pub mod reports {
         /// (see the module docs for the flags).
         pub fn new(name: &str) -> Self {
             let mut dir = Some(PathBuf::from("target/xmem-reports"));
+            let mut explicit_dir = false;
             let mut csv = None;
             for arg in std::env::args() {
                 if arg == "--no-report" {
                     dir = None;
+                    explicit_dir = false;
                 } else if let Some(d) = arg.strip_prefix("--report-dir=") {
                     dir = Some(PathBuf::from(d));
+                    explicit_dir = true;
                 } else if arg == "--csv" {
                     csv = Some(CsvSink::new());
                 }
@@ -166,8 +173,34 @@ pub mod reports {
             ReportWriter {
                 name: name.to_string(),
                 dir,
+                explicit_dir,
                 json: JsonSink::new(),
                 csv,
+            }
+        }
+
+        /// The per-point streaming directory (`DIR/<bin>.points`), active
+        /// only under an explicit `--report-dir`: an explicit directory is
+        /// durable sweep state worth resuming from, the default
+        /// `target/xmem-reports` is not (stale points from an earlier
+        /// differently-sized run would linger there unnoticed).
+        pub fn points_dir(&self) -> Option<PathBuf> {
+            if !self.explicit_dir {
+                return None;
+            }
+            self.dir
+                .as_ref()
+                .map(|d| d.join(format!("{}.points", self.name)))
+        }
+
+        /// Wires a sweep to this writer: a progress line on stderr and,
+        /// under an explicit `--report-dir`, per-point streaming plus
+        /// resume of already-finished labels.
+        pub fn sweep(&self, sweep: Sweep) -> Sweep {
+            let sweep = sweep.progress(&self.name);
+            match self.points_dir() {
+                Some(dir) => sweep.resume_from(dir),
+                None => sweep,
             }
         }
 
@@ -199,6 +232,33 @@ pub mod reports {
                 }
             }
         }
+    }
+
+    /// Unwraps sweep outcomes into the records a figure table needs.
+    /// Failed points are listed on stderr and the process exits nonzero —
+    /// by then every completed point has already run (and streamed, under
+    /// `--report-dir`), so a re-run only repeats the failed labels.
+    pub fn require_complete(outcomes: Vec<RunOutcome>) -> Vec<RunRecord> {
+        let total = outcomes.len();
+        let mut records = Vec::with_capacity(total);
+        let mut failures: Vec<RunFailure> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                RunOutcome::Completed(r) | RunOutcome::Resumed(r) => records.push(r),
+                RunOutcome::Failed(f) => failures.push(f),
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "{} of {total} points failed; completed points were kept:",
+                failures.len()
+            );
+            for f in &failures {
+                eprintln!("  {}: {}", f.label, f.message);
+            }
+            std::process::exit(1);
+        }
+        records
     }
 }
 

@@ -98,6 +98,9 @@ impl CoreStats {
             ("instructions", self.instructions.into()),
             ("loads", self.loads.into()),
             ("stores", self.stores.into()),
+            // Raw total alongside the derived average, so a serialized
+            // report reconstructs to the exact counter values.
+            ("total_load_latency", self.total_load_latency.into()),
             ("ipc", self.ipc().into()),
             ("avg_load_latency", self.avg_load_latency().into()),
         ]

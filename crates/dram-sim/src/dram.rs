@@ -119,6 +119,14 @@ impl DramStats {
             ("row_hits", self.row_hits.into()),
             ("row_misses", self.row_misses.into()),
             ("row_conflicts", self.row_conflicts.into()),
+            // Raw latency totals alongside the derived averages, so a
+            // serialized report reconstructs to the exact counter values.
+            ("total_read_latency", self.total_read_latency.into()),
+            (
+                "total_demand_read_latency",
+                self.total_demand_read_latency.into(),
+            ),
+            ("total_write_latency", self.total_write_latency.into()),
             ("row_hit_rate", self.row_hit_rate().into()),
             ("avg_read_latency", self.avg_read_latency().into()),
             (
@@ -196,6 +204,24 @@ impl Dram {
     /// Resets statistics (device state is kept).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// The row currently open in global bank `bank` (`None` when the bank
+    /// is precharged). Exposing the timing model's own bank state lets a
+    /// scheduler's first-ready predicate never drift from it.
+    pub fn open_row(&self, bank: usize) -> Option<u64> {
+        self.banks[bank].open_row
+    }
+
+    /// Whether an access to `addr` would be a row-buffer hit right now.
+    /// Ideal-RBL devices hit by definition; writes never open rows, so a
+    /// written row does not make later reads "first ready".
+    pub fn row_hit(&self, addr: u64) -> bool {
+        if self.ideal_rbl {
+            return true;
+        }
+        let loc = self.mapping.decode(addr, &self.config);
+        self.banks[loc.global_bank(&self.config)].open_row == Some(loc.row)
     }
 
     /// Serves one access arriving at cycle `now`; returns its latency.
@@ -331,6 +357,27 @@ mod tests {
         }
         // One miss per 8 KB row (128 lines per row → 1 miss in 128 lines).
         assert!(d.stats().row_hit_rate() > 0.95, "{:?}", d.stats());
+    }
+
+    #[test]
+    fn open_row_inspection_matches_timing() {
+        let mut d = dram(AddressMapping::scheme5());
+        assert!(!d.row_hit(0), "banks start precharged");
+        d.access(0, false, 0);
+        assert!(d.row_hit(64), "same row is open");
+        let loc = AddressMapping::scheme5().decode(0, d.config());
+        assert_eq!(d.open_row(loc.global_bank(d.config())), Some(loc.row));
+        assert!(
+            !d.row_hit(d.config().row_bytes),
+            "other row of the same bank"
+        );
+        // Writes are buffered and never open rows.
+        let mut d = dram(AddressMapping::scheme5());
+        d.access(0, true, 0);
+        assert!(!d.row_hit(64));
+        // Ideal-RBL devices hit by definition.
+        let ideal = Dram::new_ideal_rbl(DramConfig::ddr3_1066(3.6), AddressMapping::scheme5());
+        assert!(ideal.row_hit(1 << 30));
     }
 
     #[test]

@@ -6,18 +6,54 @@
 //! whose bank is ready) beats First-Come; ties break by age. An FCFS mode
 //! is provided for ablation — the gap between the two on mixed streams is
 //! the classic motivation for FR-FCFS.
+//!
+//! Reordering is *bounded*: once the oldest pending request has waited
+//! [`DEFAULT_MAX_AGE_CONFLICTS`] row-conflict latencies, it is served next
+//! even when younger row hits are available, so a stream of hits to one
+//! row can never starve an older request to another row indefinitely.
+//! [`Discipline::FrFcfsCapped`] makes the threshold explicit (with
+//! `u64::MAX` reproducing the unbounded scheduler for ablation).
 
 use crate::config::DramConfig;
 use crate::dram::{Dram, DramStats};
 use crate::mapping::AddressMapping;
 
+/// The default bounded-reorder threshold of [`Discipline::FrFcfs`],
+/// expressed in row-conflict latencies: the oldest pending request is
+/// served unconditionally once it has waited this many worst-case
+/// accesses. Large enough that ordinary hit batching is untouched, small
+/// enough that no request waits more than a few microseconds.
+pub const DEFAULT_MAX_AGE_CONFLICTS: u64 = 16;
+
 /// Scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Discipline {
-    /// First-Ready, First-Come-First-Served: prefer row hits.
+    /// First-Ready, First-Come-First-Served: prefer row hits, with the
+    /// default bounded-reorder age cap
+    /// (`DEFAULT_MAX_AGE_CONFLICTS × conflict_latency`).
     FrFcfs,
+    /// FR-FCFS with an explicit age cap in cycles. `max_age: u64::MAX`
+    /// reproduces the classic unbounded scheduler, which can starve an
+    /// old conflicting request behind an endless stream of row hits.
+    FrFcfsCapped {
+        /// Maximum cycles the oldest pending request may wait while
+        /// younger row hits jump the queue.
+        max_age: u64,
+    },
     /// Strict arrival order.
     Fcfs,
+}
+
+impl Discipline {
+    /// The bounded-reorder threshold in cycles (irrelevant for FCFS,
+    /// which never reorders).
+    fn max_age(&self, config: &DramConfig) -> u64 {
+        match self {
+            Discipline::FrFcfs => DEFAULT_MAX_AGE_CONFLICTS * config.conflict_latency(),
+            Discipline::FrFcfsCapped { max_age } => *max_age,
+            Discipline::Fcfs => 0,
+        }
+    }
 }
 
 /// One memory request for batch scheduling.
@@ -73,10 +109,11 @@ pub fn schedule(
     mapping: AddressMapping,
     discipline: Discipline,
 ) -> (Vec<Completion>, DramStats) {
-    // Track open rows ourselves to identify "first-ready" candidates, and
-    // delegate the actual timing to the Dram model.
+    // "First-ready" candidates are identified from the Dram model's own
+    // bank state (`Dram::row_hit`), so the predicate can never drift from
+    // the timing it delegates to — writes, for example, never open rows.
     let mut dram = Dram::new(config, mapping);
-    let mut open_rows: Vec<Option<u64>> = vec![None; config.total_banks()];
+    let max_age = discipline.max_age(&config);
     let mut pending: Vec<(usize, Request)> = Vec::new();
     let mut completions = Vec::with_capacity(requests.len());
     let mut next_arrival = 0usize;
@@ -95,17 +132,21 @@ pub fn schedule(
 
         let pick = match discipline {
             Discipline::Fcfs => 0,
-            Discipline::FrFcfs => pending
-                .iter()
-                .position(|(_, r)| {
-                    let loc = mapping.decode(r.addr, &config);
-                    open_rows[loc.global_bank(&config)] == Some(loc.row)
-                })
-                .unwrap_or(0),
+            Discipline::FrFcfs | Discipline::FrFcfsCapped { .. } => {
+                // Bounded reorder: pending is in arrival order, so [0] is
+                // the oldest request; once it has aged past the cap it is
+                // served next even when younger row hits are available.
+                if now.saturating_sub(pending[0].1.arrival) >= max_age {
+                    0
+                } else {
+                    pending
+                        .iter()
+                        .position(|(_, r)| dram.row_hit(r.addr))
+                        .unwrap_or(0)
+                }
+            }
         };
         let (index, req) = pending.remove(pick);
-        let loc = mapping.decode(req.addr, &config);
-        open_rows[loc.global_bank(&config)] = Some(loc.row);
 
         let start = now.max(req.arrival);
         let lat = dram.access(req.addr, req.is_write, start);
@@ -172,6 +213,89 @@ mod tests {
             "fr {:?} vs fc {:?}",
             fr.row_hit_rate(),
             fc.row_hit_rate()
+        );
+    }
+
+    /// The anti-starvation satellite: with unbounded reordering (the old
+    /// behavior, `max_age: u64::MAX`) an endless stream of row hits defers
+    /// an older conflicting request for the whole batch; the default
+    /// bounded cap serves the victim once it has aged out.
+    #[test]
+    fn bounded_reorder_prevents_starvation() {
+        let c = cfg();
+        let mut reqs = vec![
+            // Opens row 0 of the bank.
+            Request {
+                arrival: 0,
+                addr: 0,
+                is_write: false,
+            },
+            // The victim: row 1 of the same bank, right behind.
+            Request {
+                arrival: 1,
+                addr: c.row_bytes,
+                is_write: false,
+            },
+        ];
+        // A long stream of row-0 hits arriving one per cycle — far faster
+        // than the device drains them, so hits are always available.
+        reqs.extend((0..400u64).map(|i| Request {
+            arrival: 2 + i,
+            addr: 64 * (1 + (i % 100)),
+            is_write: false,
+        }));
+        let (capped, _) = schedule(&reqs, c, mapping(), Discipline::FrFcfs);
+        let (uncapped, _) = schedule(
+            &reqs,
+            c,
+            mapping(),
+            Discipline::FrFcfsCapped { max_age: u64::MAX },
+        );
+        let cap = DEFAULT_MAX_AGE_CONFLICTS * c.conflict_latency();
+        assert!(
+            uncapped[1].latency > 2 * capped[1].latency,
+            "uncapped scheduler must starve the victim: uncapped {} vs capped {}",
+            uncapped[1].latency,
+            capped[1].latency
+        );
+        // Once aged out the victim is served promptly: within the cap plus
+        // a few conflicts' worth of in-flight service slack.
+        assert!(
+            capped[1].latency <= cap + 3 * c.conflict_latency(),
+            "victim waited {} cycles past cap {cap}",
+            capped[1].latency
+        );
+    }
+
+    /// The bank-state satellite: writes are buffered by the controller and
+    /// never open rows, so a write must not make a same-row read "first
+    /// ready". The scheduler's old shadow row table drifted exactly here.
+    #[test]
+    fn writes_do_not_make_reads_first_ready() {
+        let c = cfg();
+        let reqs = vec![
+            Request {
+                arrival: 0,
+                addr: c.row_bytes,
+                is_write: true,
+            },
+            Request {
+                arrival: 0,
+                addr: 0,
+                is_write: false,
+            },
+            Request {
+                arrival: 0,
+                addr: c.row_bytes + 64,
+                is_write: false,
+            },
+        ];
+        let (done, _) = schedule(&reqs, c, mapping(), Discipline::FrFcfs);
+        // Neither read hits after the write (all banks stay precharged),
+        // so they are served in arrival order.
+        assert!(
+            done[1].finish < done[2].finish,
+            "read to the written row jumped the queue: {done:?}"
         );
     }
 

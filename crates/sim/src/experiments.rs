@@ -232,7 +232,10 @@ pub fn placement_specs(w: &PlacementWorkload, system: Uc2System) -> Vec<RunSpec>
 /// Tie-breaking matches a serial `min_by_key` over the grid order, so the
 /// result is deterministic and worker-count independent.
 pub fn run_placement(w: &PlacementWorkload, system: Uc2System) -> RunReport {
-    Sweep::new(placement_specs(w, system)).best().report
+    Sweep::new(placement_specs(w, system))
+        .best()
+        .expect("placement grids are non-empty")
+        .report
 }
 
 #[cfg(test)]

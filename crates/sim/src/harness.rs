@@ -9,13 +9,20 @@
 //! * [`RunSpec`] names one point: a label, a [`SystemConfig`], and a
 //!   [`WorkloadSpec`] saying what trace to run on it;
 //! * [`Sweep`] executes a list of specs on `std::thread::scope` workers and
-//!   returns one [`RunRecord`] per spec, **in spec order** regardless of
+//!   returns one [`RunOutcome`] per spec, **in spec order** regardless of
 //!   which worker finished first;
 //! * [`run_jobs`] is the underlying generic pool for jobs that do not fit
 //!   the `RunSpec` mold (e.g. multi-core co-runs).
 //!
 //! Simulations are pure functions of their config, so a parallel sweep is
 //! bit-identical to a serial one — `tests/harness.rs` proves it.
+//!
+//! Sweeps degrade gracefully instead of aborting: every point runs inside
+//! `catch_unwind`, so one panicking spec never discards the rest of the
+//! grid ([`Sweep::run_outcomes`] surfaces it as a [`RunFailure`]). With
+//! [`Sweep::report_dir`] each finished record is additionally streamed to
+//! disk as it completes, and [`Sweep::resume_from`] reloads those finished
+//! labels so a killed sweep re-runs only its missing points.
 //!
 //! ```
 //! use workloads::polybench::{KernelParams, PolybenchKernel};
@@ -37,33 +44,30 @@
 //! assert!(records[0].label.starts_with("mvt"));
 //! ```
 
+use std::any::Any;
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::config::SystemConfig;
 use crate::machine::run_workload;
 use crate::report::RunReport;
+use crate::report_sink::{config_kv, scan_point_records, write_point_record, JsonValue};
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::TraceSink;
 
-/// Runs `jobs` independent jobs on at most `workers` scoped threads and
-/// returns their results **indexed by job**, not by completion order.
-///
-/// Jobs are handed out from a shared atomic counter, so workers stay busy
-/// even when job runtimes vary wildly (a placement sweep mixes millisecond
-/// and second-long simulations). `run` must be a pure function of the job
-/// index for the sweep to be deterministic; the pool itself never reorders
-/// results.
-///
-/// # Panics
-///
-/// Propagates a panic from any job after the scope joins.
-pub fn run_jobs<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
+/// The shared-counter scoped-thread pool underneath [`run_jobs`] and
+/// [`Sweep`]: `run` additionally receives the worker index that executed
+/// the job (for the report's `run` block).
+fn pool<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     let workers = workers.max(1).min(jobs.max(1));
     // One slot per job: each is written exactly once, by whichever worker
@@ -71,13 +75,16 @@ where
     let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let slots = &slots;
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
-                let result = run(i);
+                let result = run(i, worker);
                 *slots[i].lock().expect("result slot") = Some(result);
             });
         }
@@ -92,11 +99,118 @@ where
         .collect()
 }
 
-/// The default worker count: the machine's available parallelism.
+/// Runs `jobs` independent jobs on at most `workers` scoped threads and
+/// returns their results **indexed by job**, not by completion order.
+///
+/// Jobs are handed out from a shared atomic counter, so workers stay busy
+/// even when job runtimes vary wildly (a placement sweep mixes millisecond
+/// and second-long simulations). `run` must be a pure function of the job
+/// index for the sweep to be deterministic; the pool itself never reorders
+/// results.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope joins. For fault
+/// isolation (one bad point must not discard a whole grid), use
+/// [`Sweep::run_outcomes`] instead.
+pub fn run_jobs<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    pool(jobs, workers, |i, _worker| run(i))
+}
+
+/// The default worker count: the `XMEM_WORKERS` environment variable when
+/// it parses as an integer (clamped to ≥ 1, so CI and scripts can pin the
+/// pool without per-binary flags), otherwise the machine's available
+/// parallelism.
 pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("XMEM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// A thread-safe done/total meter that repaints one `\r` progress line on
+/// stderr: `label: done/total, failures, ETA`. Sweeps drive it via
+/// [`Sweep::progress`]; binaries with bespoke pools (co-runs) tick it by
+/// hand around [`run_jobs`].
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    start: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A meter over `total` points, painting to stderr.
+    pub fn new(label: impl Into<String>, total: usize) -> Self {
+        Progress {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            start: Instant::now(),
+            enabled: true,
+        }
+    }
+
+    /// A meter that counts but never paints (sweeps without a label).
+    fn silent(total: usize) -> Self {
+        Progress {
+            enabled: false,
+            ..Progress::new(String::new(), total)
+        }
+    }
+
+    /// Records one finished point and repaints the line.
+    pub fn tick(&self, failed: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let failures = if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.failed.load(Ordering::Relaxed)
+        };
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done >= self.total {
+            0.0
+        } else {
+            elapsed / done as f64 * (self.total - done) as f64
+        };
+        eprint!(
+            "\r{}: {done}/{} done, {failures} failed, ETA {}   ",
+            self.label,
+            self.total,
+            fmt_eta(eta)
+        );
+    }
+
+    /// Terminates the progress line (call once, after the pool joins).
+    pub fn finish(&self) {
+        if self.enabled && self.total > 0 {
+            eprintln!();
+        }
+    }
+}
+
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.ceil() as u64;
+    if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
 }
 
 /// What one run simulates: a workload-generator closure in data form, so
@@ -112,6 +226,12 @@ pub enum WorkloadSpec {
     },
     /// A use-case-2 placement workload (Figs 7–8).
     Placement(PlacementWorkload),
+    /// A workload that panics when generated — fault injection for testing
+    /// the sweep engine's isolation guarantees end to end.
+    Fault {
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl WorkloadSpec {
@@ -125,11 +245,19 @@ impl WorkloadSpec {
         WorkloadSpec::Placement(w)
     }
 
+    /// A fault-injection workload that panics with `message`.
+    pub fn fault(message: impl Into<String>) -> Self {
+        WorkloadSpec::Fault {
+            message: message.into(),
+        }
+    }
+
     /// The workload's short name (kernel or workload name).
     pub fn name(&self) -> &'static str {
         match self {
             WorkloadSpec::Kernel { kernel, .. } => kernel.name(),
             WorkloadSpec::Placement(w) => w.name,
+            WorkloadSpec::Fault { .. } => "fault",
         }
     }
 
@@ -139,6 +267,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Kernel { kernel, params } => kernel.generate(params, sink),
             WorkloadSpec::Placement(w) => w.generate(sink),
+            WorkloadSpec::Fault { message } => panic!("{message}"),
         }
     }
 }
@@ -171,6 +300,20 @@ impl RunSpec {
     }
 }
 
+/// Execution metadata for one finished point — the report's optional
+/// `run` block. Pure observability: it never feeds back into the
+/// simulation, so two runs of the same spec differ only here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunMeta {
+    /// Wall-clock execution time of the point, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Index of the pool worker that executed the point.
+    pub worker: u64,
+    /// Whether the record was reloaded from a report directory by
+    /// [`Sweep::resume_from`] rather than executed in this process.
+    pub resumed: bool,
+}
+
 /// A run spec together with its measured report — the unit every
 /// [`crate::report_sink::ReportSink`] serializes.
 #[derive(Debug, Clone)]
@@ -183,30 +326,178 @@ pub struct RunRecord {
     pub workload: &'static str,
     /// The measurements.
     pub report: RunReport,
+    /// How the point was executed (`None` for records built outside a
+    /// sweep, e.g. replayed from JSON).
+    pub run: Option<RunMeta>,
+}
+
+/// One spec's panic, caught by the sweep so the rest of the grid survives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// The failing spec's label.
+    pub label: String,
+    /// The panic payload, rendered to a string.
+    pub message: String,
+}
+
+/// What happened to one spec of a sweep.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The spec executed in this process.
+    Completed(RunRecord),
+    /// The record was reloaded from a report directory by
+    /// [`Sweep::resume_from`] instead of re-executing.
+    Resumed(RunRecord),
+    /// The spec panicked. Every other point of the sweep still ran.
+    Failed(RunFailure),
+}
+
+impl RunOutcome {
+    /// The record, when the point completed or resumed.
+    pub fn record(&self) -> Option<&RunRecord> {
+        match self {
+            RunOutcome::Completed(r) | RunOutcome::Resumed(r) => Some(r),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The record by value, when the point completed or resumed.
+    pub fn into_record(self) -> Option<RunRecord> {
+        match self {
+            RunOutcome::Completed(r) | RunOutcome::Resumed(r) => Some(r),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, when the point panicked.
+    pub fn failure(&self) -> Option<&RunFailure> {
+        match self {
+            RunOutcome::Failed(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A batch of [`RunSpec`]s executed on a worker pool.
 ///
 /// Results come back in spec order; with pure specs the records are
-/// byte-identical whether `workers` is 1 or 64.
+/// byte-identical whether `workers` is 1 or 64. Each point runs inside
+/// `catch_unwind`, so a panicking spec costs exactly one point — never the
+/// grid.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     specs: Vec<RunSpec>,
     workers: usize,
+    stream_dir: Option<PathBuf>,
+    resumed: HashMap<String, RunRecord>,
+    progress: Option<String>,
 }
 
 impl Sweep {
-    /// A sweep over `specs` using every available core.
+    /// A sweep over `specs` using [`default_workers`] threads.
     pub fn new(specs: Vec<RunSpec>) -> Self {
         Sweep {
             specs,
             workers: default_workers(),
+            stream_dir: None,
+            resumed: HashMap::new(),
+            progress: None,
         }
     }
 
     /// Overrides the worker count (`1` = serial reference execution).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Paints a `label: done/total, failures, ETA` progress line on stderr
+    /// while the sweep runs.
+    pub fn progress(mut self, label: impl Into<String>) -> Self {
+        self.progress = Some(label.into());
+        self
+    }
+
+    /// Streams each record into `dir` as it finishes (one single-record
+    /// `xmem-report-v1` file per point, written atomically), so a killed
+    /// sweep loses only its in-flight points.
+    pub fn report_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.stream_dir = Some(dir.into());
+        self
+    }
+
+    /// Like [`Sweep::report_dir`], additionally reloading every point
+    /// already finished in `dir`: a resumed sweep re-executes only the
+    /// missing labels and returns [`RunOutcome::Resumed`] for the rest.
+    ///
+    /// A stored point is adopted only when its label, workload name, and
+    /// serialized config summary all match the spec — stale files from a
+    /// different parameterization simply re-run. Call this after every
+    /// spec has been pushed. Unreadable directories or files are skipped
+    /// with a warning (a kill can truncate the in-flight file); those
+    /// points re-run too.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let records = match scan_point_records(&dir) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot scan report dir {}: {e}; running the full sweep",
+                    dir.display()
+                );
+                self.stream_dir = Some(dir);
+                return self;
+            }
+        };
+        let by_label: HashMap<&str, &RunSpec> =
+            self.specs.iter().map(|s| (s.label.as_str(), s)).collect();
+        let mut resumed = HashMap::new();
+        for rec in &records {
+            let Some(label) = rec.get("label").and_then(|l| l.as_str()) else {
+                continue;
+            };
+            let Some(spec) = by_label.get(label) else {
+                continue;
+            };
+            if rec.get("workload").and_then(|w| w.as_str()) != Some(spec.workload.name()) {
+                continue;
+            }
+            // The stored config summary must match the spec's exactly — a
+            // point from a differently-parameterized sweep re-runs instead
+            // of silently resuming.
+            if rec.get("config") != Some(&JsonValue::object(config_kv(&spec.config))) {
+                continue;
+            }
+            let Some(report) = RunRecord::report_from_json(rec) else {
+                continue;
+            };
+            let run = RunMeta {
+                resumed: true,
+                ..RunMeta::from_record_json(rec).unwrap_or_default()
+            };
+            resumed.insert(
+                label.to_string(),
+                RunRecord {
+                    label: label.to_string(),
+                    config: spec.config,
+                    workload: spec.workload.name(),
+                    report,
+                    run: Some(run),
+                },
+            );
+        }
+        self.resumed = resumed;
+        self.stream_dir = Some(dir);
         self
     }
 
@@ -220,33 +511,109 @@ impl Sweep {
         &self.specs
     }
 
-    /// Executes every spec and returns one record per spec, in spec order.
-    pub fn run(&self) -> Vec<RunRecord> {
-        let reports = run_jobs(self.specs.len(), self.workers, |i| self.specs[i].execute());
-        self.specs
-            .iter()
-            .zip(reports)
-            .map(|(spec, report)| RunRecord {
-                label: spec.label.clone(),
-                config: spec.config,
-                workload: spec.workload.name(),
-                report,
-            })
-            .collect()
+    /// Executes every spec and returns one outcome per spec, in spec
+    /// order. Each point runs inside `catch_unwind`: a panicking spec
+    /// yields [`RunOutcome::Failed`] while every other point completes
+    /// (and streams, when a report directory is set). Never unwinds.
+    pub fn run_outcomes(&self) -> Vec<RunOutcome> {
+        let total = self.specs.len();
+        let progress = match &self.progress {
+            Some(label) => Progress::new(label.clone(), total),
+            None => Progress::silent(total),
+        };
+        let outcomes = pool(total, self.workers, |i, worker| {
+            let spec = &self.specs[i];
+            if let Some(record) = self.resumed.get(&spec.label) {
+                progress.tick(false);
+                return RunOutcome::Resumed(record.clone());
+            }
+            let start = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+                Ok(report) => {
+                    let record = RunRecord {
+                        label: spec.label.clone(),
+                        config: spec.config,
+                        workload: spec.workload.name(),
+                        report,
+                        run: Some(RunMeta {
+                            wall_nanos: start.elapsed().as_nanos() as u64,
+                            worker: worker as u64,
+                            resumed: false,
+                        }),
+                    };
+                    if let Some(dir) = &self.stream_dir {
+                        if let Err(e) = write_point_record(dir, &record) {
+                            eprintln!(
+                                "warning: cannot stream record '{}' to {}: {e}",
+                                record.label,
+                                dir.display()
+                            );
+                        }
+                    }
+                    progress.tick(false);
+                    RunOutcome::Completed(record)
+                }
+                Err(payload) => {
+                    progress.tick(true);
+                    RunOutcome::Failed(RunFailure {
+                        label: spec.label.clone(),
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        });
+        progress.finish();
+        outcomes
     }
 
-    /// Executes every spec and returns the record with the fewest cycles
-    /// (ties broken by spec order, exactly like a serial `min_by_key`).
+    /// Executes every spec and returns one record per spec, in spec order.
     ///
     /// # Panics
     ///
-    /// Panics on an empty sweep.
-    pub fn best(&self) -> RunRecord {
-        self.run()
-            .into_iter()
-            .min_by_key(|r| r.report.cycles())
-            .expect("at least one spec")
+    /// Panics with a summary of every failure — but only *after* the whole
+    /// grid has run (and streamed, when a report directory is set), so one
+    /// bad point never discards the others' work. Use
+    /// [`Sweep::run_outcomes`] to handle failures without unwinding.
+    pub fn run(&self) -> Vec<RunRecord> {
+        let outcomes = self.run_outcomes();
+        let total = outcomes.len();
+        let mut records = Vec::with_capacity(total);
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                RunOutcome::Completed(r) | RunOutcome::Resumed(r) => records.push(r),
+                RunOutcome::Failed(f) => failures.push(f),
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "sweep: {}/{total} points panicked (every other point completed): {}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|f| format!("{}: {}", f.label, f.message))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        records
     }
+
+    /// Executes every spec and returns the completed record with the
+    /// fewest cycles (ties broken by spec order, exactly like a serial
+    /// `min_by_key`). `None` when the sweep is empty or every point
+    /// failed; failed points are otherwise skipped.
+    pub fn best(&self) -> Option<RunRecord> {
+        self.run_outcomes()
+            .into_iter()
+            .filter_map(RunOutcome::into_record)
+            .min_by_key(|r| r.report.cycles())
+    }
+}
+
+/// The per-point streaming location for a report directory scoped to one
+/// figure: `<dir>/<name>.points`.
+pub fn points_dir(dir: impl AsRef<Path>, name: &str) -> PathBuf {
+    dir.as_ref().join(format!("{name}.points"))
 }
 
 #[cfg(test)]
@@ -273,6 +640,17 @@ mod tests {
     }
 
     #[test]
+    fn pool_reports_worker_indices_in_range() {
+        let out = pool(16, 3, |i, worker| {
+            assert!(worker < 3);
+            (i, worker)
+        });
+        assert!(out.iter().enumerate().all(|(i, (j, _))| i == *j));
+        // Serial pools attribute everything to worker 0.
+        assert!(pool(4, 1, |_, worker| worker).iter().all(|w| *w == 0));
+    }
+
+    #[test]
     fn sweep_preserves_spec_order_and_labels() {
         let p = KernelParams {
             n: 12,
@@ -296,5 +674,34 @@ mod tests {
         assert_eq!(records[1].label, "XMem");
         assert_eq!(records[0].workload, "mvt");
         assert!(records.iter().all(|r| r.report.cycles() > 0));
+        // Every sweep-produced record carries execution metadata.
+        assert!(records.iter().all(|r| {
+            let run = r.run.expect("sweep records carry a run block");
+            run.wall_nanos > 0 && !run.resumed
+        }));
+    }
+
+    #[test]
+    fn xmem_workers_env_overrides_default() {
+        // Env vars are process-global; keep the mutation in one test.
+        std::env::set_var("XMEM_WORKERS", "3");
+        assert_eq!(default_workers(), 3);
+        std::env::set_var("XMEM_WORKERS", "0");
+        assert_eq!(default_workers(), 1, "clamped to >= 1");
+        std::env::set_var("XMEM_WORKERS", " 7 ");
+        assert_eq!(default_workers(), 7, "whitespace tolerated");
+        std::env::set_var("XMEM_WORKERS", "not-a-number");
+        let fallback = default_workers();
+        std::env::remove_var("XMEM_WORKERS");
+        assert_eq!(fallback, default_workers(), "garbage falls back");
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn fmt_eta_renders_minutes() {
+        assert_eq!(fmt_eta(0.0), "0s");
+        assert_eq!(fmt_eta(58.2), "59s");
+        assert_eq!(fmt_eta(61.0), "1m01s");
+        assert_eq!(fmt_eta(3600.0), "60m00s");
     }
 }

@@ -43,10 +43,14 @@ pub use crate::config::{
 pub use crate::experiments::{placement_specs, run_placement, KernelRun, Uc2System};
 #[allow(deprecated)]
 pub use crate::experiments::{run_kernel, run_kernel_bw};
-pub use crate::harness::{run_jobs, RunRecord, RunSpec, Sweep, WorkloadSpec};
+pub use crate::harness::{
+    default_workers, run_jobs, Progress, RunFailure, RunMeta, RunOutcome, RunRecord, RunSpec,
+    Sweep, WorkloadSpec,
+};
 pub use crate::machine::{run_workload, Machine, ScanSink};
 pub use crate::multicore::{run_corun, CorunReport};
 pub use crate::report::RunReport;
 pub use crate::report_sink::{
-    write_report, CsvSink, JsonError, JsonSink, JsonValue, ReportSink, JSON_SCHEMA,
+    point_file_name, scan_point_records, write_point_record, write_report, CsvSink, JsonError,
+    JsonSink, JsonValue, ReportSink, JSON_SCHEMA,
 };

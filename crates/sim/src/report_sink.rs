@@ -23,12 +23,16 @@
 
 use std::fmt::Write as _;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::config::{FramePolicyKind, SystemConfig};
-use crate::harness::RunRecord;
+use crate::harness::{RunMeta, RunRecord};
 use crate::report::RunReport;
+use cache_sim::{CacheStats, PrefetchStats};
 use cpu_sim::kv::{KvPairs, KvValue};
+use cpu_sim::CoreStats;
+use dram_sim::DramStats;
+use xmem_core::alb::AlbStats;
 
 /// The schema identifier stamped into every JSON report document.
 pub const JSON_SCHEMA: &str = "xmem-report-v1";
@@ -525,7 +529,60 @@ impl RunRecord {
             ),
         ];
         fields.push(("derived".into(), JsonValue::from_kv(derived)));
+        // Optional, backwards-compatible execution metadata: absent for
+        // records built outside a sweep, so v1 consumers keep parsing.
+        if let Some(run) = &self.run {
+            fields.push(("run".into(), run.to_json()));
+        }
         JsonValue::Object(fields)
+    }
+
+    /// Rebuilds the measured report from one `xmem-report-v1` record
+    /// object — the inverse of [`RunRecord::to_json`] for every *stored*
+    /// counter, used by [`crate::harness::Sweep::resume_from`]. Derived
+    /// metrics are recomputed on demand; the demand-read latency
+    /// histogram is not serialized and comes back empty. `None` when a
+    /// required field is missing or mistyped.
+    pub fn report_from_json(record: &JsonValue) -> Option<RunReport> {
+        let core = record.get("core")?;
+        let dram = record.get("dram")?;
+        let alb = record.get("alb")?;
+        let xmem = record.get("xmem")?;
+        Some(RunReport {
+            core: CoreStats {
+                cycles: u64_field(core, "cycles")?,
+                instructions: u64_field(core, "instructions")?,
+                loads: u64_field(core, "loads")?,
+                stores: u64_field(core, "stores")?,
+                total_load_latency: u64_field(core, "total_load_latency")?,
+            },
+            l1: cache_stats_from_json(record.get("l1")?)?,
+            l2: cache_stats_from_json(record.get("l2")?)?,
+            l3: cache_stats_from_json(record.get("l3")?)?,
+            dram: DramStats {
+                demand_read_hist: Default::default(),
+                reads: u64_field(dram, "reads")?,
+                demand_reads: u64_field(dram, "demand_reads")?,
+                total_demand_read_latency: u64_field(dram, "total_demand_read_latency")?,
+                writes: u64_field(dram, "writes")?,
+                row_hits: u64_field(dram, "row_hits")?,
+                row_misses: u64_field(dram, "row_misses")?,
+                row_conflicts: u64_field(dram, "row_conflicts")?,
+                total_read_latency: u64_field(dram, "total_read_latency")?,
+                total_write_latency: u64_field(dram, "total_write_latency")?,
+            },
+            alb: AlbStats {
+                hits: u64_field(alb, "hits")?,
+                misses: u64_field(alb, "misses")?,
+            },
+            xmem_instructions: u64_field(xmem, "instructions")?,
+            instruction_overhead: f64_field(xmem, "instruction_overhead")?,
+            xmem_prefetch: prefetch_stats_from_json(record.get("xmem_prefetch")?)?,
+            stride_prefetch: match record.get("stride_prefetch")? {
+                JsonValue::Null => None,
+                v => Some(prefetch_stats_from_json(v)?),
+            },
+        })
     }
 
     /// This record as flat `(column, value)` cells with dotted names — the
@@ -550,6 +607,141 @@ impl RunRecord {
         flatten("", &self.to_json_with(extras), &mut out);
         out
     }
+}
+
+impl RunMeta {
+    /// This metadata as the record's optional `run` JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("wall_nanos", JsonValue::U64(self.wall_nanos)),
+            ("worker", JsonValue::U64(self.worker)),
+            (
+                "outcome",
+                JsonValue::Str(if self.resumed { "resumed" } else { "ok" }.to_string()),
+            ),
+        ])
+    }
+
+    /// Reads the optional `run` block back out of a record object.
+    pub fn from_record_json(record: &JsonValue) -> Option<RunMeta> {
+        let run = record.get("run")?;
+        Some(RunMeta {
+            wall_nanos: run.get("wall_nanos")?.as_u64()?,
+            worker: run.get("worker")?.as_u64()?,
+            resumed: run.get("outcome")?.as_str()? == "resumed",
+        })
+    }
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+fn cache_stats_from_json(v: &JsonValue) -> Option<CacheStats> {
+    Some(CacheStats {
+        accesses: u64_field(v, "accesses")?,
+        hits: u64_field(v, "hits")?,
+        fills: u64_field(v, "fills")?,
+        evictions: u64_field(v, "evictions")?,
+        writebacks: u64_field(v, "writebacks")?,
+    })
+}
+
+fn prefetch_stats_from_json(v: &JsonValue) -> Option<PrefetchStats> {
+    Some(PrefetchStats {
+        issued: u64_field(v, "issued")?,
+        useful: u64_field(v, "useful")?,
+    })
+}
+
+// ─────────────────────── per-point streaming ─────────────────────────
+
+/// FNV-1a, for a stable label → file-name mapping.
+fn label_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The file name a point record streams to inside a report directory:
+/// the sanitized label plus a stable hash of the full label, so every
+/// label (however odd its characters) maps to its own path.
+pub fn point_file_name(label: &str) -> String {
+    let mut sanitized: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    sanitized.truncate(80);
+    format!("{sanitized}-{:016x}.json", label_hash(label))
+}
+
+/// Writes one record into `dir` as a single-record `xmem-report-v1`
+/// document, atomically (temp file + rename), creating `dir` as needed.
+/// This is the sweep's streaming path: a run killed mid-sweep leaves
+/// every finished point durable and at worst one truncated temp file.
+pub fn write_point_record(dir: &Path, record: &RunRecord) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(point_file_name(&record.label));
+    let doc = JsonValue::object([
+        ("schema", JsonValue::Str(JSON_SCHEMA.to_string())),
+        ("records", JsonValue::Array(vec![record.to_json()])),
+    ])
+    .render();
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Reads every `*.json` point file in `dir` and returns the record
+/// objects found, in file-name order. A missing directory is an empty
+/// scan; files that fail to read, parse, or carry the wrong schema are
+/// skipped (a killed run may leave a truncated file — that point simply
+/// re-runs).
+pub fn scan_point_records(dir: &Path) -> io::Result<Vec<JsonValue>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut records = Vec::new();
+    for path in paths {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(doc) = JsonValue::parse(&text) else {
+            eprintln!(
+                "warning: skipping unparseable point file {}",
+                path.display()
+            );
+            continue;
+        };
+        if doc.get("schema").and_then(|s| s.as_str()) != Some(JSON_SCHEMA) {
+            continue;
+        }
+        if let Some(recs) = doc.get("records").and_then(|r| r.as_array()) {
+            records.extend(recs.iter().cloned());
+        }
+    }
+    Ok(records)
 }
 
 // ──────────────────────────── report sinks ───────────────────────────
@@ -751,6 +943,144 @@ mod tests {
         assert!(JsonValue::parse("[1,2").is_err());
         assert!(JsonValue::parse("12 34").is_err());
         assert!(JsonValue::parse("").is_err());
+    }
+
+    fn synthetic_record() -> RunRecord {
+        let mk_cache = |accesses: u64| CacheStats {
+            accesses,
+            hits: accesses / 2,
+            fills: accesses / 3,
+            evictions: accesses / 4,
+            writebacks: accesses / 5,
+        };
+        RunRecord {
+            label: "unit/synthetic point".to_string(),
+            config: SystemConfig::scaled_use_case1(8 << 10, crate::config::SystemKind::Xmem),
+            workload: "gemm",
+            report: RunReport {
+                core: CoreStats {
+                    cycles: 1000,
+                    instructions: 900,
+                    loads: 400,
+                    stores: 100,
+                    total_load_latency: 4800,
+                },
+                l1: mk_cache(500),
+                l2: mk_cache(200),
+                l3: mk_cache(90),
+                dram: DramStats {
+                    demand_read_hist: Default::default(),
+                    reads: 80,
+                    demand_reads: 60,
+                    total_demand_read_latency: 9000,
+                    writes: 20,
+                    row_hits: 50,
+                    row_misses: 20,
+                    row_conflicts: 10,
+                    total_read_latency: 11_000,
+                    total_write_latency: 3000,
+                },
+                alb: AlbStats {
+                    hits: 70,
+                    misses: 2,
+                },
+                xmem_instructions: 12,
+                instruction_overhead: 0.013,
+                xmem_prefetch: PrefetchStats {
+                    issued: 30,
+                    useful: 25,
+                },
+                stride_prefetch: Some(PrefetchStats {
+                    issued: 10,
+                    useful: 4,
+                }),
+            },
+            run: Some(RunMeta {
+                wall_nanos: 123_456,
+                worker: 3,
+                resumed: false,
+            }),
+        }
+    }
+
+    /// `report_from_json` + `RunMeta::from_record_json` invert `to_json`:
+    /// a record rebuilt from its own JSON renders byte-identically.
+    #[test]
+    fn record_json_reconstruction_round_trips() {
+        let record = synthetic_record();
+        let json = record.to_json();
+        let report = RunRecord::report_from_json(&json).expect("reconstructs");
+        let rebuilt = RunRecord {
+            report,
+            run: RunMeta::from_record_json(&json),
+            ..record.clone()
+        };
+        assert_eq!(rebuilt.to_json().render(), json.render());
+        assert_eq!(report.cycles(), 1000);
+
+        // stride_prefetch = None survives too.
+        let mut no_stride = record;
+        no_stride.report.stride_prefetch = None;
+        let json = no_stride.to_json();
+        let report = RunRecord::report_from_json(&json).expect("reconstructs");
+        assert_eq!(report.stride_prefetch, None);
+        assert_eq!(
+            RunRecord {
+                report,
+                ..no_stride.clone()
+            }
+            .to_json()
+            .render(),
+            json.render()
+        );
+    }
+
+    #[test]
+    fn run_block_is_optional_and_tagged() {
+        let mut record = synthetic_record();
+        let json = record.to_json();
+        assert_eq!(
+            json.get("run")
+                .and_then(|r| r.get("outcome"))
+                .and_then(|o| o.as_str()),
+            Some("ok")
+        );
+        record.run = None;
+        assert!(record.to_json().get("run").is_none(), "block is optional");
+        assert!(RunMeta::from_record_json(&record.to_json()).is_none());
+        record.run = Some(RunMeta {
+            resumed: true,
+            ..RunMeta::default()
+        });
+        assert!(RunMeta::from_record_json(&record.to_json()).is_some_and(|m| m.resumed));
+    }
+
+    #[test]
+    fn point_files_round_trip_via_scan() {
+        let dir = std::env::temp_dir().join(format!("xmem-points-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let record = synthetic_record();
+        let path = write_point_record(&dir, &record).expect("write");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(point_file_name(&record.label).as_str())
+        );
+        // A truncated half-written file is skipped, not fatal.
+        std::fs::write(dir.join("truncated.json"), "{\"schema\":\"xmem-rep").unwrap();
+        let records = scan_point_records(&dir).expect("scan");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0], record.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+        // A missing directory is an empty scan, not an error.
+        assert_eq!(scan_point_records(&dir).expect("missing dir"), Vec::new());
+    }
+
+    #[test]
+    fn point_file_names_are_sanitized_and_distinct() {
+        let a = point_file_name("gemm/XMem 32KB");
+        assert!(a.starts_with("gemm-XMem-32KB-"));
+        assert!(a.ends_with(".json"));
+        assert_ne!(a, point_file_name("gemm/XMem_32KB"));
     }
 
     #[test]

@@ -5,8 +5,9 @@
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use xmem_sim::{
-    placement_specs, CsvSink, JsonSink, KernelRun, ReportSink, RunRecord, RunSpec, Sweep,
-    SystemKind, Uc2System, JSON_SCHEMA,
+    placement_specs, point_file_name, CsvSink, JsonSink, JsonValue, KernelRun, ReportSink,
+    RunOutcome, RunRecord, RunSpec, Sweep, SystemConfig, SystemKind, Uc2System, WorkloadSpec,
+    JSON_SCHEMA,
 };
 
 fn kernel_grid() -> Vec<RunSpec> {
@@ -60,7 +61,7 @@ fn placement_best_matches_serial_best_of() {
             .iter()
             .min_by_key(|r| r.report.cycles())
             .expect("non-empty grid");
-        let parallel_best = Sweep::new(grid).best();
+        let parallel_best = Sweep::new(grid).best().expect("non-empty grid");
         assert_eq!(serial_best.label, parallel_best.label, "{sys}");
         assert_eq!(serial_best.report, parallel_best.report, "{sys}");
     }
@@ -74,6 +75,188 @@ fn placement_grid_sizes() {
     assert_eq!(placement_specs(&w, Uc2System::Baseline).len(), 18);
     assert_eq!(placement_specs(&w, Uc2System::Xmem).len(), 2);
     assert_eq!(placement_specs(&w, Uc2System::IdealRbl).len(), 2);
+}
+
+fn fault_spec(label: &str) -> RunSpec {
+    RunSpec::new(
+        label,
+        SystemConfig::scaled_use_case1(8 << 10, SystemKind::Baseline),
+        WorkloadSpec::fault("injected fault: simulated device error"),
+    )
+}
+
+/// The tentpole guarantee of this engine's fault isolation: a sweep with
+/// one panicking spec completes every other point and surfaces exactly
+/// one failure outcome — identically for a serial and a parallel pool.
+#[test]
+fn panicking_spec_does_not_abort_the_sweep() {
+    let mut surviving = Vec::new();
+    for workers in [1usize, 8] {
+        let mut specs = kernel_grid();
+        specs.insert(5, fault_spec("boom"));
+        let total = specs.len();
+        let outcomes = Sweep::new(specs).workers(workers).run_outcomes();
+        assert_eq!(outcomes.len(), total, "one outcome per spec");
+        let failures: Vec<_> = outcomes.iter().filter_map(|o| o.failure()).collect();
+        assert_eq!(failures.len(), 1, "exactly one failure");
+        assert_eq!(failures[0].label, "boom");
+        assert!(failures[0].message.contains("injected fault"));
+        assert!(outcomes[5].record().is_none(), "failure holds no record");
+        let records: Vec<RunRecord> = outcomes
+            .into_iter()
+            .filter_map(RunOutcome::into_record)
+            .collect();
+        assert_eq!(records.len(), total - 1, "every other point completed");
+        surviving.push(records);
+    }
+    for (s, p) in surviving[0].iter().zip(&surviving[1]) {
+        assert_eq!(s.label, p.label);
+        assert_eq!(
+            s.report, p.report,
+            "{}: serial and parallel diverge",
+            s.label
+        );
+    }
+}
+
+/// `Sweep::run` still unwinds on failure — but only after the whole grid
+/// has executed, with every failure in the panic summary.
+#[test]
+fn sweep_run_reports_failures_after_completion() {
+    let p = KernelParams {
+        n: 16,
+        tile_bytes: 1024,
+        steps: 1,
+        reuse: 200,
+    };
+    let specs = vec![
+        KernelRun::new(PolybenchKernel::Mvt, p).spec(),
+        fault_spec("bad-point"),
+    ];
+    let sweep = Sweep::new(specs).workers(2);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sweep.run()))
+        .expect_err("a failed point must fail run()");
+    let msg = payload.downcast_ref::<String>().expect("string panic");
+    assert!(msg.contains("1/2"), "{msg}");
+    assert!(msg.contains("bad-point"), "{msg}");
+    assert!(msg.contains("injected fault"), "{msg}");
+}
+
+/// The empty-sweep satellite: `best()` is `None` instead of a panic, both
+/// for zero specs and for a grid whose only point failed.
+#[test]
+fn empty_sweep_best_is_none() {
+    let empty = Sweep::new(Vec::new());
+    assert!(empty.run().is_empty());
+    assert!(empty.best().is_none());
+    assert!(Sweep::new(vec![fault_spec("only")]).best().is_none());
+}
+
+/// Removes the nondeterministic `run` block (wall time, worker id) from a
+/// serialized record tree, leaving only the simulation's pure output.
+fn strip_run(doc: &JsonValue) -> JsonValue {
+    match doc {
+        JsonValue::Object(pairs) => JsonValue::Object(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "run")
+                .map(|(k, v)| (k.clone(), strip_run(v)))
+                .collect(),
+        ),
+        JsonValue::Array(items) => JsonValue::Array(items.iter().map(strip_run).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Streaming + resume: delete one point file from a streamed report
+/// directory and re-run — only that label re-executes, everything else
+/// resumes, and the records match a fresh serial run byte-for-byte
+/// modulo the `run` block.
+#[test]
+fn resume_reruns_only_missing_points() {
+    let dir = std::env::temp_dir().join(format!("xmem-resume-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut specs = kernel_grid();
+    specs.truncate(4);
+
+    // The fresh serial streamed run: the byte-identity reference.
+    let fresh = Sweep::new(specs.clone()).workers(1).report_dir(&dir).run();
+    assert_eq!(fresh.len(), 4);
+    let victim_label = specs[2].label.clone();
+    let victim_path = dir.join(point_file_name(&victim_label));
+    let reference = std::fs::read_to_string(&victim_path).expect("victim was streamed");
+    std::fs::remove_file(&victim_path).expect("delete victim point file");
+
+    let outcomes = Sweep::new(specs.clone())
+        .workers(4)
+        .resume_from(&dir)
+        .run_outcomes();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            RunOutcome::Completed(r) => {
+                assert_eq!(i, 2, "only the deleted label re-executes");
+                assert_eq!(r.label, victim_label);
+            }
+            RunOutcome::Resumed(r) => {
+                assert_ne!(i, 2);
+                assert_eq!(r.label, specs[i].label);
+                assert!(r.run.expect("resumed records carry meta").resumed);
+            }
+            RunOutcome::Failed(f) => panic!("unexpected failure: {f:?}"),
+        }
+    }
+    // All four records — three resumed, one re-run — equal the fresh
+    // serial run's, modulo the run block.
+    for (outcome, fresh_rec) in outcomes.iter().zip(&fresh) {
+        let r = outcome.record().expect("no failures");
+        assert_eq!(
+            strip_run(&r.to_json()).render(),
+            strip_run(&fresh_rec.to_json()).render(),
+            "{}",
+            fresh_rec.label
+        );
+    }
+    // The victim's rewritten point file is byte-identical to the fresh
+    // serial one, modulo the run block.
+    let rerun = std::fs::read_to_string(&victim_path).expect("victim was re-streamed");
+    assert_eq!(
+        strip_run(&JsonValue::parse(&reference).unwrap()).render(),
+        strip_run(&JsonValue::parse(&rerun).unwrap()).render()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stored point from a differently-configured sweep must re-run, not
+/// resume: resume matches on label + workload + config summary.
+#[test]
+fn resume_ignores_stale_configs() {
+    let dir = std::env::temp_dir().join(format!("xmem-stale-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = KernelParams {
+        n: 24,
+        tile_bytes: 4 << 10,
+        steps: 1,
+        reuse: 200,
+    };
+    let spec = |l3: u64| {
+        RunSpec::new(
+            "pt",
+            SystemConfig::scaled_use_case1(l3, SystemKind::Baseline),
+            WorkloadSpec::kernel(PolybenchKernel::Mvt, p),
+        )
+    };
+    Sweep::new(vec![spec(8 << 10)])
+        .workers(1)
+        .report_dir(&dir)
+        .run();
+    let outcomes = Sweep::new(vec![spec(16 << 10)])
+        .resume_from(&dir)
+        .run_outcomes();
+    assert!(
+        matches!(outcomes[0], RunOutcome::Completed(_)),
+        "a stale point must re-execute, got {outcomes:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn sample_records() -> Vec<RunRecord> {
