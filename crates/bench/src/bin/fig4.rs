@@ -53,7 +53,8 @@ fn main() {
         })
         .collect();
     let mut writer = ReportWriter::new("fig4");
-    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
+    let outcomes = writer.sweep(Sweep::new(specs)).run_outcomes();
+    let records = require_complete(&mut writer, outcomes);
 
     let mut small_tile_slowdowns = Vec::new();
     let mut large_base_slowdowns = Vec::new();

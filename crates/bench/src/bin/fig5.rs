@@ -61,7 +61,8 @@ fn main() {
         })
         .collect();
     let mut writer = ReportWriter::new("fig5");
-    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
+    let outcomes = writer.sweep(Sweep::new(specs)).run_outcomes();
+    let records = require_complete(&mut writer, outcomes);
 
     let headers: Vec<String> = ["kernel", "tuned tile", "Baseline max", "XMem max"]
         .iter()

@@ -45,7 +45,8 @@ fn main() {
         })
         .collect();
     let mut writer = ReportWriter::new("fig6");
-    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
+    let outcomes = writer.sweep(Sweep::new(specs)).run_outcomes();
+    let records = require_complete(&mut writer, outcomes);
 
     let headers: Vec<String> = [
         "kernel", "Pref@4", "XMem@4", "Pref@2", "XMem@2", "Pref@1", "XMem@1", "Pref@0.5",

@@ -52,7 +52,8 @@ fn main() {
         }
     }
     let mut writer = ReportWriter::new("fig7");
-    let records = require_complete(writer.sweep(Sweep::new(specs)).run_outcomes());
+    let outcomes = writer.sweep(Sweep::new(specs)).run_outcomes();
+    let records = require_complete(&mut writer, outcomes);
 
     // Ties break by grid order, matching a serial min_by_key.
     let best = |wi: usize, sys: Uc2System| -> &RunRecord {
@@ -94,6 +95,7 @@ fn main() {
         let s_xmem = xmem.report.speedup_over(&base.report);
         let s_ideal = ideal.report.speedup_over(&base.report);
         let r_lat = xmem.report.normalized_read_latency(&base.report);
+        let r_lat_ideal = ideal.report.normalized_read_latency(&base.report);
         let w_lat = {
             let b = base.report.dram.avg_write_latency();
             if b == 0.0 {
@@ -102,7 +104,15 @@ fn main() {
                 xmem.report.dram.avg_write_latency() / b
             }
         };
-        writer.emit_with(base, &[("speedup", 1.0.into())]);
+        // Every record must carry the same extras or CSV emission would
+        // see ragged column sets; baseline normalizes to itself (1.0).
+        writer.emit_with(
+            base,
+            &[
+                ("speedup", 1.0.into()),
+                ("normalized_read_latency", 1.0.into()),
+            ],
+        );
         writer.emit_with(
             xmem,
             &[
@@ -110,7 +120,13 @@ fn main() {
                 ("normalized_read_latency", r_lat.into()),
             ],
         );
-        writer.emit_with(ideal, &[("speedup", s_ideal.into())]);
+        writer.emit_with(
+            ideal,
+            &[
+                ("speedup", s_ideal.into()),
+                ("normalized_read_latency", r_lat_ideal.into()),
+            ],
+        );
 
         xmem_speedups.push(s_xmem);
         ideal_speedups.push(s_ideal);

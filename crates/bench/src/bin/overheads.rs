@@ -62,21 +62,20 @@ fn main() {
     let mut alb_rates = Vec::new();
     let mut rows = Vec::new();
     let mut writer = ReportWriter::new("overheads");
-    let records = require_complete(
-        writer
-            .sweep(Sweep::new(
-                PolybenchKernel::all()
-                    .into_iter()
-                    .map(|kernel| {
-                        KernelRun::new(kernel, uc1_params(n, 8 << 10))
-                            .l3_bytes(UC1_L3)
-                            .system(SystemKind::Xmem)
-                            .spec()
-                    })
-                    .collect(),
-            ))
-            .run_outcomes(),
-    );
+    let outcomes = writer
+        .sweep(Sweep::new(
+            PolybenchKernel::all()
+                .into_iter()
+                .map(|kernel| {
+                    KernelRun::new(kernel, uc1_params(n, 8 << 10))
+                        .l3_bytes(UC1_L3)
+                        .system(SystemKind::Xmem)
+                        .spec()
+                })
+                .collect(),
+        ))
+        .run_outcomes();
+    let records = require_complete(&mut writer, outcomes);
     for (kernel, rec) in PolybenchKernel::all().into_iter().zip(&records) {
         let r = &rec.report;
         writer.emit(rec);

@@ -28,7 +28,7 @@ fn dram_cache_demo() {
             if i % 8 != 7 {
                 dc.access(0x1000_0000 + (i * 64) % huge, with_hint.then_some(huge));
             } else {
-                hot_lat += dc.access((i * 2654435761) % hot & !63, with_hint.then_some(hot));
+                hot_lat += dc.access(((i * 2654435761) % hot) & !63, with_hint.then_some(hot));
                 hot_n += 1;
             }
         }

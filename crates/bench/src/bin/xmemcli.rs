@@ -18,8 +18,8 @@ use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::LogSink;
 use workloads::trace_file::{read_trace, replay, write_trace};
 use xmem_sim::{
-    placement_specs, run_workload, JsonSink, ReportSink, RunRecord, RunReport, RunSpec, Sweep,
-    SystemConfig, SystemKind, Uc2System, WorkloadSpec,
+    placement_specs, run_workload, JsonSink, JsonValue, ReportSink, RunRecord, RunReport, RunSpec,
+    Sweep, SystemConfig, SystemKind, Uc2System, WorkloadSpec,
 };
 
 fn usage() -> ! {
@@ -292,6 +292,8 @@ fn main() {
                 label: format!("replay/{}", f.system),
                 config: cfg,
                 workload: "replay",
+                // A raw trace has no stored parameterization.
+                workload_params: JsonValue::Null,
                 report,
                 run: None,
             };

@@ -106,9 +106,9 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
 
 /// Formats a byte count compactly (64B, 4KB, 2MB).
 pub fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}MB", b >> 20)
-    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+    } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
         format!("{}KB", b >> 10)
     } else {
         format!("{b}B")
@@ -217,28 +217,47 @@ pub mod reports {
             }
         }
 
-        /// Writes the report files and prints their paths.
-        pub fn finish(self) {
-            let Some(dir) = self.dir else { return };
+        /// Writes the report files and prints their paths; `true` when at
+        /// least one file was written (`false` under `--no-report`).
+        fn write_files(&self) -> bool {
+            let Some(dir) = &self.dir else { return false };
             let mut sinks: Vec<&dyn ReportSink> = vec![&self.json];
             if let Some(csv) = &self.csv {
                 sinks.push(csv);
             }
+            let mut wrote = false;
             for sink in sinks {
                 let path = dir.join(format!("{}.{}", self.name, sink.extension()));
                 match write_report(&path, sink) {
-                    Ok(()) => println!("\nwrote {}", path.display()),
+                    Ok(()) => {
+                        println!("\nwrote {}", path.display());
+                        wrote = true;
+                    }
                     Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
                 }
             }
+            wrote
+        }
+
+        /// Writes the report files and prints their paths.
+        pub fn finish(self) {
+            self.write_files();
         }
     }
 
     /// Unwraps sweep outcomes into the records a figure table needs.
-    /// Failed points are listed on stderr and the process exits nonzero —
-    /// by then every completed point has already run (and streamed, under
-    /// `--report-dir`), so a re-run only repeats the failed labels.
-    pub fn require_complete(outcomes: Vec<RunOutcome>) -> Vec<RunRecord> {
+    ///
+    /// When every point completed, the records come back in spec order.
+    /// Otherwise the failures are listed on stderr, the completed records
+    /// are *salvaged* — emitted through `writer` (without the per-figure
+    /// derived extras) and written out immediately — and the process exits
+    /// nonzero. Under an explicit `--report-dir` the completed points have
+    /// additionally been streamed as they finished, so a re-run with the
+    /// same flags resumes them and repeats only the failed labels.
+    pub fn require_complete(
+        writer: &mut ReportWriter,
+        outcomes: Vec<RunOutcome>,
+    ) -> Vec<RunRecord> {
         let total = outcomes.len();
         let mut records = Vec::with_capacity(total);
         let mut failures: Vec<RunFailure> = Vec::new();
@@ -249,12 +268,30 @@ pub mod reports {
             }
         }
         if !failures.is_empty() {
-            eprintln!(
-                "{} of {total} points failed; completed points were kept:",
-                failures.len()
-            );
+            eprintln!("{} of {total} points failed:", failures.len());
             for f in &failures {
                 eprintln!("  {}: {}", f.label, f.message);
+            }
+            for r in &records {
+                writer.emit(r);
+            }
+            let salvaged = writer.write_files();
+            if let Some(dir) = writer.points_dir() {
+                eprintln!(
+                    "completed points are streamed in {}; re-running with the same \
+                     flags resumes them and repeats only the failed labels",
+                    dir.display()
+                );
+            } else if salvaged {
+                eprintln!(
+                    "completed records were salvaged to the report files above \
+                     (pass --report-dir=DIR for per-point streaming and resume)"
+                );
+            } else {
+                eprintln!(
+                    "completed records were discarded (--no-report; pass \
+                     --report-dir=DIR to keep and resume them)"
+                );
             }
             std::process::exit(1);
         }

@@ -151,7 +151,7 @@ mod tests {
                 let hint = with_hint.then_some(huge_ws);
                 dc.access(0x1000_0000 + addr, hint);
             } else {
-                let addr = (i * 2654435761) % hot_ws & !63;
+                let addr = ((i * 2654435761) % hot_ws) & !63;
                 let hint = with_hint.then_some(hot_ws);
                 hot_latency += dc.access(addr, hint);
                 hot_accesses += 1;

@@ -126,14 +126,19 @@ where
 /// pool without per-binary flags), otherwise the machine's available
 /// parallelism.
 pub fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("XMEM_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    workers_override(std::env::var("XMEM_WORKERS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The `XMEM_WORKERS` parse, separated from the process environment so
+/// tests never need `set_var` (concurrent setenv/getenv is UB under the
+/// threaded test harness).
+fn workers_override(value: Option<&str>) -> Option<usize> {
+    let n = value?.trim().parse::<usize>().ok()?;
+    Some(n.max(1))
 }
 
 /// A thread-safe done/total meter that repaints one `\r` progress line on
@@ -261,6 +266,47 @@ impl WorkloadSpec {
         }
     }
 
+    /// The workload's parameterization as a JSON object — serialized into
+    /// every record (the `workload_params` block) and required to match on
+    /// resume, so a point from a differently-sized run (e.g. `--quick`)
+    /// can never be silently adopted by a full-size sweep. `Null` for
+    /// workloads without a stored parameterization.
+    pub fn params_json(&self) -> JsonValue {
+        match self {
+            WorkloadSpec::Kernel { params, .. } => JsonValue::object([
+                ("n", JsonValue::U64(params.n as u64)),
+                ("tile_bytes", JsonValue::U64(params.tile_bytes)),
+                ("steps", JsonValue::U64(params.steps as u64)),
+                ("reuse", JsonValue::U64(params.reuse as u64)),
+            ]),
+            WorkloadSpec::Placement(w) => JsonValue::object([
+                (
+                    "compute_per_access",
+                    JsonValue::U64(w.compute_per_access as u64),
+                ),
+                ("accesses", JsonValue::U64(w.accesses)),
+                (
+                    "structs",
+                    JsonValue::Array(
+                        w.structs
+                            .iter()
+                            .map(|s| {
+                                JsonValue::object([
+                                    ("name", JsonValue::Str(s.name.to_string())),
+                                    ("kib", JsonValue::U64(s.kib)),
+                                    ("kind", JsonValue::Str(format!("{:?}", s.kind))),
+                                    ("weight", JsonValue::U64(s.weight as u64)),
+                                    ("write_pct", JsonValue::U64(s.write_pct as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            WorkloadSpec::Fault { .. } => JsonValue::Null,
+        }
+    }
+
     /// Replays the workload into a trace sink (what [`run_workload`] does
     /// twice: once to scan, once to execute).
     pub fn generate(&self, sink: &mut dyn TraceSink) {
@@ -324,6 +370,9 @@ pub struct RunRecord {
     pub config: SystemConfig,
     /// The workload's short name.
     pub workload: &'static str,
+    /// The workload's parameterization ([`WorkloadSpec::params_json`]);
+    /// `Null` when unknown (e.g. a replayed trace).
+    pub workload_params: JsonValue,
     /// The measurements.
     pub report: RunReport,
     /// How the point was executed (`None` for records built outside a
@@ -440,9 +489,11 @@ impl Sweep {
     /// already finished in `dir`: a resumed sweep re-executes only the
     /// missing labels and returns [`RunOutcome::Resumed`] for the rest.
     ///
-    /// A stored point is adopted only when its label, workload name, and
-    /// serialized config summary all match the spec — stale files from a
-    /// different parameterization simply re-run. Call this after every
+    /// A stored point is adopted only when its label, workload name,
+    /// workload parameters, and serialized config summary all match the
+    /// spec — stale files from a different parameterization (including a
+    /// `--quick`-sized run in the same directory) simply re-run. Call this
+    /// after every
     /// spec has been pushed. Unreadable directories or files are skipped
     /// with a warning (a kill can truncate the in-flight file); those
     /// points re-run too.
@@ -472,6 +523,15 @@ impl Sweep {
             if rec.get("workload").and_then(|w| w.as_str()) != Some(spec.workload.name()) {
                 continue;
             }
+            // Workload parameters must match too: labels and config
+            // summaries do not encode problem sizes, so without this a
+            // `--quick` run's points would silently resume into a
+            // full-size sweep. Old records without the block never match.
+            if rec.get("workload_params").unwrap_or(&JsonValue::Null)
+                != &spec.workload.params_json()
+            {
+                continue;
+            }
             // The stored config summary must match the spec's exactly — a
             // point from a differently-parameterized sweep re-runs instead
             // of silently resuming.
@@ -491,6 +551,7 @@ impl Sweep {
                     label: label.to_string(),
                     config: spec.config,
                     workload: spec.workload.name(),
+                    workload_params: spec.workload.params_json(),
                     report,
                     run: Some(run),
                 },
@@ -534,6 +595,7 @@ impl Sweep {
                         label: spec.label.clone(),
                         config: spec.config,
                         workload: spec.workload.name(),
+                        workload_params: spec.workload.params_json(),
                         report,
                         run: Some(RunMeta {
                             wall_nanos: start.elapsed().as_nanos() as u64,
@@ -683,17 +745,22 @@ mod tests {
 
     #[test]
     fn xmem_workers_env_overrides_default() {
-        // Env vars are process-global; keep the mutation in one test.
-        std::env::set_var("XMEM_WORKERS", "3");
-        assert_eq!(default_workers(), 3);
-        std::env::set_var("XMEM_WORKERS", "0");
-        assert_eq!(default_workers(), 1, "clamped to >= 1");
-        std::env::set_var("XMEM_WORKERS", " 7 ");
-        assert_eq!(default_workers(), 7, "whitespace tolerated");
-        std::env::set_var("XMEM_WORKERS", "not-a-number");
-        let fallback = default_workers();
-        std::env::remove_var("XMEM_WORKERS");
-        assert_eq!(fallback, default_workers(), "garbage falls back");
+        // Exercise the parse directly: mutating the real environment from
+        // a test is UB under the threaded test harness (concurrent
+        // setenv/getenv on glibc) and races other tests.
+        assert_eq!(workers_override(Some("3")), Some(3));
+        assert_eq!(workers_override(Some("0")), Some(1), "clamped to >= 1");
+        assert_eq!(
+            workers_override(Some(" 7 ")),
+            Some(7),
+            "whitespace tolerated"
+        );
+        assert_eq!(
+            workers_override(Some("not-a-number")),
+            None,
+            "garbage falls back"
+        );
+        assert_eq!(workers_override(None), None, "unset falls back");
         assert!(default_workers() >= 1);
     }
 

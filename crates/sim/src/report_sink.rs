@@ -528,6 +528,12 @@ impl RunRecord {
                 },
             ),
         ];
+        // Optional, backwards-compatible workload parameterization: resume
+        // refuses to adopt a point whose parameters (problem size, tile,
+        // placement mix) differ from the spec's. Absent when unknown.
+        if self.workload_params != JsonValue::Null {
+            fields.insert(2, ("workload_params".into(), self.workload_params.clone()));
+        }
         fields.push(("derived".into(), JsonValue::from_kv(derived)));
         // Optional, backwards-compatible execution metadata: absent for
         // records built outside a sweep, so v1 consumers keep parsing.
@@ -859,7 +865,10 @@ fn csv_cell(value: &JsonValue) -> String {
     match value {
         JsonValue::Str(s) => csv_escape(s),
         JsonValue::Null => String::new(),
-        other => other.render(),
+        // Numbers/bools render clean; arrays (e.g. a placement workload's
+        // `workload_params.structs`) render as JSON containing commas and
+        // quotes, so the rendered text goes through CSV escaping too.
+        other => csv_escape(&other.render()),
     }
 }
 
@@ -957,6 +966,12 @@ mod tests {
             label: "unit/synthetic point".to_string(),
             config: SystemConfig::scaled_use_case1(8 << 10, crate::config::SystemKind::Xmem),
             workload: "gemm",
+            workload_params: JsonValue::object([
+                ("n", JsonValue::U64(24)),
+                ("tile_bytes", JsonValue::U64(4 << 10)),
+                ("steps", JsonValue::U64(2)),
+                ("reuse", JsonValue::U64(200)),
+            ]),
             report: RunReport {
                 core: CoreStats {
                     cycles: 1000,
@@ -1056,6 +1071,23 @@ mod tests {
     }
 
     #[test]
+    fn workload_params_block_is_optional() {
+        let mut record = synthetic_record();
+        assert_eq!(
+            record
+                .to_json()
+                .get("workload_params")
+                .and_then(|p| p.get("n"))
+                .and_then(|n| n.as_u64()),
+            Some(24)
+        );
+        // Records with an unknown parameterization (replayed traces,
+        // pre-upgrade files) render without the block at all.
+        record.workload_params = JsonValue::Null;
+        assert!(record.to_json().get("workload_params").is_none());
+    }
+
+    #[test]
     fn point_files_round_trip_via_scan() {
         let dir = std::env::temp_dir().join(format!("xmem-points-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1088,6 +1120,18 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        // Non-string leaves are escaped after rendering: a JSON array cell
+        // (placement `workload_params.structs`) contains commas and quotes.
+        assert_eq!(csv_cell(&JsonValue::U64(7)), "7");
+        let arr = JsonValue::Array(vec![
+            JsonValue::object([("k", JsonValue::Str("v".into()))]),
+            JsonValue::U64(1),
+        ]);
+        assert_eq!(csv_cell(&arr), "\"[{\"\"k\"\":\"\"v\"\"},1]\"");
+        assert_eq!(
+            CsvSink::parse(&format!("{}\n", csv_cell(&arr)))[0][0],
+            arr.render()
+        );
         let parsed = CsvSink::parse("a,\"b,c\",\"say \"\"hi\"\"\"\n1,2,3\n");
         assert_eq!(
             parsed,

@@ -227,7 +227,8 @@ fn resume_reruns_only_missing_points() {
 }
 
 /// A stored point from a differently-configured sweep must re-run, not
-/// resume: resume matches on label + workload + config summary.
+/// resume: resume matches on label + workload (name and parameters) +
+/// config summary.
 #[test]
 fn resume_ignores_stale_configs() {
     let dir = std::env::temp_dir().join(format!("xmem-stale-test-{}", std::process::id()));
@@ -255,6 +256,44 @@ fn resume_ignores_stale_configs() {
     assert!(
         matches!(outcomes[0], RunOutcome::Completed(_)),
         "a stale point must re-execute, got {outcomes:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The quick-mode trap: labels and config summaries do not encode problem
+/// sizes, so a point streamed by a `--quick`-sized run (smaller `n`) must
+/// re-run — not silently resume — when the same label comes back at full
+/// size. Identical parameters still resume.
+#[test]
+fn resume_ignores_stale_workload_params() {
+    let dir = std::env::temp_dir().join(format!("xmem-stale-params-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = |n: usize| {
+        RunSpec::new(
+            "pt",
+            SystemConfig::scaled_use_case1(8 << 10, SystemKind::Baseline),
+            WorkloadSpec::kernel(
+                PolybenchKernel::Mvt,
+                KernelParams {
+                    n,
+                    tile_bytes: 4 << 10,
+                    steps: 1,
+                    reuse: 200,
+                },
+            ),
+        )
+    };
+    Sweep::new(vec![spec(16)]).workers(1).report_dir(&dir).run();
+    let outcomes = Sweep::new(vec![spec(24)]).resume_from(&dir).run_outcomes();
+    assert!(
+        matches!(outcomes[0], RunOutcome::Completed(_)),
+        "a differently-parameterized point must re-execute, got {outcomes:?}"
+    );
+    // The re-run overwrote the point file; the same parameters now resume.
+    let outcomes = Sweep::new(vec![spec(24)]).resume_from(&dir).run_outcomes();
+    assert!(
+        matches!(outcomes[0], RunOutcome::Resumed(_)),
+        "an identically-parameterized point must resume, got {outcomes:?}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
