@@ -3,6 +3,7 @@
 //! ```text
 //! xmemcli kernel gemm --n 96 --tile 64K --l3 32K --system xmem [--tlb] [--json]
 //! xmemcli placement milc --system xmem [--accesses 150000] [--json]
+//! xmemcli trace gemm --epoch 10000 --out /tmp/gemm-trace.json --system xmem
 //! xmemcli record gemm --out /tmp/gemm.trace --n 48 --tile 8K
 //! xmemcli replay /tmp/gemm.trace --l3 32K --system baseline [--json]
 //! xmemcli list
@@ -10,6 +11,9 @@
 //!
 //! `--json` replaces the human-readable report with one structured
 //! `xmem-report-v1` document on stdout (same schema as the fig* reports).
+//! `trace` runs a kernel with epoch-sampled cross-layer telemetry, prints
+//! the per-epoch table, and with `--out` writes a Chrome trace-format JSON
+//! openable in `chrome://tracing` or Perfetto.
 
 use std::fs::File;
 use std::process::exit;
@@ -17,9 +21,11 @@ use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::LogSink;
 use workloads::trace_file::{read_trace, replay, write_trace};
+use xmem_bench::print_table;
 use xmem_sim::{
-    placement_specs, run_workload, JsonSink, JsonValue, ReportSink, RunRecord, RunReport, RunSpec,
-    Sweep, SystemConfig, SystemKind, Uc2System, WorkloadSpec,
+    placement_specs, run_workload, run_workload_with_telemetry, ChromeTrace, JsonSink, JsonValue,
+    ReportSink, RunRecord, RunReport, RunSpec, Sweep, SystemConfig, SystemKind, TelemetrySeries,
+    Uc2System, WorkloadSpec, DEFAULT_EPOCH_INSTRUCTIONS,
 };
 
 fn usage() -> ! {
@@ -28,6 +34,7 @@ fn usage() -> ! {
          xmemcli kernel <name> [--n N] [--tile BYTES] [--l3 BYTES] [--steps K]\n          \
          [--system baseline|pref|xmem] [--bw GBPS] [--tlb] [--json]\n  \
          xmemcli placement <name> [--system baseline|xmem|ideal] [--accesses N] [--json]\n  \
+         xmemcli trace <kernel> [--epoch N] [--out TRACE.json] [kernel flags] [--json]\n  \
          xmemcli record <kernel> --out FILE [--n N] [--tile BYTES] [--steps K]\n  \
          xmemcli replay <FILE> [--l3 BYTES] [--system ...] [--tlb] [--json]\n  \
          xmemcli list"
@@ -59,6 +66,7 @@ struct Flags {
     accesses: Option<u64>,
     out: Option<String>,
     json: bool,
+    epoch: Option<u64>,
 }
 
 impl Default for Flags {
@@ -75,6 +83,7 @@ impl Default for Flags {
             accesses: None,
             out: None,
             json: false,
+            epoch: None,
         }
     }
 }
@@ -97,6 +106,13 @@ fn parse_flags(args: &[String]) -> Flags {
                 f.accesses = Some(value(args, &mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--out" => f.out = Some(value(args, &mut i)),
+            "--epoch" => {
+                let n: u64 = value(args, &mut i).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                f.epoch = Some(n);
+            }
             "--tlb" => f.tlb = true,
             "--json" => f.json = true,
             "--system" => match value(args, &mut i).as_str() {
@@ -295,10 +311,96 @@ fn main() {
                 // A raw trace has no stored parameterization.
                 workload_params: JsonValue::Null,
                 report,
+                telemetry: None,
                 run: None,
             };
             emit(&f, &record);
         }
+        "trace" => {
+            let name = args.get(1).unwrap_or_else(|| usage());
+            let f = parse_flags(&args[2..]);
+            let kernel = kernel_by_name(name);
+            let p = KernelParams {
+                n: f.n,
+                tile_bytes: f.tile,
+                steps: f.steps,
+                reuse: 200,
+            };
+            let cfg = sys_config(&f);
+            let epoch = f.epoch.unwrap_or(DEFAULT_EPOCH_INSTRUCTIONS);
+            let label = format!("{name}/{}", f.system);
+            let (report, series) =
+                run_workload_with_telemetry(&cfg, Some(epoch), |s| kernel.generate(&p, s));
+            let series = series.expect("telemetry was enabled");
+            let record = RunRecord {
+                label: label.clone(),
+                config: cfg,
+                workload: kernel.name(),
+                workload_params: WorkloadSpec::kernel(kernel, p).params_json(),
+                report,
+                telemetry: Some(series.clone()),
+                run: None,
+            };
+            if f.json {
+                emit(&f, &record);
+            } else {
+                println!(
+                    "# trace {label} epoch={epoch} ({} samples over {} instructions)\n",
+                    series.samples.len(),
+                    record.report.core.instructions
+                );
+                print_series(&series);
+            }
+            if let Some(out) = &f.out {
+                let mut trace = ChromeTrace::new();
+                trace.add_series(&label, &series, cfg.core.freq_ghz);
+                std::fs::write(out, trace.render()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1)
+                });
+                eprintln!("wrote Chrome trace to {out} (open in chrome://tracing or Perfetto)");
+            }
+        }
         _ => usage(),
     }
+}
+
+/// The per-epoch telemetry table `xmemcli trace` prints: one row per
+/// sampled epoch, cross-layer columns left to right (core → caches →
+/// DRAM → XMem).
+fn print_series(series: &TelemetrySeries) {
+    let headers: Vec<String> = [
+        "instr",
+        "ipc",
+        "l1 mpki",
+        "l2 mpki",
+        "l3 mpki",
+        "row-hit",
+        "bank-busy",
+        "queue",
+        "alb-hit",
+        "pf use/iss",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = series
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.instructions.to_string(),
+                format!("{:.3}", s.ipc),
+                format!("{:.2}", s.l1_mpki),
+                format!("{:.2}", s.l2_mpki),
+                format!("{:.2}", s.l3_mpki),
+                format!("{:.1}%", s.row_hit_rate * 100.0),
+                format!("{:.1}%", s.bank_busy_fraction * 100.0),
+                format!("{:.1}", s.queue_depth),
+                format!("{:.1}%", s.alb_hit_rate * 100.0),
+                format!("{}/{}", s.prefetch_useful, s.prefetch_issued),
+            ]
+        })
+        .collect();
+    print_table(&headers, &rows);
 }

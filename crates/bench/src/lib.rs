@@ -134,12 +134,22 @@ pub mod reports {
     //!   durable location, turns on per-point streaming and resume: each
     //!   finished point lands in `DIR/<bin>.points/` as it completes, and
     //!   a re-run reloads finished labels instead of re-simulating them;
-    //! * `--no-report` suppresses file output entirely.
+    //! * `--no-report` suppresses file output entirely;
+    //! * `--epoch[=N]` samples a cross-layer telemetry series every `N`
+    //!   retired instructions (default 100 000) into each record's
+    //!   `telemetry` block;
+    //! * `--trace-out[=PATH]` additionally writes the series as a Chrome
+    //!   trace-format JSON (openable in `chrome://tracing` / Perfetto),
+    //!   implying `--epoch` when it was not given. The default path is
+    //!   `<report dir>/<bin>.trace.json`.
 
     use cpu_sim::kv::KvValue;
     use std::path::PathBuf;
     use xmem_sim::report_sink::write_report;
-    use xmem_sim::{CsvSink, JsonSink, ReportSink, RunFailure, RunOutcome, RunRecord, Sweep};
+    use xmem_sim::{
+        ChromeTrace, CsvSink, JsonSink, ReportSink, RunFailure, RunOutcome, RunRecord, Sweep,
+        DEFAULT_EPOCH_INSTRUCTIONS,
+    };
 
     /// Collects records during a run and writes the report files at the
     /// end.
@@ -150,6 +160,9 @@ pub mod reports {
         explicit_dir: bool,
         json: JsonSink,
         csv: Option<CsvSink>,
+        epoch: Option<u64>,
+        trace_out: Option<PathBuf>,
+        trace: ChromeTrace,
     }
 
     impl ReportWriter {
@@ -159,6 +172,9 @@ pub mod reports {
             let mut dir = Some(PathBuf::from("target/xmem-reports"));
             let mut explicit_dir = false;
             let mut csv = None;
+            let mut epoch = None;
+            let mut trace_requested = false;
+            let mut trace_path = None;
             for arg in std::env::args() {
                 if arg == "--no-report" {
                     dir = None;
@@ -168,15 +184,51 @@ pub mod reports {
                     explicit_dir = true;
                 } else if arg == "--csv" {
                     csv = Some(CsvSink::new());
+                } else if arg == "--epoch" {
+                    epoch = Some(DEFAULT_EPOCH_INSTRUCTIONS);
+                } else if let Some(n) = arg.strip_prefix("--epoch=") {
+                    match n.parse::<u64>() {
+                        Ok(n) if n > 0 => epoch = Some(n),
+                        _ => {
+                            eprintln!("--epoch wants a positive instruction count, got '{n}'");
+                            std::process::exit(2);
+                        }
+                    }
+                } else if arg == "--trace-out" {
+                    trace_requested = true;
+                } else if let Some(p) = arg.strip_prefix("--trace-out=") {
+                    trace_requested = true;
+                    trace_path = Some(PathBuf::from(p));
                 }
             }
+            // A trace without sampling would be empty; imply the default
+            // epoch so `--trace-out` works on its own.
+            if trace_requested && epoch.is_none() {
+                epoch = Some(DEFAULT_EPOCH_INSTRUCTIONS);
+            }
+            let trace_out = trace_requested.then(|| {
+                trace_path.unwrap_or_else(|| {
+                    dir.clone()
+                        .unwrap_or_else(|| PathBuf::from("target/xmem-reports"))
+                        .join(format!("{name}.trace.json"))
+                })
+            });
             ReportWriter {
                 name: name.to_string(),
                 dir,
                 explicit_dir,
                 json: JsonSink::new(),
                 csv,
+                epoch,
+                trace_out,
+                trace: ChromeTrace::new(),
             }
+        }
+
+        /// The telemetry sampling epoch requested on the command line
+        /// (`None` when sampling is off).
+        pub fn epoch(&self) -> Option<u64> {
+            self.epoch
         }
 
         /// The per-point streaming directory (`DIR/<bin>.points`), active
@@ -197,7 +249,9 @@ pub mod reports {
         /// under an explicit `--report-dir`, per-point streaming plus
         /// resume of already-finished labels.
         pub fn sweep(&self, sweep: Sweep) -> Sweep {
-            let sweep = sweep.progress(&self.name);
+            // Epoch before resume: stored points are only adopted when
+            // their telemetry epoch matches this run's sampling setup.
+            let sweep = sweep.progress(&self.name).epoch(self.epoch);
             match self.points_dir() {
                 Some(dir) => sweep.resume_from(dir),
                 None => sweep,
@@ -215,20 +269,47 @@ pub mod reports {
             if let Some(csv) = &mut self.csv {
                 csv.emit_with(record, extras);
             }
+            if self.trace_out.is_some() {
+                if let Some(series) = &record.telemetry {
+                    self.trace
+                        .add_series(&record.label, series, record.config.core.freq_ghz);
+                }
+            }
         }
 
         /// Writes the report files and prints their paths; `true` when at
         /// least one file was written (`false` under `--no-report`).
         fn write_files(&self) -> bool {
-            let Some(dir) = &self.dir else { return false };
-            let mut sinks: Vec<&dyn ReportSink> = vec![&self.json];
-            if let Some(csv) = &self.csv {
-                sinks.push(csv);
-            }
             let mut wrote = false;
-            for sink in sinks {
-                let path = dir.join(format!("{}.{}", self.name, sink.extension()));
-                match write_report(&path, sink) {
+            if let Some(dir) = &self.dir {
+                let mut sinks: Vec<&dyn ReportSink> = vec![&self.json];
+                if let Some(csv) = &self.csv {
+                    sinks.push(csv);
+                }
+                for sink in sinks {
+                    let path = dir.join(format!("{}.{}", self.name, sink.extension()));
+                    match write_report(&path, sink) {
+                        Ok(()) => {
+                            println!("\nwrote {}", path.display());
+                            wrote = true;
+                        }
+                        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+                    }
+                }
+            }
+            // The Chrome trace is written even when empty (still a valid
+            // document) and independently of `--no-report`: an explicit
+            // `--trace-out=PATH` is its own request.
+            if let Some(path) = &self.trace_out {
+                let write = || -> std::io::Result<()> {
+                    if let Some(parent) = path.parent() {
+                        if !parent.as_os_str().is_empty() {
+                            std::fs::create_dir_all(parent)?;
+                        }
+                    }
+                    std::fs::write(path, self.trace.render())
+                };
+                match write() {
                     Ok(()) => {
                         println!("\nwrote {}", path.display());
                         wrote = true;

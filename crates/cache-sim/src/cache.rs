@@ -186,6 +186,15 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// The DRRIP set-dueling policy-select counter. Positive favors BRRIP
+    /// for follower sets, negative favors SRRIP: a miss in the SRRIP
+    /// leader set (`set % 64 == 0`) increments it, a miss in the BRRIP
+    /// leader set (`set % 64 == 1`) decrements it, saturating at
+    /// ±`PSEL_MAX`. Always 0 for non-DRRIP caches.
+    pub fn psel(&self) -> i32 {
+        self.psel
+    }
+
     #[inline]
     fn line_index(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.config.line_bytes;
@@ -625,6 +634,128 @@ mod tests {
         assert!(
             brrip_hits > lru_hits + 100,
             "brrip {brrip_hits} vs lru {lru_hits}"
+        );
+    }
+
+    /// A cache big enough to contain one full duel period: 64 sets, so
+    /// set 0 is the SRRIP leader and set 1 the BRRIP leader.
+    fn duel_cache(policy: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 64 << 10, // 1024 lines
+            ways: 16,
+            line_bytes: 64,
+            latency: 1,
+            policy,
+        })
+    }
+
+    /// The documented PSEL polarity, pinned down miss by miss: an SRRIP
+    /// leader miss is a vote *for BRRIP* (psel up), a BRRIP leader miss a
+    /// vote for SRRIP (psel down); followers and hits don't vote; the
+    /// counter saturates at ±PSEL_MAX instead of wrapping.
+    #[test]
+    fn leader_set_misses_move_psel_in_documented_direction() {
+        let mut c = duel_cache(ReplacementPolicy::Drrip);
+        assert_eq!(c.psel(), 0);
+        // Line k*64 + s maps to set s; distinct k keep every probe a miss.
+        let addr = |set: u64, k: u64| (k * 64 + set) * 64;
+        assert!(!c.probe(addr(0, 0), false), "SRRIP leader miss");
+        assert_eq!(c.psel(), 1);
+        assert!(!c.probe(addr(1, 0), false), "BRRIP leader miss");
+        assert!(!c.probe(addr(1, 1), false));
+        assert_eq!(c.psel(), -1);
+        // Follower-set misses don't vote.
+        assert!(!c.probe(addr(2, 0), false));
+        assert_eq!(c.psel(), -1);
+        // Leader-set hits don't vote.
+        c.fill(addr(0, 1), false, InsertPriority::Normal);
+        assert!(c.probe(addr(0, 1), false));
+        assert_eq!(c.psel(), -1);
+        // Saturation at both rails.
+        for k in 0..3000 {
+            c.probe(addr(1, k + 10), false);
+        }
+        assert_eq!(c.psel(), -PSEL_MAX);
+        for k in 0..5000 {
+            c.probe(addr(0, k + 10), false);
+        }
+        assert_eq!(c.psel(), PSEL_MAX);
+    }
+
+    /// A cyclic scan at 2x capacity: BRRIP clearly beats SRRIP, so DRRIP's
+    /// leaders must drive PSEL positive and the followers must read the
+    /// sign as "use BRRIP", landing DRRIP above SRRIP.
+    #[test]
+    fn drrip_follows_brrip_when_scanning() {
+        let run = |policy| {
+            let mut c = duel_cache(policy);
+            let mut hits = 0u64;
+            for _ in 0..20 {
+                for i in 0..2048u64 {
+                    if c.probe(i * 64, false) {
+                        hits += 1;
+                    } else {
+                        c.fill(i * 64, false, InsertPriority::Normal);
+                    }
+                }
+            }
+            (hits, c.psel())
+        };
+        let (srrip_hits, _) = run(ReplacementPolicy::Srrip);
+        let (brrip_hits, _) = run(ReplacementPolicy::Brrip);
+        let (drrip_hits, psel) = run(ReplacementPolicy::Drrip);
+        assert!(
+            brrip_hits > srrip_hits + 1000,
+            "scan must favor BRRIP: brrip {brrip_hits} vs srrip {srrip_hits}"
+        );
+        assert!(psel > 0, "SRRIP leader misses must dominate: psel {psel}");
+        assert!(
+            drrip_hits > srrip_hits,
+            "followers must have adopted BRRIP: drrip {drrip_hits} vs srrip {srrip_hits}"
+        );
+    }
+
+    /// The mirror pattern: per set, three single-use scan lines and one
+    /// line re-referenced after those fills. SRRIP's long insertion keeps
+    /// the reused line until its second touch; BRRIP's distant insertion
+    /// makes it a victim candidate immediately. SRRIP clearly wins, PSEL
+    /// must go negative, and DRRIP's followers must switch to SRRIP.
+    #[test]
+    fn drrip_follows_srrip_on_short_reuse() {
+        let run = |policy| {
+            let mut c = duel_cache(policy);
+            let mut hits = 0u64;
+            for round in 0..400u64 {
+                let base = round * 256; // 4 fresh lines per set per round
+                for line in base..base + 256 {
+                    if c.probe(line * 64, false) {
+                        hits += 1;
+                    } else {
+                        c.fill(line * 64, false, InsertPriority::Normal);
+                    }
+                }
+                // Re-touch the first line of each set: 3 fills intervened.
+                for line in base..base + 64 {
+                    if c.probe(line * 64, false) {
+                        hits += 1;
+                    } else {
+                        c.fill(line * 64, false, InsertPriority::Normal);
+                    }
+                }
+            }
+            (hits, c.psel())
+        };
+        let (srrip_hits, _) = run(ReplacementPolicy::Srrip);
+        let (brrip_hits, _) = run(ReplacementPolicy::Brrip);
+        let (drrip_hits, psel) = run(ReplacementPolicy::Drrip);
+        assert!(
+            srrip_hits > brrip_hits + 1000,
+            "short reuse must favor SRRIP: srrip {srrip_hits} vs brrip {brrip_hits}"
+        );
+        assert!(psel < 0, "BRRIP leader misses must dominate: psel {psel}");
+        assert!(
+            drrip_hits > brrip_hits,
+            "followers must have adopted SRRIP: drrip {drrip_hits} vs brrip {brrip_hits}"
         );
     }
 

@@ -180,6 +180,16 @@ impl Hierarchy {
         self.l3.stats()
     }
 
+    /// The L2's DRRIP policy-select counter (0 for non-DRRIP configs).
+    pub fn l2_psel(&self) -> i32 {
+        self.l2.psel()
+    }
+
+    /// The L3's DRRIP policy-select counter (0 for non-DRRIP configs).
+    pub fn l3_psel(&self) -> i32 {
+        self.l3.psel()
+    }
+
     /// DRAM statistics.
     pub fn dram_stats(&self) -> DramStats {
         self.dram.stats()

@@ -189,6 +189,26 @@ impl Core {
         s
     }
 
+    /// Instructions executed so far. Cheap enough to poll per op — this is
+    /// the counter epoch-sampled telemetry keys its sampling decision on.
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Loads currently tracked in the ROB window (in flight or completed
+    /// but not yet retired): a proxy for ROB occupancy by memory ops.
+    pub fn rob_load_occupancy(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Loads whose completion time lies beyond the front end's current
+    /// cycle — i.e. misses still outstanding at this instant.
+    pub fn outstanding_loads(&self) -> usize {
+        let ft = self.issued / self.config.issue_width as u64;
+        self.loads.iter().filter(|&&(_, c)| c > ft).count()
+    }
+
     /// Feeds one op through the model.
     pub fn step<M>(&mut self, op: Op, mem: &mut M)
     where

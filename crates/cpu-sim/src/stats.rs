@@ -124,11 +124,16 @@ mod tests {
         assert_eq!(h.samples(), 100);
     }
 
+    /// The empty-histogram contract: every quantile of zero samples is 0,
+    /// never a bucket bound. Locked across the full `q` range, including
+    /// the out-of-range values `percentile` clamps.
     #[test]
     fn empty_histogram() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.percentile(0.5), 0);
         assert_eq!(h.samples(), 0);
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.percentile(q), 0, "q = {q}");
+        }
     }
 
     #[test]
@@ -141,5 +146,41 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.samples(), 3);
         assert!(a.percentile(1.0) >= 512);
+    }
+
+    /// Merge-then-percentile round trip: merging shards must answer every
+    /// percentile exactly as one histogram that recorded all the samples
+    /// directly — including the degenerate empty-shard cases.
+    #[test]
+    fn merge_then_percentile_round_trips() {
+        let samples = [1u64, 3, 7, 50, 50, 900, 5000, 5000, 70_000, 1 << 30];
+        let mut whole = LatencyHistogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        // Shard the samples unevenly, then merge the shards back together.
+        let mut merged = LatencyHistogram::new();
+        for chunk in samples.chunks(3) {
+            let mut shard = LatencyHistogram::new();
+            for &v in chunk {
+                shard.record(v);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, whole);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(q), whole.percentile(q), "q = {q}");
+        }
+        // Empty shards are identity elements on both sides of a merge.
+        let mut empty = LatencyHistogram::new();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, whole);
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        // Merging two empties stays empty, and still answers 0.
+        let mut e2 = LatencyHistogram::new();
+        e2.merge(&LatencyHistogram::new());
+        assert_eq!(e2.samples(), 0);
+        assert_eq!(e2.percentile(0.5), 0);
     }
 }

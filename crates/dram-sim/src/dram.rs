@@ -160,6 +160,11 @@ pub struct Dram {
     banks: Vec<BankState>,
     bus_free: Vec<u64>,
     stats: DramStats,
+    /// Total cycles banks have been held busy by reads (activation,
+    /// precharge, burst slots). Kept outside [`DramStats`] so the report
+    /// schema and its exact-reconstruction contract are untouched; exposed
+    /// for telemetry via [`Dram::busy_bank_cycles`].
+    busy_bank_cycles: u64,
     /// When `true`, every access is treated as a row hit with no queueing —
     /// the "Ideal" upper bound of Fig 7 (perfect row-buffer locality).
     ideal_rbl: bool,
@@ -172,6 +177,7 @@ impl Dram {
             banks: vec![BankState::default(); config.total_banks()],
             bus_free: vec![0; config.channels],
             stats: DramStats::default(),
+            busy_bank_cycles: 0,
             ideal_rbl: false,
             config,
             mapping,
@@ -204,6 +210,30 @@ impl Dram {
     /// Resets statistics (device state is kept).
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+    }
+
+    /// Total cycles banks have been occupied serving reads, summed over
+    /// all banks. Divide a delta of this by `elapsed_cycles *
+    /// config().total_banks()` for an average busy fraction.
+    pub fn busy_bank_cycles(&self) -> u64 {
+        self.busy_bank_cycles
+    }
+
+    /// Number of banks still busy (`ready_at` in the future) at `now`.
+    pub fn busy_banks(&self, now: u64) -> usize {
+        self.banks.iter().filter(|b| b.ready_at > now).count()
+    }
+
+    /// An instantaneous proxy for FR-FCFS queue depth at `now`: busy banks
+    /// plus the whole burst slots still queued on each channel bus.
+    pub fn queued_requests(&self, now: u64) -> u64 {
+        let bus_cycles = self.config.bus_cycles.max(1);
+        let bus_backlog: u64 = self
+            .bus_free
+            .iter()
+            .map(|&free| free.saturating_sub(now) / bus_cycles)
+            .sum();
+        self.busy_banks(now) as u64 + bus_backlog
     }
 
     /// The row currently open in global bank `bank` (`None` when the bank
@@ -313,6 +343,7 @@ impl Dram {
                     None
                 }
             };
+            self.busy_bank_cycles += bank.ready_at - start;
             done - now
         };
 

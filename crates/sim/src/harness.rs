@@ -54,9 +54,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::config::SystemConfig;
-use crate::machine::run_workload;
+use crate::machine::{run_workload, run_workload_with_telemetry};
 use crate::report::RunReport;
 use crate::report_sink::{config_kv, scan_point_records, write_point_record, JsonValue};
+use crate::telemetry::TelemetrySeries;
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::TraceSink;
@@ -151,6 +152,7 @@ pub struct Progress {
     total: usize,
     done: AtomicUsize,
     failed: AtomicUsize,
+    resumed: AtomicUsize,
     start: Instant,
     enabled: bool,
 }
@@ -163,6 +165,7 @@ impl Progress {
             total,
             done: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
+            resumed: AtomicUsize::new(0),
             start: Instant::now(),
             enabled: true,
         }
@@ -176,28 +179,46 @@ impl Progress {
         }
     }
 
-    /// Records one finished point and repaints the line.
+    /// Records one executed point and repaints the line.
     pub fn tick(&self, failed: bool) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let failures = if failed {
-            self.failed.fetch_add(1, Ordering::Relaxed) + 1
-        } else {
-            self.failed.load(Ordering::Relaxed)
-        };
+        self.done.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.repaint();
+    }
+
+    /// Records one point adopted from a report directory without
+    /// executing. Resumed points reload in microseconds, so they are
+    /// kept out of the ETA's per-point rate — counting them would make
+    /// the remaining real work look nearly free.
+    pub fn tick_resumed(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+        self.repaint();
+    }
+
+    fn repaint(&self) {
         if !self.enabled {
             return;
         }
+        let done = self.done.load(Ordering::Relaxed);
+        let failures = self.failed.load(Ordering::Relaxed);
+        let resumed = self.resumed.load(Ordering::Relaxed);
+        let executed = done.saturating_sub(resumed);
         let elapsed = self.start.elapsed().as_secs_f64();
-        let eta = if done >= self.total {
-            0.0
+        let eta = match eta_secs(elapsed, executed, self.total.saturating_sub(done)) {
+            Some(secs) => fmt_eta(secs),
+            None => "--".to_string(),
+        };
+        let resumed_note = if resumed > 0 {
+            format!(" ({resumed} resumed)")
         } else {
-            elapsed / done as f64 * (self.total - done) as f64
+            String::new()
         };
         eprint!(
-            "\r{}: {done}/{} done, {failures} failed, ETA {}   ",
-            self.label,
-            self.total,
-            fmt_eta(eta)
+            "\r{}: {done}/{} done{resumed_note}, {failures} failed, ETA {eta}   ",
+            self.label, self.total,
         );
     }
 
@@ -207,6 +228,19 @@ impl Progress {
             eprintln!();
         }
     }
+}
+
+/// ETA from executed points only: `None` ("--") until at least one point
+/// has actually run for a measurable time — a sweep that has so far only
+/// reloaded resumed points has no rate to extrapolate from.
+fn eta_secs(elapsed: f64, executed: usize, remaining: usize) -> Option<f64> {
+    if remaining == 0 {
+        return Some(0.0);
+    }
+    if executed == 0 || elapsed <= 0.0 {
+        return None;
+    }
+    Some(elapsed / executed as f64 * remaining as f64)
 }
 
 fn fmt_eta(secs: f64) -> String {
@@ -344,6 +378,18 @@ impl RunSpec {
     pub fn execute(&self) -> RunReport {
         run_workload(&self.config, |sink| self.workload.generate(sink))
     }
+
+    /// Like [`RunSpec::execute`], additionally sampling a telemetry series
+    /// every `epoch_instructions` retired instructions when `Some`.
+    /// Sampling is observational: the report is identical either way.
+    pub fn execute_with_telemetry(
+        &self,
+        epoch_instructions: Option<u64>,
+    ) -> (RunReport, Option<TelemetrySeries>) {
+        run_workload_with_telemetry(&self.config, epoch_instructions, |sink| {
+            self.workload.generate(sink)
+        })
+    }
 }
 
 /// Execution metadata for one finished point — the report's optional
@@ -375,6 +421,10 @@ pub struct RunRecord {
     pub workload_params: JsonValue,
     /// The measurements.
     pub report: RunReport,
+    /// Epoch-sampled time series ([`crate::telemetry`]); `None` unless the
+    /// sweep enabled sampling via [`Sweep::epoch`]. Serialized as the
+    /// record's optional `telemetry` block.
+    pub telemetry: Option<TelemetrySeries>,
     /// How the point was executed (`None` for records built outside a
     /// sweep, e.g. replayed from JSON).
     pub run: Option<RunMeta>,
@@ -450,6 +500,7 @@ pub struct Sweep {
     stream_dir: Option<PathBuf>,
     resumed: HashMap<String, RunRecord>,
     progress: Option<String>,
+    epoch: Option<u64>,
 }
 
 impl Sweep {
@@ -461,12 +512,23 @@ impl Sweep {
             stream_dir: None,
             resumed: HashMap::new(),
             progress: None,
+            epoch: None,
         }
     }
 
     /// Overrides the worker count (`1` = serial reference execution).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Samples a telemetry time series on every point, one sample per
+    /// `epoch_instructions` retired (clamped to ≥ 1); the series lands in
+    /// each record's `telemetry` block. Call *before*
+    /// [`Sweep::resume_from`]: a stored point is adopted only when its
+    /// sampling epoch matches this setting (no block ↔ `None`).
+    pub fn epoch(mut self, epoch_instructions: Option<u64>) -> Self {
+        self.epoch = epoch_instructions.map(|e| e.max(1));
         self
     }
 
@@ -538,6 +600,14 @@ impl Sweep {
             if rec.get("config") != Some(&JsonValue::object(config_kv(&spec.config))) {
                 continue;
             }
+            // The stored telemetry must match the sweep's sampling setup:
+            // a record without the block cannot satisfy a sweep that wants
+            // a series, and a series sampled on a different epoch re-runs
+            // rather than silently resuming with the wrong resolution.
+            let telemetry = TelemetrySeries::from_record_json(rec);
+            if telemetry.as_ref().map(|t| t.epoch_instructions) != self.epoch {
+                continue;
+            }
             let Some(report) = RunRecord::report_from_json(rec) else {
                 continue;
             };
@@ -553,6 +623,7 @@ impl Sweep {
                     workload: spec.workload.name(),
                     workload_params: spec.workload.params_json(),
                     report,
+                    telemetry,
                     run: Some(run),
                 },
             );
@@ -585,18 +656,19 @@ impl Sweep {
         let outcomes = pool(total, self.workers, |i, worker| {
             let spec = &self.specs[i];
             if let Some(record) = self.resumed.get(&spec.label) {
-                progress.tick(false);
+                progress.tick_resumed();
                 return RunOutcome::Resumed(record.clone());
             }
             let start = Instant::now();
-            match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
-                Ok(report) => {
+            match catch_unwind(AssertUnwindSafe(|| spec.execute_with_telemetry(self.epoch))) {
+                Ok((report, telemetry)) => {
                     let record = RunRecord {
                         label: spec.label.clone(),
                         config: spec.config,
                         workload: spec.workload.name(),
                         workload_params: spec.workload.params_json(),
                         report,
+                        telemetry,
                         run: Some(RunMeta {
                             wall_nanos: start.elapsed().as_nanos() as u64,
                             worker: worker as u64,
@@ -770,5 +842,34 @@ mod tests {
         assert_eq!(fmt_eta(58.2), "59s");
         assert_eq!(fmt_eta(61.0), "1m01s");
         assert_eq!(fmt_eta(3600.0), "60m00s");
+    }
+
+    #[test]
+    fn eta_extrapolates_from_executed_points_only() {
+        // 2 executed points in 10s, 3 remaining → 15s.
+        assert_eq!(eta_secs(10.0, 2, 3), Some(15.0));
+        // Everything done (or everything resumed): ETA 0, never NaN.
+        assert_eq!(eta_secs(0.0, 0, 0), Some(0.0));
+        assert_eq!(eta_secs(5.0, 0, 0), Some(0.0));
+        // No executed points yet — a resumed-only prefix has no rate to
+        // extrapolate from; must not divide by zero.
+        assert_eq!(eta_secs(3.0, 0, 7), None);
+        // Degenerate clock (first tick lands within timer resolution).
+        assert_eq!(eta_secs(0.0, 1, 7), None);
+    }
+
+    #[test]
+    fn progress_ticks_do_not_panic_with_resumed_points() {
+        // Exercise the repaint paths directly: resumed-only (no rate),
+        // then a mixed executed/failed tail.
+        let p = Progress::new("unit", 4);
+        p.tick_resumed();
+        p.tick_resumed();
+        p.tick(false);
+        p.tick(true);
+        assert_eq!(p.done.load(Ordering::Relaxed), 4);
+        assert_eq!(p.resumed.load(Ordering::Relaxed), 2);
+        assert_eq!(p.failed.load(Ordering::Relaxed), 1);
+        p.finish();
     }
 }

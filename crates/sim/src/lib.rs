@@ -36,6 +36,7 @@ pub mod machine;
 pub mod multicore;
 pub mod report;
 pub mod report_sink;
+pub mod telemetry;
 
 pub use crate::config::{
     FramePolicyKind, MultiCoreConfig, SystemConfig, SystemConfigBuilder, SystemKind,
@@ -47,10 +48,13 @@ pub use crate::harness::{
     default_workers, run_jobs, Progress, RunFailure, RunMeta, RunOutcome, RunRecord, RunSpec,
     Sweep, WorkloadSpec,
 };
-pub use crate::machine::{run_workload, Machine, ScanSink};
+pub use crate::machine::{run_workload, run_workload_with_telemetry, Machine, ScanSink};
 pub use crate::multicore::{run_corun, CorunReport};
 pub use crate::report::RunReport;
 pub use crate::report_sink::{
     point_file_name, scan_point_records, write_point_record, write_report, CsvSink, JsonError,
     JsonSink, JsonValue, ReportSink, JSON_SCHEMA,
+};
+pub use crate::telemetry::{
+    ChromeTrace, TelemetrySample, TelemetrySeries, DEFAULT_EPOCH_INSTRUCTIONS,
 };

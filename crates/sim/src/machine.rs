@@ -14,6 +14,7 @@
 
 use crate::config::{FramePolicyKind, SystemConfig};
 use crate::report::RunReport;
+use crate::telemetry::{TelemetrySample, TelemetrySeries};
 use cache_sim::hierarchy::{Hierarchy, XmemContext};
 use cpu_sim::core::Core;
 use cpu_sim::trace::{MemoryModel, Op};
@@ -124,6 +125,34 @@ impl MemoryModel for MemSystem {
     }
 }
 
+/// Cumulative counter values captured at an epoch boundary. Each telemetry
+/// sample reports the deltas between two consecutive snapshots, so rates
+/// (IPC, MPKI, row-hit rate) describe *that epoch*, not the run so far.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    instructions: u64,
+    cycles: u64,
+    l1_misses: u64,
+    l2_misses: u64,
+    l3_misses: u64,
+    prefetch_issued: u64,
+    prefetch_useful: u64,
+    row_hits: u64,
+    dram_accesses: u64,
+    busy_bank_cycles: u64,
+    alb_hits: u64,
+    alb_lookups: u64,
+    amu_invalidations: u64,
+}
+
+/// Live telemetry state: the series under construction plus the snapshot
+/// taken at the previous epoch boundary.
+#[derive(Debug)]
+struct TelemetryState {
+    series: TelemetrySeries,
+    prev: Snapshot,
+}
+
 /// The executing machine (pass 2). Implements [`TraceSink`] so the workload
 /// generator drives it directly.
 #[derive(Debug)]
@@ -133,6 +162,11 @@ pub struct Machine {
     lib: XMemLib,
     labels: HashMap<String, AtomId>,
     next_site: u32,
+    /// Instruction count at which the next telemetry sample fires.
+    /// `u64::MAX` when telemetry is disabled, so the per-op cost of the
+    /// feature is one always-false integer compare.
+    next_sample_at: u64,
+    telemetry: Option<TelemetryState>,
 }
 
 /// Synthetic call-site file for atoms created through the sink interface.
@@ -187,7 +221,113 @@ impl Machine {
             lib: XMemLib::new(),
             labels: HashMap::new(),
             next_site: 0,
+            next_sample_at: u64::MAX,
+            telemetry: None,
         }
+    }
+
+    /// Turns on epoch sampling: one [`TelemetrySample`] per
+    /// `epoch_instructions` retired (clamped to at least 1).
+    fn enable_telemetry(&mut self, epoch_instructions: u64) {
+        let series = TelemetrySeries::new(epoch_instructions);
+        self.next_sample_at = series.epoch_instructions;
+        self.telemetry = Some(TelemetryState {
+            series,
+            prev: Snapshot::default(),
+        });
+    }
+
+    /// Captures the current cumulative counters across all layers.
+    fn snapshot(&self) -> Snapshot {
+        let core = self.core.stats();
+        let dram = self.mem.hierarchy.dram_stats();
+        let alb = self.mem.amu.alb_stats();
+        let stride = self
+            .mem
+            .hierarchy
+            .stride_prefetch_stats()
+            .unwrap_or_default();
+        let xmem_pf = self.mem.hierarchy.xmem_prefetch_stats();
+        Snapshot {
+            instructions: core.instructions,
+            cycles: core.cycles,
+            l1_misses: self.mem.hierarchy.l1_stats().misses(),
+            l2_misses: self.mem.hierarchy.l2_stats().misses(),
+            l3_misses: self.mem.hierarchy.l3_stats().misses(),
+            prefetch_issued: stride.issued + xmem_pf.issued,
+            prefetch_useful: stride.useful + xmem_pf.useful,
+            row_hits: dram.row_hits,
+            dram_accesses: dram.accesses(),
+            busy_bank_cycles: self.mem.hierarchy.dram().busy_bank_cycles(),
+            alb_hits: alb.hits,
+            alb_lookups: alb.lookups(),
+            amu_invalidations: self.mem.amu.alb_invalidations(),
+        }
+    }
+
+    /// Closes the current epoch: records per-epoch deltas plus
+    /// instantaneous gauges, then arms the next boundary.
+    fn take_sample(&mut self) {
+        let Some(prev) = self.telemetry.as_ref().map(|t| t.prev) else {
+            // Not enabled — only reachable if `next_sample_at` was armed
+            // without state; disarm so the per-op check stays cold.
+            self.next_sample_at = u64::MAX;
+            return;
+        };
+        let cur = self.snapshot();
+        let d_instr = cur.instructions - prev.instructions;
+        let d_cycles = cur.cycles.saturating_sub(prev.cycles);
+        let ratio = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        let per_kilo = |n: u64| ratio(n, d_instr) * 1000.0;
+        let now = self.core.now();
+        let dram = self.mem.hierarchy.dram();
+        let total_banks = dram.config().total_banks() as u64;
+        let sample = TelemetrySample {
+            instructions: cur.instructions,
+            cycles: cur.cycles,
+            ipc: ratio(d_instr, d_cycles),
+            rob_load_occupancy: self.core.rob_load_occupancy() as u64,
+            outstanding_loads: self.core.outstanding_loads() as u64,
+            l1_mpki: per_kilo(cur.l1_misses - prev.l1_misses),
+            l2_mpki: per_kilo(cur.l2_misses - prev.l2_misses),
+            l3_mpki: per_kilo(cur.l3_misses - prev.l3_misses),
+            l2_psel: self.mem.hierarchy.l2_psel() as f64,
+            l3_psel: self.mem.hierarchy.l3_psel() as f64,
+            prefetch_issued: cur.prefetch_issued - prev.prefetch_issued,
+            prefetch_useful: cur.prefetch_useful - prev.prefetch_useful,
+            row_hit_rate: ratio(
+                cur.row_hits - prev.row_hits,
+                cur.dram_accesses - prev.dram_accesses,
+            ),
+            bank_busy_fraction: ratio(
+                cur.busy_bank_cycles - prev.busy_bank_cycles,
+                d_cycles * total_banks,
+            ),
+            queue_depth: dram.queued_requests(now) as f64,
+            alb_hit_rate: ratio(
+                cur.alb_hits - prev.alb_hits,
+                cur.alb_lookups - prev.alb_lookups,
+            ),
+            amu_invalidations: cur.amu_invalidations - prev.amu_invalidations,
+        };
+        let state = self.telemetry.as_mut().expect("telemetry state present");
+        let epoch = state.series.epoch_instructions;
+        state.series.samples.push(sample);
+        state.prev = cur;
+        self.next_sample_at = (cur.instructions / epoch + 1) * epoch;
+    }
+
+    /// Final statistics plus the sampled telemetry series (when enabled).
+    /// Flushes the trailing partial epoch first, so the series always
+    /// covers the whole run.
+    fn report_with_telemetry(mut self) -> (RunReport, Option<TelemetrySeries>) {
+        if let Some(state) = &self.telemetry {
+            if self.core.instructions() > state.prev.instructions {
+                self.take_sample();
+            }
+        }
+        let series = self.telemetry.take().map(|t| t.series);
+        (self.report(), series)
     }
 
     /// Final statistics for the run.
@@ -212,6 +352,9 @@ impl Machine {
 impl TraceSink for Machine {
     fn op(&mut self, op: Op) {
         self.core.step(op, &mut self.mem);
+        if self.core.instructions() >= self.next_sample_at {
+            self.take_sample();
+        }
     }
 
     fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
@@ -335,6 +478,37 @@ impl TraceSink for Machine {
 /// assert!(report.core.cycles > 0);
 /// ```
 pub fn run_workload(config: &SystemConfig, generate: impl Fn(&mut dyn TraceSink)) -> RunReport {
+    run_workload_with_telemetry(config, None, generate).0
+}
+
+/// Like [`run_workload`], additionally sampling a [`TelemetrySeries`] every
+/// `epoch_instructions` retired instructions when `Some`. Telemetry is
+/// observational only: the returned [`RunReport`] is identical whether or
+/// not sampling is enabled, and a disabled run costs one integer compare
+/// per op.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_sim::{run_workload_with_telemetry, SystemConfig, SystemKind};
+/// use workloads::polybench::{KernelParams, PolybenchKernel};
+///
+/// let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+/// let p = KernelParams { n: 24, tile_bytes: 2048, steps: 2, reuse: 200 };
+/// let (report, series) = run_workload_with_telemetry(&cfg, Some(1_000), |sink| {
+///     PolybenchKernel::Gemm.generate(&p, sink)
+/// });
+/// let series = series.expect("telemetry was enabled");
+/// assert_eq!(
+///     series.samples.last().map(|s| s.instructions),
+///     Some(report.core.instructions)
+/// );
+/// ```
+pub fn run_workload_with_telemetry(
+    config: &SystemConfig,
+    epoch_instructions: Option<u64>,
+    generate: impl Fn(&mut dyn TraceSink),
+) -> (RunReport, Option<TelemetrySeries>) {
     // Pass 1: compile-time summarization.
     let mut scan = ScanSink::new();
     generate(&mut scan);
@@ -344,8 +518,11 @@ pub fn run_workload(config: &SystemConfig, generate: impl Fn(&mut dyn TraceSink)
     let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
     // Execution.
     let mut machine = Machine::new(config, &loaded);
+    if let Some(epoch) = epoch_instructions {
+        machine.enable_telemetry(epoch);
+    }
     generate(&mut machine);
-    machine.report()
+    machine.report_with_telemetry()
 }
 
 #[cfg(test)]
@@ -415,6 +592,80 @@ mod tests {
         );
         // Small footprint → high TLB hit rate → bounded overhead.
         assert!((with.core.cycles as f64) < without.core.cycles as f64 * 1.5);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_run() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let plain = run_workload(&cfg, |s| PolybenchKernel::Gemm.generate(&p, s));
+        let (sampled, series) =
+            run_workload_with_telemetry(&cfg, Some(500), |s| PolybenchKernel::Gemm.generate(&p, s));
+        assert_eq!(plain, sampled, "sampling must be observational only");
+        assert!(series.is_some());
+        let (unsampled, none) =
+            run_workload_with_telemetry(&cfg, None, |s| PolybenchKernel::Gemm.generate(&p, s));
+        assert_eq!(plain, unsampled);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn telemetry_covers_the_whole_run_in_epoch_order() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let epoch = 1_000;
+        let (report, series) = run_workload_with_telemetry(&cfg, Some(epoch), |s| {
+            PolybenchKernel::Gemm.generate(&p, s)
+        });
+        let series = series.expect("telemetry enabled");
+        assert_eq!(series.epoch_instructions, epoch);
+        assert!(
+            series.samples.len() as u64 >= report.core.instructions / epoch,
+            "one sample per epoch at minimum: {} samples for {} instructions",
+            series.samples.len(),
+            report.core.instructions
+        );
+        // The final (possibly partial) epoch is flushed at report time.
+        assert_eq!(
+            series.samples.last().map(|s| s.instructions),
+            Some(report.core.instructions)
+        );
+        for pair in series.samples.windows(2) {
+            assert!(pair[0].instructions < pair[1].instructions);
+            assert!(pair[0].cycles <= pair[1].cycles);
+        }
+        // Epochs with work in them report sane rates.
+        let first = &series.samples[0];
+        assert!(first.ipc > 0.0 && first.ipc <= cfg.core.issue_width as f64);
+        assert!(first.l1_mpki >= 0.0);
+        // Each sample closes a distinct epoch. A multi-instruction op can
+        // overshoot the boundary slightly, but never by a full epoch, and
+        // two samples never land in the same epoch.
+        for (i, s) in series.samples.iter().enumerate() {
+            assert!(s.instructions > i as u64 * epoch, "sample {i}: {s:?}");
+        }
+        for pair in series.samples.windows(2) {
+            assert!(
+                pair[0].instructions / epoch < pair[1].instructions.div_ceil(epoch),
+                "samples share an epoch: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_sees_xmem_activity() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(32 << 10, SystemKind::Xmem);
+        let (report, series) = run_workload_with_telemetry(&cfg, Some(2_000), |s| {
+            PolybenchKernel::Gemm.generate(&p, s)
+        });
+        let series = series.expect("telemetry enabled");
+        let sampled_lookup_hits: f64 = series.samples.iter().map(|s| s.alb_hit_rate).sum();
+        assert!(
+            sampled_lookup_hits > 0.0,
+            "ALB activity must appear in the series"
+        );
+        assert!(report.alb.lookups() > 0);
     }
 
     #[test]

@@ -534,6 +534,11 @@ impl RunRecord {
         if self.workload_params != JsonValue::Null {
             fields.insert(2, ("workload_params".into(), self.workload_params.clone()));
         }
+        // Optional, backwards-compatible epoch-sampled time series: absent
+        // unless the sweep enabled telemetry, so v1 consumers keep parsing.
+        if let Some(telemetry) = &self.telemetry {
+            fields.push(("telemetry".into(), telemetry.to_json()));
+        }
         fields.push(("derived".into(), JsonValue::from_kv(derived)));
         // Optional, backwards-compatible execution metadata: absent for
         // records built outside a sweep, so v1 consumers keep parsing.
@@ -610,7 +615,17 @@ impl RunRecord {
             }
         }
         let mut out = Vec::new();
-        flatten("", &self.to_json_with(extras), &mut out);
+        // The telemetry block is a per-record variable-length time series,
+        // so it cannot flatten into the fixed column set a CSV table
+        // requires — rows omit it (the JSON form keeps it).
+        if let JsonValue::Object(pairs) = self.to_json_with(extras) {
+            for (k, v) in &pairs {
+                if k == "telemetry" {
+                    continue;
+                }
+                flatten(k, v, &mut out);
+            }
+        }
         out
     }
 }
@@ -1010,6 +1025,7 @@ mod tests {
                     useful: 4,
                 }),
             },
+            telemetry: None,
             run: Some(RunMeta {
                 wall_nanos: 123_456,
                 worker: 3,
@@ -1085,6 +1101,58 @@ mod tests {
         // pre-upgrade files) render without the block at all.
         record.workload_params = JsonValue::Null;
         assert!(record.to_json().get("workload_params").is_none());
+    }
+
+    #[test]
+    fn telemetry_block_is_optional_and_backwards_compatible() {
+        use crate::telemetry::{TelemetrySample, TelemetrySeries};
+        let mut record = synthetic_record();
+        // Without sampling there is no block at all — pre-telemetry
+        // readers of xmem-report-v1 see an unchanged record.
+        let bare = record.to_json();
+        assert!(bare.get("telemetry").is_none());
+        let mut series = TelemetrySeries::new(100);
+        series.samples.push(TelemetrySample {
+            instructions: 100,
+            cycles: 140,
+            ipc: 100.0 / 140.0,
+            l2_psel: -3.0,
+            ..Default::default()
+        });
+        series.samples.push(TelemetrySample {
+            instructions: 180,
+            cycles: 260,
+            ipc: 80.0 / 120.0,
+            l2_psel: 2.0,
+            ..Default::default()
+        });
+        record.telemetry = Some(series.clone());
+        let json = record.to_json();
+        // The block sits between the component stats and `derived`, and a
+        // reader that ignores unknown keys reconstructs the same report.
+        assert_eq!(
+            TelemetrySeries::from_record_json(&json),
+            Some(series),
+            "series round-trips through the record"
+        );
+        assert_eq!(
+            RunRecord::report_from_json(&json),
+            RunRecord::report_from_json(&bare),
+            "old readers parse records with the block"
+        );
+        // And through rendered text, including the negative psel floats.
+        let reparsed = JsonValue::parse(&json.render()).expect("valid JSON");
+        assert_eq!(reparsed.render(), json.render());
+        assert_eq!(
+            TelemetrySeries::from_record_json(&reparsed),
+            record.telemetry
+        );
+        // CSV rows omit the variable-length block: column sets stay fixed
+        // whether or not a record carries telemetry.
+        let with = record.flat_cells(&[]);
+        record.telemetry = None;
+        assert_eq!(with, record.flat_cells(&[]));
+        assert!(with.iter().all(|(name, _)| !name.starts_with("telemetry")));
     }
 
     #[test]

@@ -359,6 +359,85 @@ fn json_report_round_trips() {
     }
 }
 
+/// Telemetry determinism, half 1: a sampled parallel sweep serializes
+/// byte-identically to a sampled serial sweep — the epoch series is part
+/// of the record, so it inherits the pool's bit-reproducibility guarantee.
+#[test]
+fn sampled_parallel_sweep_is_byte_identical_to_serial() {
+    let epoch = Some(2_000);
+    let mut specs = kernel_grid();
+    specs.truncate(6);
+    let serial = Sweep::new(specs.clone()).workers(1).epoch(epoch).run();
+    let parallel = Sweep::new(specs).workers(8).epoch(epoch).run();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        let series = s.telemetry.as_ref().expect("sampling was enabled");
+        assert!(!series.samples.is_empty(), "{}: empty series", s.label);
+        assert_eq!(s.telemetry, p.telemetry, "{}: series diverge", s.label);
+        assert_eq!(
+            strip_run(&s.to_json()).render(),
+            strip_run(&p.to_json()).render(),
+            "{}: serialized records diverge",
+            s.label
+        );
+    }
+}
+
+/// Telemetry determinism, half 2: a resumed sweep re-emits the exact
+/// series its cached points stored, and a point whose stored sampling
+/// epoch does not match the sweep's re-runs instead of resuming.
+#[test]
+fn resume_re_emits_identical_telemetry_series() {
+    let dir = std::env::temp_dir().join(format!("xmem-telemetry-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut specs = kernel_grid();
+    specs.truncate(3);
+    let fresh = Sweep::new(specs.clone())
+        .workers(1)
+        .epoch(Some(2_000))
+        .report_dir(&dir)
+        .run();
+
+    // Same epoch: every point resumes, with the stored series intact.
+    let outcomes = Sweep::new(specs.clone())
+        .epoch(Some(2_000))
+        .resume_from(&dir)
+        .run_outcomes();
+    for (outcome, fresh_rec) in outcomes.iter().zip(&fresh) {
+        let r = match outcome {
+            RunOutcome::Resumed(r) => r,
+            other => panic!("expected a resume, got {other:?}"),
+        };
+        assert_eq!(
+            r.telemetry, fresh_rec.telemetry,
+            "{}: resumed series differs from the one executed",
+            r.label
+        );
+        assert_eq!(
+            strip_run(&r.to_json()).render(),
+            strip_run(&fresh_rec.to_json()).render(),
+            "{}: resumed record serializes differently",
+            r.label
+        );
+    }
+
+    // A different epoch — or no sampling at all — must re-run, never adopt
+    // a series with the wrong resolution.
+    for mismatched in [Some(4_000), None] {
+        let outcomes = Sweep::new(specs.clone())
+            .epoch(mismatched)
+            .resume_from(&dir)
+            .run_outcomes();
+        assert!(
+            outcomes
+                .iter()
+                .all(|o| matches!(o, RunOutcome::Completed(_))),
+            "epoch {mismatched:?} must not resume points sampled at 2000"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The CSV emitter's `parse` is an exact inverse of `render`: same rows,
 /// same cells, including the header.
 #[test]

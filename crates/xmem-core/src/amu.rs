@@ -126,6 +126,9 @@ pub struct AtomManagementUnit {
     /// (e.g. the cache pinning logic) re-evaluate when they observe a new
     /// epoch.
     epoch: u64,
+    /// ALB entries invalidated by mapping changes (one per page touched);
+    /// a telemetry counter for remap churn.
+    alb_invalidations: u64,
 }
 
 impl AtomManagementUnit {
@@ -138,6 +141,7 @@ impl AtomManagementUnit {
             page_size: config.page_size,
             extents: vec![Vec::new(); AtomId::MAX_ATOMS],
             epoch: 0,
+            alb_invalidations: 0,
         }
     }
 
@@ -241,6 +245,7 @@ impl AtomManagementUnit {
         let end = pa.raw() + len;
         while page.raw() < end {
             self.alb.invalidate_page(page);
+            self.alb_invalidations += 1;
             page += self.page_size;
         }
     }
@@ -405,6 +410,12 @@ impl AtomManagementUnit {
     /// ALB statistics (for the §4.2 coverage measurement).
     pub fn alb_stats(&self) -> AlbStats {
         self.alb.stats()
+    }
+
+    /// ALB entries invalidated by mapping changes so far (one count per
+    /// page invalidated; context-switch flushes are not included).
+    pub fn alb_invalidations(&self) -> u64 {
+        self.alb_invalidations
     }
 
     /// Flushes the ALB, as required on a context switch (§4.4(4)).
