@@ -20,7 +20,10 @@ use xmem_sim::harness::{default_workers, run_jobs, Progress};
 use xmem_sim::{run_corun, FramePolicyKind, MultiCoreConfig, SystemKind};
 
 fn log_of(name: &str, accesses: u64) -> Vec<TraceEvent> {
-    let mut w = PlacementWorkload::by_name(name).expect("workload exists");
+    let mut w = PlacementWorkload::by_name(name).unwrap_or_else(|| {
+        eprintln!("corun_placement: unknown workload `{name}`");
+        std::process::exit(2);
+    });
     w.accesses = accesses;
     let mut log = LogSink::new();
     w.generate(&mut log);

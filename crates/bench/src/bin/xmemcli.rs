@@ -183,7 +183,7 @@ fn print_report(r: &RunReport) {
 fn emit(f: &Flags, record: &RunRecord) {
     if f.json {
         let mut sink = JsonSink::new();
-        sink.emit(record);
+        sink.emit(record).expect("JSON sink accepts any record");
         println!("{}", sink.render());
     } else {
         print_report(&record.report);

@@ -264,10 +264,21 @@ pub mod reports {
         }
 
         /// Adds one record with derived extras (speedups etc.).
+        ///
+        /// A sink rejecting the record (e.g. ragged CSV columns) is a bug
+        /// in the figure binary's emit sequence, not a run-time condition:
+        /// the typed error is printed with the offending label and the
+        /// process exits 2 instead of panicking mid-report.
         pub fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
-            self.json.emit_with(record, extras);
+            if let Err(e) = self.json.emit_with(record, extras) {
+                eprintln!("{}: {e}", self.name);
+                std::process::exit(2);
+            }
             if let Some(csv) = &mut self.csv {
-                csv.emit_with(record, extras);
+                if let Err(e) = csv.emit_with(record, extras) {
+                    eprintln!("{}: {e}", self.name);
+                    std::process::exit(2);
+                }
             }
             if self.trace_out.is_some() {
                 if let Some(series) = &record.telemetry {

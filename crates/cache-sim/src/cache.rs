@@ -12,6 +12,7 @@
 //!   pinned lines so the default policy can evict them.
 
 use crate::config::{CacheConfig, ReplacementPolicy};
+use xmem_core::addr::{addr_to_index, addr_to_u16};
 
 /// Insertion priority for a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +169,7 @@ impl Cache {
     /// SHiP signature: the 16 KB region of the address (SHiP-Mem flavor).
     #[inline]
     fn signature(addr: u64) -> u16 {
-        ((addr >> 14) & (SHCT_ENTRIES as u64 - 1)) as u16
+        addr_to_u16((addr >> 14) & (SHCT_ENTRIES as u64 - 1))
     }
 
     /// The configuration in use.
@@ -198,7 +199,7 @@ impl Cache {
     #[inline]
     fn line_index(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.config.line_bytes;
-        let set = (line as usize) & (self.sets - 1);
+        let set = addr_to_index(line) & (self.sets - 1);
         let tag = line >> self.sets.trailing_zeros();
         (set, tag)
     }
@@ -334,6 +335,7 @@ impl Cache {
                             .enumerate()
                             .min_by_key(|(_, l)| l.lru)
                             .map(|(i, _)| i)
+                            // simlint: allow(unwrap, reason = "a cache set always has at least one way")
                             .expect("non-empty set")
                     }),
                 _ => {
@@ -358,6 +360,7 @@ impl Cache {
                                 .enumerate()
                                 .min_by_key(|(_, l)| l.lru)
                                 .map(|(i, _)| i)
+                                // simlint: allow(unwrap, reason = "a cache set always has at least one way")
                                 .expect("non-empty set");
                         }
                     }

@@ -19,7 +19,7 @@ use crate::config::CacheConfig;
 use crate::pin::{select_pinned, PinCandidate};
 use crate::prefetch::{MultiStridePrefetcher, PrefetchStats};
 use dram_sim::{Dram, DramStats};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use xmem_core::addr::PhysAddr;
 use xmem_core::amu::AtomManagementUnit;
 use xmem_core::atom::AtomId;
@@ -123,7 +123,7 @@ pub struct Hierarchy {
     /// AMU epoch at the last pinning evaluation.
     last_epoch: u64,
     /// Lines prefetched but not yet demanded (bounded; for accuracy stats).
-    inflight_prefetches: HashSet<u64>,
+    inflight_prefetches: BTreeSet<u64>,
     xmem_pf_stats: PrefetchStats,
 }
 
@@ -154,7 +154,7 @@ impl Hierarchy {
             stride_pf,
             pinned: Vec::new(),
             last_epoch: u64::MAX,
-            inflight_prefetches: HashSet::new(),
+            inflight_prefetches: BTreeSet::new(),
             xmem_pf_stats: PrefetchStats::default(),
             config,
         }

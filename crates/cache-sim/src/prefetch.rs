@@ -125,6 +125,7 @@ impl MultiStridePrefetcher {
                     .enumerate()
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
+                    // simlint: allow(unwrap, reason = "the stream table is constructed non-empty")
                     .expect("non-empty table");
                 self.entries[i] = StreamEntry {
                     tag: region,

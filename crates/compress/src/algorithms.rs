@@ -85,6 +85,7 @@ pub fn zero_rle_decode(data: &[u8]) -> Line {
 pub fn bdi_encode(line: &Line) -> Option<(Vec<u8>, CompressedSize)> {
     let words: Vec<i64> = line
         .chunks_exact(8)
+        // simlint: allow(unwrap, reason = "chunks_exact(8) yields exactly 8 bytes; conversion is infallible")
         .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
         .collect();
     let base = words[0];
@@ -115,6 +116,7 @@ pub fn bdi_encode(line: &Line) -> Option<(Vec<u8>, CompressedSize)> {
 /// Decodes a [`bdi_encode`] stream.
 pub fn bdi_decode(data: &[u8]) -> Line {
     let width = data[0] as usize;
+    // simlint: allow(unwrap, reason = "the 8-byte slice [1..9] always converts; short input would have panicked on indexing")
     let base = i64::from_le_bytes(data[1..9].try_into().expect("base"));
     let mut line = [0u8; 64];
     for (i, chunk) in data[9..].chunks_exact(width).enumerate().take(8) {
@@ -145,6 +147,7 @@ pub fn fpc_encode(line: &Line) -> (Vec<u8>, CompressedSize) {
     let mut out = Vec::with_capacity(32);
     let mut payload_bits = 0usize;
     for chunk in line.chunks_exact(4) {
+        // simlint: allow(unwrap, reason = "chunks_exact(4) yields exactly 4 bytes; conversion is infallible")
         let w = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
         let s = w as i32;
         if w == 0 {
@@ -208,6 +211,7 @@ pub fn fpc_decode(data: &[u8]) -> Line {
                 u32::from_le_bytes([b, b, b, b])
             }
             _ => {
+                // simlint: allow(unwrap, reason = "4-byte slice always converts; short input would have panicked on indexing")
                 let v = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("payload"));
                 pos += 4;
                 v

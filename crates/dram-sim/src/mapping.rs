@@ -15,6 +15,7 @@
 //! significant field; otherwise it uses a fixed width.
 
 use crate::config::DramConfig;
+use xmem_core::addr::addr_to_index;
 
 /// One of the five DRAM coordinate fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,13 +230,13 @@ impl AddressMapping {
             let is_last = i == 4;
             match field {
                 Field::Channel => {
-                    loc.channel = take(&mut rest, chan_bits) as usize;
+                    loc.channel = addr_to_index(take(&mut rest, chan_bits));
                 }
                 Field::Rank => {
-                    loc.rank = take(&mut rest, rank_bits) as usize;
+                    loc.rank = addr_to_index(take(&mut rest, rank_bits));
                 }
                 Field::Bank => {
-                    loc.bank = take(&mut rest, bank_bits) as usize;
+                    loc.bank = addr_to_index(take(&mut rest, bank_bits));
                 }
                 Field::Column => {
                     loc.col = take(&mut rest, col_bits);
@@ -252,7 +253,7 @@ impl AddressMapping {
 
         if self.bank_xor && cfg.banks > 1 {
             let mask = (cfg.banks - 1) as u64;
-            loc.bank = (loc.bank as u64 ^ (loc.row & mask)) as usize;
+            loc.bank = addr_to_index(loc.bank as u64 ^ (loc.row & mask));
         }
         loc
     }

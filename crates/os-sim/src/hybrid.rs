@@ -181,7 +181,9 @@ impl HybridMemory {
     ///
     /// Panics if the atom was never allocated.
     pub fn access(&mut self, atom: AtomId, is_write: bool) -> u64 {
-        let tier = self.tier_of_atom[atom.index()].expect("access before allocation");
+        let tier = self.tier_of_atom[atom.index()]
+            // simlint: allow(unwrap, reason = "documented `# Panics` API contract; workload bug, not a recoverable error")
+            .expect("access before allocation");
         let lat = match (tier, is_write) {
             (Tier::Dram, false) => {
                 self.stats.dram_reads += 1;

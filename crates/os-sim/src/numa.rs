@@ -112,7 +112,9 @@ impl NumaSystem {
     ///
     /// Panics if the atom was never placed.
     pub fn access(&mut self, atom: AtomId, socket: usize, salt: u64) -> u64 {
-        let placement = self.placements[atom.index()].expect("access before placement");
+        let placement = self.placements[atom.index()]
+            // simlint: allow(unwrap, reason = "documented `# Panics` API contract; workload bug, not a recoverable error")
+            .expect("access before placement");
         let local = match placement {
             NumaPlacement::Replicated => true,
             NumaPlacement::OnSocket(s) => s == socket,

@@ -6,7 +6,7 @@
 //! timing model. Fully associative, LRU, per-process flush on context
 //! switch.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xmem_core::addr::VirtAddr;
 
 /// TLB geometry and timing.
@@ -66,8 +66,9 @@ impl TlbStats {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    /// vpn → last-used stamp.
-    entries: HashMap<u64, u64>,
+    /// vpn → last-used stamp. Ordered so the LRU victim scan below is
+    /// deterministic even if two entries ever carried the same stamp.
+    entries: BTreeMap<u64, u64>,
     clock: u64,
     stats: TlbStats,
 }
@@ -85,7 +86,7 @@ impl Tlb {
             "page size must be a power of two"
         );
         Tlb {
-            entries: HashMap::with_capacity(config.entries + 1),
+            entries: BTreeMap::new(),
             clock: 0,
             stats: TlbStats::default(),
             config,
@@ -109,6 +110,7 @@ impl Tlb {
                 .iter()
                 .min_by_key(|(_, &stamp)| stamp)
                 .map(|(vpn, _)| vpn)
+                // simlint: allow(unwrap, reason = "guarded by the len() check above; entries is non-empty here")
                 .expect("non-empty TLB");
             self.entries.remove(&victim);
         }

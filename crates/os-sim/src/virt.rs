@@ -10,7 +10,7 @@
 //! space with its slice of host memory.
 
 use crate::vm::PageTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xmem_core::addr::{PhysAddr, VirtAddr};
 use xmem_core::amu::Mmu;
 
@@ -41,7 +41,7 @@ pub struct VmId(pub u32);
 pub struct NestedPageTable {
     guest: PageTable,
     /// Guest-physical frame → host-physical frame (the EPT/NPT analogue).
-    host: HashMap<u64, u64>,
+    host: BTreeMap<u64, u64>,
     page_size: u64,
 }
 
@@ -54,7 +54,7 @@ impl NestedPageTable {
     pub fn new(page_size: u64) -> Self {
         NestedPageTable {
             guest: PageTable::new(page_size),
-            host: HashMap::new(),
+            host: BTreeMap::new(),
             page_size,
         }
     }

@@ -5,7 +5,7 @@
 //! DRAM banks and channels. The table implements
 //! [`xmem_core::amu::Mmu`] so the AMU can translate `ATOM_MAP` ranges.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xmem_core::addr::{PhysAddr, VirtAddr};
 use xmem_core::amu::Mmu;
 
@@ -26,7 +26,7 @@ use xmem_core::amu::Mmu;
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_size: u64,
-    map: HashMap<u64, u64>,
+    map: BTreeMap<u64, u64>,
 }
 
 impl PageTable {
@@ -42,7 +42,7 @@ impl PageTable {
         );
         PageTable {
             page_size,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
         }
     }
 

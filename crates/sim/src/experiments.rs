@@ -234,6 +234,7 @@ pub fn placement_specs(w: &PlacementWorkload, system: Uc2System) -> Vec<RunSpec>
 pub fn run_placement(w: &PlacementWorkload, system: Uc2System) -> RunReport {
     Sweep::new(placement_specs(w, system))
         .best()
+        // simlint: allow(unwrap, reason = "placement_specs always yields a non-empty constant grid")
         .expect("placement grids are non-empty")
         .report
 }

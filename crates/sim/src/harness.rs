@@ -45,7 +45,7 @@
 //! ```
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -61,6 +61,7 @@ use crate::telemetry::TelemetrySeries;
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::TraceSink;
+use xmem_core::addr::cycles_to_u64;
 
 /// The shared-counter scoped-thread pool underneath [`run_jobs`] and
 /// [`Sweep`]: `run` additionally receives the worker index that executed
@@ -86,6 +87,7 @@ where
                     break;
                 }
                 let result = run(i, worker);
+                // simlint: allow(unwrap, reason = "slot mutexes are never poisoned: worker panics are caught by catch_unwind inside run()")
                 *slots[i].lock().expect("result slot") = Some(result);
             });
         }
@@ -94,7 +96,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // simlint: allow(unwrap, reason = "slot mutexes are never poisoned: worker panics are caught by catch_unwind inside run()")
                 .expect("result slot")
+                // simlint: allow(unwrap, reason = "the shared counter hands every index to exactly one worker before the scope joins")
                 .expect("every job index was claimed and ran")
         })
         .collect()
@@ -237,6 +241,7 @@ fn eta_secs(elapsed: f64, executed: usize, remaining: usize) -> Option<f64> {
     if remaining == 0 {
         return Some(0.0);
     }
+    // simlint: allow(float-cmp, reason = "guard against a zero/negative wall-clock interval; only gates the ETA display, never simulation state")
     if executed == 0 || elapsed <= 0.0 {
         return None;
     }
@@ -498,7 +503,7 @@ pub struct Sweep {
     specs: Vec<RunSpec>,
     workers: usize,
     stream_dir: Option<PathBuf>,
-    resumed: HashMap<String, RunRecord>,
+    resumed: BTreeMap<String, RunRecord>,
     progress: Option<String>,
     epoch: Option<u64>,
 }
@@ -510,7 +515,7 @@ impl Sweep {
             specs,
             workers: default_workers(),
             stream_dir: None,
-            resumed: HashMap::new(),
+            resumed: BTreeMap::new(),
             progress: None,
             epoch: None,
         }
@@ -572,9 +577,9 @@ impl Sweep {
                 return self;
             }
         };
-        let by_label: HashMap<&str, &RunSpec> =
+        let by_label: BTreeMap<&str, &RunSpec> =
             self.specs.iter().map(|s| (s.label.as_str(), s)).collect();
-        let mut resumed = HashMap::new();
+        let mut resumed = BTreeMap::new();
         for rec in &records {
             let Some(label) = rec.get("label").and_then(|l| l.as_str()) else {
                 continue;
@@ -670,7 +675,7 @@ impl Sweep {
                         report,
                         telemetry,
                         run: Some(RunMeta {
-                            wall_nanos: start.elapsed().as_nanos() as u64,
+                            wall_nanos: cycles_to_u64(start.elapsed().as_nanos()),
                             worker: worker as u64,
                             resumed: false,
                         }),

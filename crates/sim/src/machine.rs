@@ -23,7 +23,7 @@ use os_sim::loader::{load_segment, LoadedProcess};
 use os_sim::os::Os;
 use os_sim::placement::FramePolicy;
 use os_sim::tlb::Tlb;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use workloads::sink::TraceSink;
 use xmem_core::aam::AamConfig;
 use xmem_core::addr::VirtAddr;
@@ -160,7 +160,7 @@ pub struct Machine {
     core: Core,
     mem: MemSystem,
     lib: XMemLib,
-    labels: HashMap<String, AtomId>,
+    labels: BTreeMap<String, AtomId>,
     next_site: u32,
     /// Instruction count at which the next telemetry sample fires.
     /// `u64::MAX` when telemetry is disabled, so the per-op cost of the
@@ -219,7 +219,7 @@ impl Machine {
                 xmem_enabled,
             },
             lib: XMemLib::new(),
-            labels: HashMap::new(),
+            labels: BTreeMap::new(),
             next_site: 0,
             next_sample_at: u64::MAX,
             telemetry: None,
@@ -310,6 +310,7 @@ impl Machine {
             ),
             amu_invalidations: cur.amu_invalidations - prev.amu_invalidations,
         };
+        // simlint: allow(unwrap, reason = "sample() is only called when next_sample_at is armed, which implies telemetry state")
         let state = self.telemetry.as_mut().expect("telemetry state present");
         let epoch = state.series.epoch_instructions;
         state.series.samples.push(sample);
@@ -361,6 +362,7 @@ impl TraceSink for Machine {
         self.mem
             .os
             .malloc(bytes, atom)
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("simulated physical memory exhausted")
             .raw()
     }
@@ -377,6 +379,7 @@ impl TraceSink for Machine {
         let id = self
             .lib
             .create_atom(site, label, attrs)
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("atom limit exceeded");
         self.labels.insert(label.to_owned(), id);
         id
@@ -394,6 +397,7 @@ impl TraceSink for Machine {
                 VirtAddr::new(start),
                 len,
             )
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_MAP failed");
     }
 
@@ -408,6 +412,7 @@ impl TraceSink for Machine {
                 VirtAddr::new(start),
                 len,
             )
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_UNMAP failed");
     }
 
@@ -425,6 +430,7 @@ impl TraceSink for Machine {
                 size_y,
                 len_x,
             )
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_MAP2D failed");
     }
 
@@ -441,6 +447,7 @@ impl TraceSink for Machine {
                 size_y,
                 len_x,
             )
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_UNMAP2D failed");
     }
 
@@ -450,6 +457,7 @@ impl TraceSink for Machine {
         }
         self.lib
             .atom_activate(&mut self.mem.amu, self.mem.os.page_table(), atom)
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_ACTIVATE failed");
     }
 
@@ -459,6 +467,7 @@ impl TraceSink for Machine {
         }
         self.lib
             .atom_deactivate(&mut self.mem.amu, self.mem.os.page_table(), atom)
+            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
             .expect("ATOM_DEACTIVATE failed");
     }
 }
@@ -515,6 +524,7 @@ pub fn run_workload_with_telemetry(
     let segment = scan.segment();
     // Load time: GAT + translator + PATs + placement primitives.
     let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
     let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
     // Execution.
     let mut machine = Machine::new(config, &loaded);

@@ -23,7 +23,7 @@ use dram_sim::{Dram, DramStats};
 use os_sim::loader::load_segment;
 use os_sim::os::Os;
 use os_sim::placement::FramePolicy;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use workloads::sink::TraceEvent;
 use xmem_core::aam::AamConfig;
 use xmem_core::addr::{PhysAddr, VirtAddr};
@@ -73,7 +73,7 @@ struct SharedMem {
     mode: XmemMode,
     pinned: Vec<AtomId>,
     last_epoch: u64,
-    inflight_prefetches: HashSet<u64>,
+    inflight_prefetches: BTreeSet<u64>,
     l1_lat: u64,
     l2_lat: u64,
     l3_lat: u64,
@@ -344,6 +344,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                         format!("c{core}:{label}"),
                         attrs.clone(),
                     )
+                    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                     .expect("combined atom space exhausted");
                 if count == 0 {
                     atom_base[core] = id.raw();
@@ -360,6 +361,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
 
     // ── load time: GAT + PATs + frame policy over the merged atom set ───
     let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
     let loaded = load_segment(ProcessId(0), &segment, &translator).expect("load");
     let policy = match config.frame_policy {
         FramePolicyKind::Sequential => FramePolicy::Sequential,
@@ -404,7 +406,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
         mode: config.xmem,
         pinned: Vec::new(),
         last_epoch: u64::MAX,
-        inflight_prefetches: HashSet::new(),
+        inflight_prefetches: BTreeSet::new(),
         l1_lat: config.l1.latency,
         l2_lat: config.l2.latency,
         l3_lat: config.l3.latency,
@@ -448,6 +450,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                     let actual = mem
                         .os
                         .malloc(bytes, global_atom)
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                         .expect("physical memory exhausted")
                         .raw();
                     ranges[i].push((base, bytes.next_multiple_of(4096).max(4096), actual));
@@ -463,6 +466,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                             VirtAddr::new(actual),
                             len,
                         )
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                         .expect("map");
                     }
                 }
@@ -475,6 +479,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                             VirtAddr::new(actual),
                             len,
                         )
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                         .expect("unmap");
                     }
                 }
@@ -496,6 +501,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                             size_y,
                             len_x,
                         )
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                         .expect("map2d");
                     }
                 }
@@ -515,18 +521,21 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                             size_y,
                             len_x,
                         )
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                         .expect("unmap2d");
                     }
                 }
                 TraceEvent::Activate(atom) => {
                     if xmem_enabled {
                         lib.atom_activate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                             .expect("activate");
                     }
                 }
                 TraceEvent::Deactivate(atom) => {
                     if xmem_enabled {
                         lib.atom_deactivate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                            // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                             .expect("deactivate");
                     }
                 }

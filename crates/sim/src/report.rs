@@ -50,6 +50,7 @@ impl RunReport {
     /// (prefetch reads are off the critical path).
     pub fn normalized_read_latency(&self, reference: &RunReport) -> f64 {
         let r = reference.dram.avg_demand_read_latency();
+        // simlint: allow(float-cmp, reason = "exact-zero sentinel for a no-demand-reads reference; a derived report metric, not a scheduling decision")
         if r == 0.0 {
             1.0
         } else {

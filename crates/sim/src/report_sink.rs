@@ -15,7 +15,7 @@
 //! let records = Sweep::new(vec![KernelRun::new(PolybenchKernel::Mvt, p).spec()]).run();
 //! let mut sink = JsonSink::new();
 //! for r in &records {
-//!     sink.emit(r);
+//!     sink.emit(r).unwrap();
 //! }
 //! let doc = xmem_sim::report_sink::JsonValue::parse(&sink.render()).unwrap();
 //! assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("xmem-report-v1"));
@@ -232,6 +232,28 @@ impl std::fmt::Display for JsonError {
 }
 
 impl std::error::Error for JsonError {}
+
+/// A record rejected by a [`ReportSink`] — e.g. a CSV record whose
+/// flattened columns do not match the table's header. Carried as a typed
+/// error (rather than a panic) so binaries can diagnose the offending
+/// record and exit cleanly, and so a sink failure inside a sweep worker
+/// surfaces as [`crate::harness::RunOutcome::Failed`] rather than
+/// tearing the process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkError {
+    /// Label of the rejected record.
+    pub label: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "record `{}` rejected: {}", self.label, self.message)
+    }
+}
+
+impl std::error::Error for SinkError {}
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -770,13 +792,26 @@ pub fn scan_point_records(dir: &Path) -> io::Result<Vec<JsonValue>> {
 /// A consumer of run records that renders a machine-readable document.
 pub trait ReportSink {
     /// Adds one record.
-    fn emit(&mut self, record: &RunRecord) {
-        self.emit_with(record, &[]);
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError`] if the sink rejects the record (see [`Self::emit_with`]).
+    fn emit(&mut self, record: &RunRecord) -> Result<(), SinkError> {
+        self.emit_with(record, &[])
     }
 
     /// Adds one record with caller-computed derived extras (e.g. a
     /// `speedup` over some baseline the sink cannot know about).
-    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]);
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError`] if the record does not fit the document built so far
+    /// (e.g. ragged CSV columns). The sink is unchanged on error.
+    fn emit_with(
+        &mut self,
+        record: &RunRecord,
+        extras: &[(&'static str, KvValue)],
+    ) -> Result<(), SinkError>;
 
     /// Renders everything emitted so far.
     fn render(&self) -> String;
@@ -799,8 +834,13 @@ impl JsonSink {
 }
 
 impl ReportSink for JsonSink {
-    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
+    fn emit_with(
+        &mut self,
+        record: &RunRecord,
+        extras: &[(&'static str, KvValue)],
+    ) -> Result<(), SinkError> {
         self.records.push(record.to_json_with(extras));
+        Ok(())
     }
 
     fn render(&self) -> String {
@@ -888,20 +928,29 @@ fn csv_cell(value: &JsonValue) -> String {
 }
 
 impl ReportSink for CsvSink {
-    fn emit_with(&mut self, record: &RunRecord, extras: &[(&'static str, KvValue)]) {
+    fn emit_with(
+        &mut self,
+        record: &RunRecord,
+        extras: &[(&'static str, KvValue)],
+    ) -> Result<(), SinkError> {
         let cells = record.flat_cells(extras);
         if self.header.is_empty() {
             self.header = cells.iter().map(|(name, _)| name.clone()).collect();
         } else {
             let names: Vec<&String> = cells.iter().map(|(name, _)| name).collect();
-            assert!(
-                self.header.iter().collect::<Vec<_>>() == names,
-                "CSV records must share a column set (got {names:?}, header {:?})",
-                self.header
-            );
+            if self.header.iter().collect::<Vec<_>>() != names {
+                return Err(SinkError {
+                    label: record.label.clone(),
+                    message: format!(
+                        "CSV records must share a column set (got {names:?}, header {:?})",
+                        self.header
+                    ),
+                });
+            }
         }
         self.rows
             .push(cells.iter().map(|(_, v)| csv_cell(v)).collect());
+        Ok(())
     }
 
     fn render(&self) -> String {
@@ -1181,6 +1230,21 @@ mod tests {
         assert!(a.starts_with("gemm-XMem-32KB-"));
         assert!(a.ends_with(".json"));
         assert_ne!(a, point_file_name("gemm/XMem_32KB"));
+    }
+
+    #[test]
+    fn csv_sink_rejects_ragged_columns_with_typed_error() {
+        let record = synthetic_record();
+        let mut sink = CsvSink::new();
+        sink.emit_with(&record, &[("speedup", 1.5.into())])
+            .expect("first record defines the header");
+        let err = sink
+            .emit(&record)
+            .expect_err("a record missing the extra column must be rejected");
+        assert_eq!(err.label, record.label);
+        assert!(err.message.contains("column set"), "{err}");
+        // The sink is unchanged on error: header plus the one accepted row.
+        assert_eq!(CsvSink::parse(&sink.render()).len(), 2);
     }
 
     #[test]

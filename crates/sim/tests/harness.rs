@@ -321,7 +321,7 @@ fn json_report_round_trips() {
     let records = sample_records();
     let mut sink = JsonSink::new();
     for r in &records {
-        sink.emit(r);
+        sink.emit(r).unwrap();
     }
     let text = sink.render();
     let doc = xmem_sim::JsonValue::parse(&text).expect("sink output parses");
@@ -445,7 +445,7 @@ fn csv_report_round_trips() {
     let records = sample_records();
     let mut sink = CsvSink::new();
     for r in &records {
-        sink.emit(r);
+        sink.emit(r).unwrap();
     }
     let text = sink.render();
     let rows = CsvSink::parse(&text);
@@ -463,4 +463,28 @@ fn csv_report_round_trips() {
         assert_eq!(col("label"), rec.label);
         assert_eq!(col("core.cycles"), rec.report.cycles().to_string());
     }
+}
+
+/// Regression test for the R1 (`nondet-map`) migrations: the *rendered
+/// report document* — not just the in-memory stats — must be
+/// byte-identical between a serial run and an 8-worker run. This is the
+/// property the BTreeMap/BTreeSet switches in `machine`, `multicore`,
+/// `os-sim` and the harness protect; only the wall-clock `run` block may
+/// differ between the two documents.
+#[test]
+fn rendered_reports_byte_identical_across_worker_counts() {
+    let render = |workers: usize| {
+        let mut sink = JsonSink::new();
+        for r in Sweep::new(kernel_grid()).workers(workers).run() {
+            sink.emit(&r).unwrap();
+        }
+        strip_run(&JsonValue::parse(&sink.render()).expect("valid JSON")).render()
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    assert_eq!(
+        serial.as_bytes(),
+        parallel.as_bytes(),
+        "XMEM_WORKERS=1 vs 8 reports diverge"
+    );
 }

@@ -1,0 +1,143 @@
+//! `simlint.toml` — the workspace-level allowlist.
+//!
+//! Hand-rolled parser for the tiny TOML subset the config needs (the
+//! workspace has no external dependencies):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "wall-clock"
+//! path = "crates/sim/src/harness.rs"
+//! reason = "Progress/wall_nanos are observability-only"
+//! ```
+//!
+//! `path` is relative to the workspace root with `/` separators; a value
+//! ending in `/` allowlists every file under that directory. `rule` may be
+//! `*` to allow all rules for a path (use sparingly).
+
+use std::path::Path;
+
+#[derive(Debug, Default)]
+pub struct Config {
+    allows: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    reason: String,
+}
+
+impl Config {
+    /// Loads `<root>/simlint.toml`; a missing file is an empty config.
+    pub fn load(root: &Path) -> Result<Config, String> {
+        let path = root.join("simlint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Config::parse(&text).map_err(|e| format!("{}: {}", path.display(), e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(format!("{}: {}", path.display(), e)),
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut allows: Vec<AllowEntry> = Vec::new();
+        let mut open = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = n + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                open = true;
+                allows.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown table `{}`", lineno, line));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = \"value\"`", lineno))?;
+            let value = value
+                .trim()
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("line {}: value must be a quoted string", lineno))?;
+            if !open {
+                return Err(format!("line {}: key outside [[allow]] table", lineno));
+            }
+            let entry = allows.last_mut().unwrap();
+            match key.trim() {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path = value.replace('\\', "/"),
+                "reason" => entry.reason = value.to_string(),
+                other => return Err(format!("line {}: unknown key `{}`", lineno, other)),
+            }
+        }
+        for (k, e) in allows.iter().enumerate() {
+            if e.rule.is_empty() || e.path.is_empty() || e.reason.is_empty() {
+                return Err(format!(
+                    "[[allow]] entry {} must set rule, path and a non-empty reason",
+                    k + 1
+                ));
+            }
+        }
+        Ok(Config { allows })
+    }
+
+    /// Is `rule` allowlisted for the file at workspace-relative `rel_path`?
+    pub fn allows(&self, rule: &str, rel_path: &str) -> bool {
+        self.allows.iter().any(|a| {
+            (a.rule == rule || a.rule == "*")
+                && (a.path == rel_path
+                    || (a.path.ends_with('/') && rel_path.starts_with(a.path.as_str())))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[[allow]]
+rule = "wall-clock"
+path = "crates/sim/src/harness.rs"
+reason = "observability only"
+
+[[allow]]
+rule = "*"
+path = "crates/generated/"
+reason = "machine generated"
+"#,
+        )
+        .unwrap();
+        assert!(cfg.allows("wall-clock", "crates/sim/src/harness.rs"));
+        assert!(!cfg.allows("unwrap", "crates/sim/src/harness.rs"));
+        assert!(!cfg.allows("wall-clock", "crates/sim/src/machine.rs"));
+        assert!(cfg.allows("unwrap", "crates/generated/foo.rs"));
+    }
+
+    #[test]
+    fn rejects_incomplete_entries() {
+        assert!(Config::parse("[[allow]]\nrule = \"unwrap\"\n").is_err());
+        assert!(Config::parse("rule = \"unwrap\"\n").is_err());
+        assert!(Config::parse("[bad]\n").is_err());
+        assert!(Config::parse("[[allow]]\nrule = unquoted\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let cfg = Config::load(Path::new("/nonexistent-simlint-root")).unwrap();
+        assert!(!cfg.allows("unwrap", "anything.rs"));
+    }
+}

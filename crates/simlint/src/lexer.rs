@@ -1,0 +1,380 @@
+//! A small Rust lexer — just enough structure for simlint's rules.
+//!
+//! This is deliberately not a full parser. The workspace builds offline
+//! with zero external dependencies, so `syn` is not available; instead
+//! simlint works on a token stream that understands the constructs where
+//! naive substring matching lies: string/char literals, (nested block)
+//! comments, raw strings, lifetimes, numeric literals with suffixes, and
+//! multi-character operators. Every token carries a 1-based line:col so
+//! diagnostics point at real source locations.
+
+/// Token classification. `Punct` text is the full multi-char operator
+/// (`==`, `..=`, `->`, ...) so rules can match operators exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    /// Numeric literal; `float` is true for `1.0`, `1e9`, `2f64`, ...
+    Num {
+        float: bool,
+    },
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+    Comment,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.is(TokKind::Punct, text)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> char {
+        *self.chars.get(self.i + k).unwrap_or(&'\0')
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    fn bump(&mut self, out: &mut String) {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        out.push(c);
+    }
+
+    fn bump_n(&mut self, n: usize, out: &mut String) {
+        for _ in 0..n {
+            if self.eof() {
+                break;
+            }
+            self.bump(out);
+        }
+    }
+
+    fn line_comment(&mut self, out: &mut String) {
+        while !self.eof() && self.peek(0) != '\n' {
+            self.bump(out);
+        }
+    }
+
+    fn block_comment(&mut self, out: &mut String) {
+        self.bump_n(2, out); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 && !self.eof() {
+            if self.peek(0) == '/' && self.peek(1) == '*' {
+                depth += 1;
+                self.bump_n(2, out);
+            } else if self.peek(0) == '*' && self.peek(1) == '/' {
+                depth -= 1;
+                self.bump_n(2, out);
+            } else {
+                self.bump(out);
+            }
+        }
+    }
+
+    /// Plain (non-raw) string: `"` already peeked, handles `\"` escapes.
+    fn string(&mut self, out: &mut String) {
+        self.bump(out); // opening quote
+        while !self.eof() {
+            match self.peek(0) {
+                '\\' => self.bump_n(2, out),
+                '"' => {
+                    self.bump(out);
+                    break;
+                }
+                _ => self.bump(out),
+            }
+        }
+    }
+
+    /// Raw string starting at `r` (any number of `#`): `r"..."`, `r#"..."#`.
+    fn raw_string(&mut self, out: &mut String) {
+        self.bump(out); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == '#' {
+            hashes += 1;
+            self.bump(out);
+        }
+        self.bump(out); // opening quote
+        while !self.eof() {
+            if self.peek(0) == '"' && (1..=hashes).all(|k| self.peek(k) == '#') {
+                self.bump_n(1 + hashes, out);
+                break;
+            }
+            self.bump(out);
+        }
+    }
+
+    fn char_literal(&mut self, out: &mut String) {
+        self.bump(out); // opening quote
+        if self.peek(0) == '\\' {
+            self.bump_n(2, out);
+        } else {
+            self.bump(out);
+        }
+        if self.peek(0) == '\'' {
+            self.bump(out);
+        }
+    }
+
+    fn lifetime(&mut self, out: &mut String) {
+        self.bump(out); // `'`
+        while is_ident_continue(self.peek(0)) {
+            self.bump(out);
+        }
+    }
+
+    fn number(&mut self, out: &mut String) -> bool {
+        let mut float = false;
+        if self.peek(0) == '0' && matches!(self.peek(1), 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+            self.bump_n(2, out);
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == '_' {
+                self.bump(out);
+            }
+            return false;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == '_' {
+            self.bump(out);
+        }
+        if self.peek(0) == '.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump(out);
+            while self.peek(0).is_ascii_digit() || self.peek(0) == '_' {
+                self.bump(out);
+            }
+        } else if self.peek(0) == '.' && self.peek(1) != '.' && !is_ident_start(self.peek(1)) {
+            // `1.` with no fraction digits — still a float, but not when
+            // followed by `..` (range) or an identifier (method call).
+            float = true;
+            self.bump(out);
+        }
+        if matches!(self.peek(0), 'e' | 'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), '+' | '-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump(out);
+            if matches!(self.peek(0), '+' | '-') {
+                self.bump(out);
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == '_' {
+                self.bump(out);
+            }
+        }
+        // Type suffix (`u64`, `f32`, ...). An `f` suffix marks a float.
+        if is_ident_start(self.peek(0)) {
+            if self.peek(0) == 'f' {
+                float = true;
+            }
+            while is_ident_continue(self.peek(0)) {
+                self.bump(out);
+            }
+        }
+        float
+    }
+}
+
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while !lx.eof() {
+        let c = lx.peek(0);
+        if c.is_whitespace() {
+            let mut scratch = String::new();
+            lx.bump(&mut scratch);
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c == '/' && lx.peek(1) == '/' {
+            lx.line_comment(&mut text);
+            TokKind::Comment
+        } else if c == '/' && lx.peek(1) == '*' {
+            lx.block_comment(&mut text);
+            TokKind::Comment
+        } else if c == '"' {
+            lx.string(&mut text);
+            TokKind::Str
+        } else if c == 'r' && (lx.peek(1) == '"' || (lx.peek(1) == '#' && raw_ahead(&lx))) {
+            lx.raw_string(&mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == '"' {
+            lx.bump(&mut text);
+            lx.string(&mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == 'r' && (lx.peek(2) == '"' || lx.peek(2) == '#') {
+            lx.bump(&mut text);
+            lx.raw_string(&mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == '\'' {
+            lx.bump(&mut text);
+            lx.char_literal(&mut text);
+            TokKind::Char
+        } else if c == '\'' {
+            // `'a'` is a char literal, `'a` is a lifetime. A lifetime is
+            // never followed by a closing quote right after its identifier.
+            if lx.peek(1) == '\\' || (is_ident_continue(lx.peek(1)) && lx.peek(2) == '\'') {
+                lx.char_literal(&mut text);
+                TokKind::Char
+            } else {
+                lx.lifetime(&mut text);
+                TokKind::Lifetime
+            }
+        } else if c.is_ascii_digit() {
+            let float = lx.number(&mut text);
+            TokKind::Num { float }
+        } else if is_ident_start(c) {
+            while is_ident_continue(lx.peek(0)) {
+                lx.bump(&mut text);
+            }
+            TokKind::Ident
+        } else {
+            let mut matched = false;
+            for op in OPERATORS {
+                if op.chars().enumerate().all(|(k, ch)| lx.peek(k) == ch) {
+                    lx.bump_n(op.chars().count(), &mut text);
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                lx.bump(&mut text);
+            }
+            TokKind::Punct
+        };
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// After `r#`, is this actually a raw string (`r#"..."`) rather than a raw
+/// identifier (`r#match`)? Look past the `#`s for the opening quote.
+fn raw_ahead(lx: &Lexer) -> bool {
+    let mut k = 1;
+    while lx.peek(k) == '#' {
+        k += 1;
+    }
+    lx.peek(k) == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let toks = kinds(r#"let s = "HashMap"; // HashMap here"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| t != "HashMap" || matches!(k, TokKind::Str | TokKind::Comment)));
+    }
+
+    #[test]
+    fn float_detection() {
+        assert_eq!(kinds("1.5")[0].0, TokKind::Num { float: true });
+        assert_eq!(kinds("2e9")[0].0, TokKind::Num { float: true });
+        assert_eq!(kinds("3f64")[0].0, TokKind::Num { float: true });
+        assert_eq!(kinds("7u64")[0].0, TokKind::Num { float: false });
+        assert_eq!(kinds("0x1E")[0].0, TokKind::Num { float: false });
+        // Ranges must not swallow the dots.
+        let r = kinds("0..10");
+        assert_eq!(r[0].0, TokKind::Num { float: false });
+        assert_eq!(r[1].1, "..");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(kinds("'a>")[0].0, TokKind::Lifetime);
+        assert_eq!(kinds("'a'")[0].0, TokKind::Char);
+        assert_eq!(kinds(r"'\n'")[0].0, TokKind::Char);
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a >= 1.0");
+        assert_eq!(toks[1].1, ">=");
+        assert_eq!(kinds("x..=y")[1].1, "..=");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = kinds(r##"r#"with "quotes" inside"# after"##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn line_col_tracking() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,234 @@
+//! simlint — workspace-specific static analysis for the XMem simulator.
+//!
+//! The repo's core property (PRs 1–3) is that parallel sweeps, resume and
+//! telemetry are **byte-identical** to serial fresh runs. That property
+//! rests on invariants no general-purpose linter knows about; simlint
+//! makes them machine-checked:
+//!
+//! | rule             | invariant                                                   |
+//! |------------------|-------------------------------------------------------------|
+//! | `nondet-map`     | no `HashMap`/`HashSet` in sim-state crates (R1)             |
+//! | `wall-clock`     | no `SystemTime`/`Instant`/ambient randomness in results (R2)|
+//! | `narrowing-cast` | no narrowing `as` on address/cycle expressions (R3)         |
+//! | `unwrap`         | no unannotated `.unwrap()`/`.expect()` in library code (R4) |
+//! | `float-cmp`      | no float comparison in timing/scheduling decisions (R5)     |
+//!
+//! Suppression: a per-site `// simlint: allow(<rule>, reason = "...")`
+//! comment (same line, or the line directly above), or a `simlint.toml`
+//! `[[allow]]` entry for whole files. Both are checked themselves: a
+//! malformed directive is `allow-syntax`, a directive that suppresses
+//! nothing is `unused-allow`.
+//!
+//! Run it with `cargo run -p simlint -- check` (add `--json` for machine
+//! output). Exits non-zero when findings remain.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+
+/// One diagnostic. Rendered as `path:line:col: rule: message` plus a
+/// fix hint in human mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    pub fn render_with_hint(&self) -> String {
+        let hint = rules::hint_for(self.rule);
+        if hint.is_empty() {
+            self.render()
+        } else {
+            format!("{}\n  hint: {}", self.render(), hint)
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"path":{},"line":{},"col":{},"rule":{},"message":{},"hint":{}}}"#,
+            json_str(&self.path),
+            self.line,
+            self.col,
+            json_str(self.rule),
+            json_str(&self.message),
+            json_str(rules::hint_for(self.rule)),
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| format!("  {}", f.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", items.join(",\n"))
+}
+
+/// What simlint knows about a file before reading it: where it lives and
+/// which rule families apply.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators (diagnostics + allowlist key).
+    pub rel_path: String,
+    /// Crate is in [`rules::SIM_STATE_DIRS`] — R1/R2/R3/R5 apply.
+    pub sim_state: bool,
+    /// Library code (not `src/bin/*`, not `src/main.rs`) — R4 applies.
+    pub library: bool,
+}
+
+/// Lints one file's source. Test items (`#[cfg(test)]`/`#[test]`) are
+/// exempt from every rule; allow comments and the workspace allowlist are
+/// applied here so callers get the final finding set.
+pub fn lint_source(src: &str, ctx: &FileCtx, cfg: &Config) -> Vec<Finding> {
+    let toks = lexer::lex(src);
+    let mask = rules::test_mask(&toks);
+    let mut findings = Vec::new();
+    let allows = rules::collect_allows(&toks, &mut findings, ctx);
+    let mut raw = Vec::new();
+    rules::run_all(&toks, &mask, ctx, &mut raw);
+
+    let mut used = vec![false; allows.len()];
+    for f in raw {
+        let suppressed_by_comment = allows.iter().enumerate().any(|(k, a)| {
+            let hit = a.rule == f.rule && a.target_line == f.line;
+            if hit {
+                used[k] = true;
+            }
+            hit
+        });
+        if suppressed_by_comment || cfg.allows(f.rule, &ctx.rel_path) {
+            continue;
+        }
+        findings.push(f);
+    }
+    for (k, a) in allows.iter().enumerate() {
+        if !used[k] {
+            findings.push(Finding {
+                path: ctx.rel_path.clone(),
+                line: a.line,
+                col: a.col,
+                rule: rules::RULE_UNUSED_ALLOW,
+                message: format!(
+                    "allow({}) suppresses no finding on line {}",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Enumerates the workspace's lintable `.rs` files: `src/` of the root
+/// package and of every crate under `crates/` except simlint itself.
+/// Integration tests, benches and examples are out of scope — they assert
+/// on results rather than produce them.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, FileCtx)>> {
+    let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), "xmem".to_string())];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name == "simlint" {
+                continue;
+            }
+            crate_dirs.push((dir, name));
+        }
+    }
+
+    let mut files = Vec::new();
+    for (dir, name) in crate_dirs {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let sim_state = rules::SIM_STATE_DIRS.contains(&name.as_str());
+        let mut stack = vec![src.clone()];
+        while let Some(d) = stack.pop() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .collect();
+            entries.sort();
+            for p in entries {
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let rel = p
+                        .strip_prefix(root)
+                        .unwrap_or(&p)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    let in_bin = rel.contains("/src/bin/");
+                    let is_main = p.file_name().is_some_and(|n| n == "main.rs");
+                    files.push((
+                        p,
+                        FileCtx {
+                            rel_path: rel,
+                            sim_state,
+                            library: !in_bin && !is_main,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`. Findings come back sorted
+/// by (path, line, col, rule) so output and the CI artifact are stable.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let cfg = Config::load(root)?;
+    let mut findings = Vec::new();
+    for (path, ctx) in workspace_files(root).map_err(|e| e.to_string())? {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {}", path.display(), e))?;
+        findings.extend(lint_source(&src, &ctx, &cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}

@@ -1,0 +1,66 @@
+//! CLI for simlint: `cargo run -p simlint -- check [--json] [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 findings remain, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simlint check [--json] [--root DIR]\n\n  \
+         --json   machine-readable findings on stdout (one JSON array)\n  \
+         --root   workspace root to lint (default: current directory)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut saw_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "check" => saw_check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage(),
+            },
+            other => {
+                if let Some(dir) = other.strip_prefix("--root=") {
+                    root = PathBuf::from(dir);
+                } else {
+                    eprintln!("simlint: unknown argument `{}`", other);
+                    usage()
+                }
+            }
+        }
+    }
+    if !saw_check {
+        usage()
+    }
+
+    let findings = match simlint::check(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simlint: {}", e);
+            exit(2)
+        }
+    };
+
+    if json {
+        print!("{}", simlint::findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render_with_hint());
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("simlint: clean");
+        exit(0)
+    } else {
+        eprintln!("simlint: {} finding(s)", findings.len());
+        exit(1)
+    }
+}

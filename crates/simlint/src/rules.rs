@@ -1,0 +1,460 @@
+//! The five simlint rules (R1–R5) plus the allow-comment mechanism.
+//!
+//! Every rule works on the token stream from [`crate::lexer`], with a
+//! per-token mask excluding `#[cfg(test)]` / `#[test]` items. See
+//! DESIGN.md "Determinism invariants" for the rationale behind each rule.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{FileCtx, Finding};
+
+/// Crates whose state feeds simulation results. R1/R2/R3/R5 apply only
+/// here; R4 applies to every workspace library crate.
+pub const SIM_STATE_DIRS: &[&str] = &[
+    "cpu-sim",
+    "cache-sim",
+    "dram-sim",
+    "os-sim",
+    "xmem-core",
+    "sim",
+    "workloads",
+];
+
+pub const RULE_NONDET_MAP: &str = "nondet-map";
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_NARROWING_CAST: &str = "narrowing-cast";
+pub const RULE_UNWRAP: &str = "unwrap";
+pub const RULE_FLOAT_CMP: &str = "float-cmp";
+/// Meta-rules: a malformed `// simlint: allow(...)` comment, and an allow
+/// comment that suppresses nothing (so stale annotations cannot linger).
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
+
+pub fn hint_for(rule: &str) -> &'static str {
+    match rule {
+        RULE_NONDET_MAP => {
+            "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet, \
+             or add `// simlint: allow(nondet-map, reason = \"...\")` for lookup-only use"
+        }
+        RULE_WALL_CLOCK => {
+            "wall-clock and ambient randomness break run-to-run reproducibility; derive \
+             time from simulated cycles (harness observability is allowlisted in simlint.toml)"
+        }
+        RULE_NARROWING_CAST => {
+            "narrowing `as` on address/cycle values truncates silently; use the checked \
+             helpers in xmem_core::addr (addr_to_index, cycles_to_u32, ...) or try_into"
+        }
+        RULE_UNWRAP => {
+            "non-test library code must not panic implicitly; return a typed error or add \
+             `// simlint: allow(unwrap, reason = \"...\")`"
+        }
+        RULE_FLOAT_CMP => {
+            "float comparison in timing/scheduling paths is rounding-order fragile; compare \
+             integer counters or add `// simlint: allow(float-cmp, reason = \"...\")`"
+        }
+        RULE_ALLOW_SYNTAX => {
+            "expected `// simlint: allow(<rule>, reason = \"...\")` with a non-empty reason"
+        }
+        RULE_UNUSED_ALLOW => {
+            "this allow comment suppresses no finding on its target line; remove it or fix \
+             the rule name"
+        }
+        _ => "",
+    }
+}
+
+/// Marks every token inside a `#[test]` or `#[cfg(test)]` item (most
+/// commonly the trailing `mod tests { ... }` block). Token-level, so it
+/// only needs to find the item's body braces, not parse the item.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let attr_end = match matching(toks, i + 1, "[", "]") {
+            Some(e) => e,
+            None => break,
+        };
+        if !attr_mentions_test(&toks[i..=attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then mark through the end of the
+        // annotated item: either a `;` (e.g. `use` under cfg(test)) or the
+        // item's matching `{ ... }` body.
+        let mut j = attr_end + 1;
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            match matching(toks, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => return mask,
+            }
+        }
+        let mut depth = 0i32;
+        let mut end = toks.len().saturating_sub(1);
+        while j < toks.len() {
+            let t = &toks[j].text;
+            if toks[j].kind == TokKind::Punct {
+                match t.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        end = j;
+                        break;
+                    }
+                    "{" if depth == 0 => {
+                        end = matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// `test` counts when it appears as `#[test]`, `#[cfg(test)]`, or inside
+/// `any(...)` — but not under `not(test)`.
+fn attr_mentions_test(attr: &[Tok]) -> bool {
+    for (k, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = k >= 2 && attr[k - 1].is_punct("(") && attr[k - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn matching(toks: &[Tok], open: usize, open_txt: &str, close_txt: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_txt {
+                depth += 1;
+            } else if t.text == close_txt {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Allow comments
+// ---------------------------------------------------------------------------
+
+/// A parsed `// simlint: allow(<rule>, reason = "...")` comment, resolved
+/// to the source line it suppresses: its own line for a trailing comment,
+/// or the line of the next code token for a standalone comment.
+pub struct Allow {
+    pub rule: String,
+    pub target_line: u32,
+    /// Where the comment itself sits (for unused-allow diagnostics).
+    pub line: u32,
+    pub col: u32,
+}
+
+pub fn collect_allows(toks: &[Tok], findings: &mut Vec<Finding>, ctx: &FileCtx) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("simlint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Some(rule) => {
+                let trailing =
+                    i > 0 && toks[i - 1].line == t.line && toks[i - 1].kind != TokKind::Comment;
+                let target_line = if trailing {
+                    t.line
+                } else {
+                    toks[i + 1..]
+                        .iter()
+                        .find(|n| n.kind != TokKind::Comment)
+                        .map(|n| n.line)
+                        .unwrap_or(t.line)
+                };
+                allows.push(Allow {
+                    rule,
+                    target_line,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            None => findings.push(Finding {
+                path: ctx.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                rule: RULE_ALLOW_SYNTAX,
+                message: format!("malformed simlint directive: `{}`", body),
+            }),
+        }
+    }
+    allows
+}
+
+/// Parses `allow(<rule>, reason = "...")`, requiring a non-empty reason.
+fn parse_allow(s: &str) -> Option<String> {
+    let inner = s.strip_prefix("allow")?.trim().strip_prefix('(')?;
+    let inner = inner.strip_suffix(')')?;
+    let (rule, rest) = inner.split_once(',')?;
+    let rest = rest
+        .trim()
+        .strip_prefix("reason")?
+        .trim()
+        .strip_prefix('=')?;
+    let reason = rest.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let rule = rule.trim();
+    let known = [
+        RULE_NONDET_MAP,
+        RULE_WALL_CLOCK,
+        RULE_NARROWING_CAST,
+        RULE_UNWRAP,
+        RULE_FLOAT_CMP,
+    ];
+    if reason.trim().is_empty() || !known.contains(&rule) {
+        return None;
+    }
+    Some(rule.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// R1–R5
+// ---------------------------------------------------------------------------
+
+pub fn run_all(toks: &[Tok], mask: &[bool], ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if ctx.sim_state {
+            nondet_map(toks, i, t, ctx, out);
+            wall_clock(t, ctx, out);
+            narrowing_cast(toks, i, t, ctx, out);
+            float_cmp(toks, i, t, ctx, out);
+        }
+        if ctx.library {
+            unwrap_rule(toks, i, t, ctx, out);
+        }
+    }
+}
+
+fn push(out: &mut Vec<Finding>, ctx: &FileCtx, t: &Tok, rule: &'static str, message: String) {
+    out.push(Finding {
+        path: ctx.rel_path.clone(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    });
+}
+
+/// R1: no `HashMap`/`HashSet` in sim-state crates.
+fn nondet_map(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+        return;
+    }
+    // `std::collections::hash_map::Entry`-style paths still start with the
+    // type name, so matching the identifier alone is sufficient; skip only
+    // doc-path uses inside `<...>` turbofish? No — any appearance counts.
+    let _ = (toks, i);
+    push(
+        out,
+        ctx,
+        t,
+        RULE_NONDET_MAP,
+        format!(
+            "`{}` in sim-state crate (iteration order is nondeterministic)",
+            t.text
+        ),
+    );
+}
+
+/// R2: no wall-clock / ambient randomness in sim-state crates.
+fn wall_clock(t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &["SystemTime", "Instant", "RandomState", "thread_rng"];
+    if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+        push(
+            out,
+            ctx,
+            t,
+            RULE_WALL_CLOCK,
+            format!(
+                "`{}` (wall-clock/ambient randomness) in sim-state crate",
+                t.text
+            ),
+        );
+    }
+}
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize"];
+
+/// Identifier vocabulary that marks an expression as address- or
+/// cycle-typed. `contains` matches catch compounds like `as_nanos` /
+/// `vaddr`; exact snake_case components catch short names like `row`.
+const LEXICON_CONTAINS: &[&str] = &["addr", "cycle", "nanos", "vpn", "pfn"];
+const LEXICON_COMPONENT: &[&str] = &[
+    "va", "pa", "gpa", "hpa", "row", "col", "bank", "chan", "channel", "rank", "line", "frame",
+    "page", "pages", "latency", "stamp",
+];
+
+fn lexicon_hit(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    if LEXICON_CONTAINS.iter().any(|w| lower.contains(w)) {
+        return true;
+    }
+    lower
+        .split('_')
+        .any(|part| LEXICON_COMPONENT.contains(&part))
+}
+
+/// R3: `<addr/cycle expression> as <narrower int>`. The cast operand is
+/// recovered by scanning backwards over the tokens `as` binds to (path
+/// segments, field/method chains, balanced parens/brackets); if any
+/// identifier in the operand matches the address/cycle lexicon, the cast
+/// is flagged.
+fn narrowing_cast(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !t.is_ident("as") {
+        return;
+    }
+    let Some(ty) = toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment) else {
+        return;
+    };
+    if ty.kind != TokKind::Ident || !NARROW_TYPES.contains(&ty.text.as_str()) {
+        return;
+    }
+    let mut idents: Vec<&str> = Vec::new();
+    let mut depth = 0i32;
+    for tok in toks[..i].iter().rev() {
+        match tok.kind {
+            TokKind::Comment => continue,
+            TokKind::Punct => match tok.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                "." | "::" | "&" | "?" => {}
+                _ if depth > 0 => {}
+                _ => break,
+            },
+            TokKind::Ident => {
+                if depth == 0 && is_keyword_boundary(&tok.text) {
+                    break;
+                }
+                idents.push(&tok.text);
+            }
+            _ => {}
+        }
+    }
+    if let Some(hit) = idents.iter().find(|id| lexicon_hit(id)) {
+        push(
+            out,
+            ctx,
+            t,
+            RULE_NARROWING_CAST,
+            format!(
+                "narrowing cast `as {}` on address/cycle-typed expression (`{}`)",
+                ty.text, hit
+            ),
+        );
+    }
+}
+
+/// Keywords that terminate a cast operand when scanned backwards
+/// (`return x as u32`, `match addr as usize`, ...).
+fn is_keyword_boundary(ident: &str) -> bool {
+    matches!(
+        ident,
+        "return"
+            | "as"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "while"
+            | "for"
+            | "loop"
+            | "fn"
+            | "const"
+            | "static"
+            | "where"
+            | "unsafe"
+    )
+}
+
+/// R4: `.unwrap()` / `.expect(...)` in non-test library code.
+fn unwrap_rule(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if t.kind != TokKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+        return;
+    }
+    let after_dot = i > 0 && toks[i - 1].is_punct(".");
+    let called = toks
+        .get(i + 1)
+        .map(|n| n.is_punct("(") || n.is_punct("::"))
+        .unwrap_or(false);
+    if after_dot && called {
+        push(
+            out,
+            ctx,
+            t,
+            RULE_UNWRAP,
+            format!("`.{}()` in non-test library code", t.text),
+        );
+    }
+}
+
+const CMP_OPS: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
+
+/// R5: comparison with a float literal operand in sim-state crates.
+fn float_cmp(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if t.kind != TokKind::Punct || !CMP_OPS.contains(&t.text.as_str()) {
+        return;
+    }
+    let is_float = |tok: Option<&Tok>| {
+        matches!(
+            tok,
+            Some(Tok {
+                kind: TokKind::Num { float: true },
+                ..
+            })
+        )
+    };
+    let prev = toks[..i].iter().rev().find(|n| n.kind != TokKind::Comment);
+    let next = toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment);
+    if is_float(prev) || is_float(next) {
+        push(
+            out,
+            ctx,
+            t,
+            RULE_FLOAT_CMP,
+            format!("float comparison `{}` in sim-state crate", t.text),
+        );
+    }
+}

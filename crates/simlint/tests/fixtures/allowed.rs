@@ -1,0 +1,22 @@
+//! Allow-comment mechanics: each annotated site is suppressed, and ONLY
+//! the annotated site — the unannotated duplicates below must still be
+//! flagged.
+use std::collections::HashMap; // simlint: allow(nondet-map, reason = "lookup-only cache, never iterated")
+
+pub struct Suppressed {
+    // simlint: allow(nondet-map, reason = "lookup-only cache, never iterated")
+    pub fine: HashMap<u64, u64>,
+}
+
+pub struct StillFlagged {
+    pub bad: HashMap<u64, u64>,
+}
+
+pub fn annotated(v: &[u32]) -> u32 {
+    // simlint: allow(unwrap, reason = "caller guarantees non-empty input")
+    *v.first().unwrap()
+}
+
+pub fn not_annotated(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,17 @@
+//! A clean file: deterministic containers, checked narrowing, typed
+//! errors, integer comparisons. Zero findings expected.
+use std::collections::BTreeMap;
+
+pub struct State {
+    pub by_addr: BTreeMap<u64, u64>,
+}
+
+pub fn set_index(line_addr: u64, sets: usize) -> Result<usize, &'static str> {
+    usize::try_from(line_addr)
+        .map(|line| line & (sets - 1))
+        .map_err(|_| "address does not fit")
+}
+
+pub fn busy(done: u64, total: u64) -> bool {
+    done < total
+}

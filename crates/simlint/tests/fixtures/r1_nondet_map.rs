@@ -1,0 +1,23 @@
+//! Seeded violation for R1 (`nondet-map`): HashMap/HashSet in sim state.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pub by_addr: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+}
+
+// The string and the comment must NOT be flagged: "HashMap" / HashSet
+pub const DOC: &str = "HashMap";
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: deliberate HashMap use for assertions.
+    use std::collections::HashMap;
+
+    #[test]
+    fn distinct() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded violation for R2 (`wall-clock`): ambient time in sim state.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let start = Instant::now();
+    let _ = SystemTime::now();
+    start.elapsed().as_nanos()
+}

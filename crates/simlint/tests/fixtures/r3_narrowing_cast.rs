@@ -1,0 +1,20 @@
+//! Seeded violation for R3 (`narrowing-cast`): silent truncation of
+//! address/cycle-typed expressions.
+
+pub fn set_index(line_addr: u64, sets: usize) -> usize {
+    (line_addr as usize) & (sets - 1)
+}
+
+pub fn bucket(cycles: u64) -> u32 {
+    cycles as u32
+}
+
+pub fn row_bits(row: u64) -> u16 {
+    (row & 0xffff) as u16
+}
+
+/// Not flagged: the operand has no address/cycle vocabulary, and the
+/// widening direction is always fine.
+pub fn benign(count: u32, line_addr: u32) -> (usize, u64) {
+    (count as usize, line_addr as u64)
+}

@@ -1,0 +1,23 @@
+//! Seeded violation for R4 (`unwrap`): implicit panics in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parsed(s: &str) -> u32 {
+    s.parse().expect("numeric input")
+}
+
+/// Not flagged: `unwrap_or` family is total, not panicking.
+pub fn safe(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded violation for R5 (`float-cmp`): float comparison in a
+//! timing/scheduling decision.
+
+pub fn throttle(util: f64) -> bool {
+    util > 0.95
+}
+
+pub fn is_idle(rate: f64) -> bool {
+    rate == 0.0
+}
+
+/// Not flagged: integer comparison, and a float compared against an
+/// integer-typed expression.
+pub fn fine(cycles: u64, limit: u64) -> bool {
+    cycles < limit
+}

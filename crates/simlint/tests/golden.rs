@@ -1,0 +1,191 @@
+//! Fixture corpus: one minimal bad file per rule plus a clean file, with
+//! golden-output assertions, and self-checks that the allow-comment and
+//! `simlint.toml` allowlist mechanisms suppress exactly the annotated
+//! sites.
+
+use simlint::{lint_source, Config, FileCtx, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Fixtures are linted as if they were sim-state library code.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let ctx = FileCtx {
+        rel_path: name.to_string(),
+        sim_state: true,
+        library: true,
+    };
+    lint_source(&fixture(name), &ctx, &Config::default())
+}
+
+fn rendered(name: &str) -> Vec<String> {
+    lint_fixture(name).iter().map(|f| f.render()).collect()
+}
+
+#[test]
+fn r1_nondet_map_golden() {
+    assert_eq!(
+        rendered("r1_nondet_map.rs"),
+        [
+            "r1_nondet_map.rs:2:24: nondet-map: `HashMap` in sim-state crate (iteration order is nondeterministic)",
+            "r1_nondet_map.rs:2:33: nondet-map: `HashSet` in sim-state crate (iteration order is nondeterministic)",
+            "r1_nondet_map.rs:5:18: nondet-map: `HashMap` in sim-state crate (iteration order is nondeterministic)",
+            "r1_nondet_map.rs:6:15: nondet-map: `HashSet` in sim-state crate (iteration order is nondeterministic)",
+        ]
+    );
+}
+
+#[test]
+fn r2_wall_clock_golden() {
+    assert_eq!(
+        rendered("r2_wall_clock.rs"),
+        [
+            "r2_wall_clock.rs:2:17: wall-clock: `Instant` (wall-clock/ambient randomness) in sim-state crate",
+            "r2_wall_clock.rs:2:26: wall-clock: `SystemTime` (wall-clock/ambient randomness) in sim-state crate",
+            "r2_wall_clock.rs:5:17: wall-clock: `Instant` (wall-clock/ambient randomness) in sim-state crate",
+            "r2_wall_clock.rs:6:13: wall-clock: `SystemTime` (wall-clock/ambient randomness) in sim-state crate",
+        ]
+    );
+}
+
+#[test]
+fn r3_narrowing_cast_golden() {
+    assert_eq!(
+        rendered("r3_narrowing_cast.rs"),
+        [
+            "r3_narrowing_cast.rs:5:16: narrowing-cast: narrowing cast `as usize` on address/cycle-typed expression (`line_addr`)",
+            "r3_narrowing_cast.rs:9:12: narrowing-cast: narrowing cast `as u32` on address/cycle-typed expression (`cycles`)",
+            "r3_narrowing_cast.rs:13:20: narrowing-cast: narrowing cast `as u16` on address/cycle-typed expression (`row`)",
+        ]
+    );
+}
+
+#[test]
+fn r4_unwrap_golden() {
+    assert_eq!(
+        rendered("r4_unwrap.rs"),
+        [
+            "r4_unwrap.rs:4:16: unwrap: `.unwrap()` in non-test library code",
+            "r4_unwrap.rs:8:15: unwrap: `.expect()` in non-test library code",
+        ]
+    );
+}
+
+#[test]
+fn r5_float_cmp_golden() {
+    assert_eq!(
+        rendered("r5_float_cmp.rs"),
+        [
+            "r5_float_cmp.rs:5:10: float-cmp: float comparison `>` in sim-state crate",
+            "r5_float_cmp.rs:9:10: float-cmp: float comparison `==` in sim-state crate",
+        ]
+    );
+}
+
+#[test]
+fn clean_file_has_no_findings() {
+    assert_eq!(rendered("clean.rs"), [] as [String; 0]);
+}
+
+/// The allow-comment self-check: both comment placements (trailing, and
+/// the line directly above) suppress their one site; the unannotated
+/// duplicates of the same violations are still flagged.
+#[test]
+fn allow_comments_suppress_exactly_the_annotated_site() {
+    assert_eq!(
+        rendered("allowed.rs"),
+        [
+            "allowed.rs:12:14: nondet-map: `HashMap` in sim-state crate (iteration order is nondeterministic)",
+            "allowed.rs:21:16: unwrap: `.unwrap()` in non-test library code",
+        ]
+    );
+}
+
+/// An allow comment that matches nothing is itself a finding — stale
+/// annotations cannot linger after the code they excused is fixed.
+#[test]
+fn unused_and_malformed_allows_are_flagged() {
+    let ctx = FileCtx {
+        rel_path: "unused.rs".to_string(),
+        sim_state: true,
+        library: true,
+    };
+    let src = "// simlint: allow(unwrap, reason = \"nothing here unwraps\")\n\
+               pub fn fine() -> u32 { 7 }\n\
+               // simlint: allow(unwrap)\n\
+               pub fn also_fine() -> u32 { 8 }\n";
+    let findings = lint_source(src, &ctx, &Config::default());
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, ["allow-syntax", "unused-allow"], "{findings:?}");
+}
+
+/// The `simlint.toml` allowlist suppresses a rule for exactly the listed
+/// path — the same source under any other path is still flagged.
+#[test]
+fn toml_allowlist_suppresses_exactly_the_listed_path() {
+    let cfg = Config::parse(
+        "[[allow]]\n\
+         rule = \"wall-clock\"\n\
+         path = \"crates/sim/src/harness.rs\"\n\
+         reason = \"observability only\"\n",
+    )
+    .expect("valid config");
+    let src = fixture("r2_wall_clock.rs");
+    let allowed = FileCtx {
+        rel_path: "crates/sim/src/harness.rs".to_string(),
+        sim_state: true,
+        library: true,
+    };
+    let suppressed = lint_source(&src, &allowed, &cfg);
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let other = FileCtx {
+        rel_path: "crates/sim/src/machine.rs".to_string(),
+        ..allowed
+    };
+    assert_eq!(lint_source(&src, &other, &cfg).len(), 4);
+}
+
+/// Every seeded fixture violation is flagged — all five rules fire.
+#[test]
+fn all_five_rules_fire_on_the_corpus() {
+    for (file, rule) in [
+        ("r1_nondet_map.rs", "nondet-map"),
+        ("r2_wall_clock.rs", "wall-clock"),
+        ("r3_narrowing_cast.rs", "narrowing-cast"),
+        ("r4_unwrap.rs", "unwrap"),
+        ("r5_float_cmp.rs", "float-cmp"),
+    ] {
+        let findings = lint_fixture(file);
+        assert!(
+            findings.iter().all(|f| f.rule == rule) && !findings.is_empty(),
+            "{file}: expected only `{rule}` findings, got {findings:?}"
+        );
+    }
+}
+
+/// Non-sim-state crates are exempt from R1/R2/R3/R5 (R4 still applies).
+#[test]
+fn sim_state_rules_do_not_apply_outside_sim_state_crates() {
+    let ctx = FileCtx {
+        rel_path: "crates/bench/src/lib.rs".to_string(),
+        sim_state: false,
+        library: true,
+    };
+    let src = fixture("r2_wall_clock.rs");
+    let findings = lint_source(&src, &ctx, &Config::default());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// The JSON rendering is parseable-shaped and carries every field the CI
+/// artifact consumers need.
+#[test]
+fn json_output_contains_locations_and_hints() {
+    let findings = lint_fixture("r4_unwrap.rs");
+    let json = simlint::findings_to_json(&findings);
+    assert!(json.starts_with("[\n"), "{json}");
+    assert!(json.contains(r#""rule":"unwrap""#), "{json}");
+    assert!(json.contains(r#""line":4"#), "{json}");
+    assert!(json.contains(r#""hint":"non-test library code"#), "{json}");
+}

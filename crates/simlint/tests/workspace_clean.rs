@@ -1,0 +1,24 @@
+//! The green-gate self-check: the real workspace must lint clean. This is
+//! the same check CI runs via `cargo run -p simlint -- check`, exercised
+//! through the library API so `cargo test --workspace` alone catches a
+//! regression.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let findings = simlint::check(&root).expect("lint run succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace has simlint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -16,6 +16,7 @@
 //! behaviour — the quantity Fig 4 plots.
 
 use crate::sink::TraceSink;
+use xmem_core::addr::addr_to_index;
 use xmem_core::attrs::{AccessPattern, AtomAttributes, DataType, Reuse};
 
 /// Element size: all kernels use `f64` data.
@@ -69,7 +70,7 @@ impl KernelParams {
     /// Block height in rows for row-blocked kernels: rows of `row_elems`
     /// elements fitting in the tile, clamped to `[1, n]`.
     fn tile_rows(&self, row_elems: usize) -> usize {
-        let rows = (self.tile_bytes / ELEM / row_elems as u64) as usize;
+        let rows = addr_to_index(self.tile_bytes / ELEM / row_elems as u64);
         rows.clamp(1, self.n)
     }
 }

@@ -138,12 +138,15 @@ impl<'a> Cursor<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> io::Result<u16> {
+        // simlint: allow(unwrap, reason = "take(2) yields exactly 2 bytes; the slice-to-array conversion is infallible")
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
     fn u32(&mut self) -> io::Result<u32> {
+        // simlint: allow(unwrap, reason = "take(4) yields exactly 4 bytes; the slice-to-array conversion is infallible")
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     fn u64(&mut self) -> io::Result<u64> {
+        // simlint: allow(unwrap, reason = "take(8) yields exactly 8 bytes; the slice-to-array conversion is infallible")
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }

@@ -15,7 +15,7 @@
 //! atom"; we reserve the all-ones ID (255 for 8-bit IDs). [`crate::xmemlib`]
 //! therefore allocates at most 255 atoms per process.
 
-use crate::addr::PhysAddr;
+use crate::addr::{addr_to_index, PhysAddr};
 use crate::atom::AtomId;
 use crate::error::{Result, XMemError};
 
@@ -136,7 +136,7 @@ impl AtomAddressMap {
                 phys_bytes: self.config.phys_bytes,
             });
         }
-        Ok((pa.raw() / self.config.granularity) as usize)
+        Ok(addr_to_index(pa.raw() / self.config.granularity))
     }
 
     /// Latest atom associated with `pa`, or `None`.
@@ -144,7 +144,7 @@ impl AtomAddressMap {
     /// Out-of-range addresses return `None` (hints are best-effort).
     #[inline]
     pub fn lookup(&self, pa: PhysAddr) -> Option<AtomId> {
-        let idx = (pa.raw() / self.config.granularity) as usize;
+        let idx = addr_to_index(pa.raw() / self.config.granularity);
         match self.units.get(idx) {
             Some(&raw) if raw != NO_ATOM => Some(AtomId::new(raw)),
             _ => None,

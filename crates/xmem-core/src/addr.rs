@@ -91,6 +91,7 @@ macro_rules! addr_impl {
             #[inline]
             pub fn align_up(self, align: u64) -> Self {
                 assert!(align.is_power_of_two(), "alignment must be a power of two");
+                // simlint: allow(unwrap, reason = "documented `# Panics` contract: overflowing the 64-bit address space is a caller bug")
                 Self(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
             }
 
@@ -247,6 +248,74 @@ impl VaRange {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checked narrowing
+// ---------------------------------------------------------------------------
+
+/// Narrows an address-derived value (set/bank/row index, page count, ...)
+/// to `usize`, asserting in debug builds that nothing is truncated.
+///
+/// Plain `as` casts silently wrap; simlint's `narrowing-cast` rule bans
+/// them on address/cycle expressions and points here. The callers all
+/// mask or divide first, so the bound holds by construction — the
+/// `debug_assert` documents and checks that reasoning instead of
+/// trusting it.
+#[inline]
+#[track_caller]
+pub fn addr_to_index(value: u64) -> usize {
+    debug_assert!(
+        usize::try_from(value).is_ok(),
+        "address-derived value {value:#x} does not fit in usize"
+    );
+    value as usize
+}
+
+/// Narrows an address-derived value to `u32` (e.g. a packed row number).
+#[inline]
+#[track_caller]
+pub fn addr_to_u32(value: u64) -> u32 {
+    debug_assert!(
+        u32::try_from(value).is_ok(),
+        "address-derived value {value:#x} does not fit in u32"
+    );
+    value as u32
+}
+
+/// Narrows an address-derived value to `u16` (e.g. a SHiP signature).
+#[inline]
+#[track_caller]
+pub fn addr_to_u16(value: u64) -> u16 {
+    debug_assert!(
+        u16::try_from(value).is_ok(),
+        "address-derived value {value:#x} does not fit in u16"
+    );
+    value as u16
+}
+
+/// Narrows a cycle count to `u32` (e.g. a latency bucket boundary).
+#[inline]
+#[track_caller]
+pub fn cycles_to_u32(cycles: u64) -> u32 {
+    debug_assert!(
+        u32::try_from(cycles).is_ok(),
+        "cycle count {cycles} does not fit in u32"
+    );
+    // simlint: allow(narrowing-cast, reason = "this helper is the sanctioned endpoint for the cast; bound asserted above")
+    cycles as u32
+}
+
+/// Narrows a `u128` cycle/nanosecond total to `u64`. Saturates rather
+/// than wrapping: a saturated duration is visibly wrong, a wrapped one
+/// is silently plausible.
+#[inline]
+pub fn cycles_to_u64(cycles: u128) -> u64 {
+    debug_assert!(
+        u64::try_from(cycles).is_ok(),
+        "cycle count {cycles} does not fit in u64"
+    );
+    u64::try_from(cycles).unwrap_or(u64::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +371,46 @@ mod tests {
     fn display_is_hex() {
         assert_eq!(VirtAddr::new(0xdead).to_string(), "0xdead");
         assert_eq!(format!("{:x}", PhysAddr::new(0xbeef)), "beef");
+    }
+
+    #[test]
+    fn narrowing_helpers_preserve_in_range_values() {
+        assert_eq!(addr_to_index(0), 0);
+        assert_eq!(addr_to_index(0xffff), 0xffff);
+        assert_eq!(addr_to_u32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(addr_to_u16(0x3fff), 0x3fff);
+        assert_eq!(cycles_to_u32(123_456), 123_456);
+        assert_eq!(cycles_to_u64(987_654_321), 987_654_321);
+        assert_eq!(cycles_to_u64(u128::from(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn cycles_to_u64_saturates() {
+        if cfg!(not(debug_assertions)) {
+            assert_eq!(cycles_to_u64(u128::from(u64::MAX) + 1), u64::MAX);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    mod narrowing_bounds {
+        use super::super::*;
+
+        #[test]
+        #[should_panic(expected = "does not fit in u16")]
+        fn addr_to_u16_overflow_asserts() {
+            let _ = addr_to_u16(0x1_0000);
+        }
+
+        #[test]
+        #[should_panic(expected = "does not fit in u32")]
+        fn cycles_to_u32_overflow_asserts() {
+            let _ = cycles_to_u32(1 << 40);
+        }
+
+        #[test]
+        #[should_panic(expected = "does not fit in u64")]
+        fn cycles_to_u64_overflow_asserts() {
+            let _ = cycles_to_u64(u128::from(u64::MAX) + 1);
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! that measurement.
 
 use crate::aam::AtomAddressMap;
-use crate::addr::PhysAddr;
+use crate::addr::{addr_to_index, PhysAddr};
 use crate::atom::AtomId;
 
 /// Hit/miss statistics for the ALB.
@@ -107,7 +107,7 @@ impl AtomLookasideBuffer {
     pub fn lookup(&mut self, pa: PhysAddr, aam: &AtomAddressMap) -> Option<AtomId> {
         self.clock += 1;
         let page_index = pa.page_index(self.page_size);
-        let unit_in_page = (pa.page_offset(self.page_size) / aam.config().granularity) as usize;
+        let unit_in_page = addr_to_index(pa.page_offset(self.page_size) / aam.config().granularity);
 
         if let Some(entry) = self.entries.iter_mut().find(|e| e.page_index == page_index) {
             entry.last_used = self.clock;
@@ -126,6 +126,7 @@ impl AtomLookasideBuffer {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
+                // simlint: allow(unwrap, reason = "constructor asserts capacity > 0 and entries is full here")
                 .expect("capacity > 0");
             self.entries.swap_remove(victim);
         }

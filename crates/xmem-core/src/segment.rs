@@ -227,14 +227,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16> {
+        // simlint: allow(unwrap, reason = "take(2) yields exactly 2 bytes; the slice-to-array conversion is infallible")
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     fn u32(&mut self) -> Result<u32> {
+        // simlint: allow(unwrap, reason = "take(4) yields exactly 4 bytes; the slice-to-array conversion is infallible")
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn i64(&mut self) -> Result<i64> {
+        // simlint: allow(unwrap, reason = "take(8) yields exactly 8 bytes; the slice-to-array conversion is infallible")
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }

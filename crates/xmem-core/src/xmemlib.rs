@@ -25,10 +25,10 @@ use crate::attrs::AtomAttributes;
 use crate::error::{Result, XMemError};
 use crate::isa::{InstCounter, XmemInst};
 use crate::segment::AtomSegment;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A static program location, used to deduplicate `CreateAtom` calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CallSite {
     /// Source file of the call.
     pub file: &'static str,
@@ -86,7 +86,7 @@ macro_rules! call_site {
 #[derive(Debug, Default)]
 pub struct XMemLib {
     atoms: Vec<StaticAtom>,
-    sites: HashMap<CallSite, AtomId>,
+    sites: BTreeMap<CallSite, AtomId>,
     counter: InstCounter,
 }
 
