@@ -10,6 +10,7 @@
 //!   mechanism) vs uncached AAM walks.
 
 use cache_sim::{Cache, CacheConfig, InsertPriority, ReplacementPolicy};
+use cpu_sim::batch::OpAttrs;
 use dram_sim::frfcfs::{schedule, Discipline, Request};
 use dram_sim::{AddressMapping, Dram, DramConfig};
 use xmem_bench::microbench::Timer;
@@ -105,7 +106,7 @@ fn bench_mappings() {
             let mut dram = Dram::new(cfg, mapping);
             let mut time = 0u64;
             for line in 0..2048u64 {
-                time += dram.access(line * 64, false, time);
+                time += dram.serve(line * 64, OpAttrs::read(), time);
             }
             time
         });

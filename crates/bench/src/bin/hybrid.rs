@@ -10,6 +10,7 @@
 //! cargo run --release -p xmem-bench --bin hybrid
 //! ```
 
+use cpu_sim::batch::OpAttrs;
 use os_sim::hybrid::{HybridConfig, HybridMemory, HybridPolicy};
 use xmem_bench::print_table;
 use xmem_core::atom::AtomId;
@@ -127,8 +128,13 @@ fn main() {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let is_write = (state >> 33) % 100 < specs[idx].2 as u64;
             let atom = AtomId::new(idx as u8);
-            naive.access(atom, is_write);
-            xmem.access(atom, is_write);
+            let at = if is_write {
+                OpAttrs::write()
+            } else {
+                OpAttrs::read()
+            };
+            naive.serve(atom, at);
+            xmem.serve(atom, at);
         }
 
         rows.push(vec![

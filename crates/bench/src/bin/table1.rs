@@ -9,6 +9,7 @@
 
 use cache_sim::dram_cache::{DramCache, DramCacheConfig};
 use compress_sim::approx::{level_for, max_relative_error, store, TruncationLevel};
+use cpu_sim::batch::OpAttrs;
 use os_sim::numa::{NumaConfig, NumaSystem};
 use xmem_bench::print_table;
 use xmem_core::atom::AtomId;
@@ -26,9 +27,9 @@ fn dram_cache_demo() {
         let (mut hot_lat, mut hot_n) = (0u64, 0u64);
         for i in 0..400_000u64 {
             if i % 8 != 7 {
-                dc.access(0x1000_0000 + (i * 64) % huge, with_hint.then_some(huge));
+                dc.serve(0x1000_0000 + (i * 64) % huge, with_hint.then_some(huge));
             } else {
-                hot_lat += dc.access(((i * 2654435761) % hot) & !63, with_hint.then_some(hot));
+                hot_lat += dc.serve(((i * 2654435761) % hot) & !63, with_hint.then_some(hot));
                 hot_n += 1;
             }
         }
@@ -76,14 +77,11 @@ fn numa_demo() {
         xm.place_with_semantics(AtomId::new(w), &attrs_priv, Some(w as usize));
     }
     for i in 0..100_000u64 {
-        let w = (i % 4) as usize;
-        let atom = if i % 3 == 0 {
-            table
-        } else {
-            AtomId::new(w as u8)
-        };
-        ft.access(atom, w, i);
-        xm.access(atom, w, i);
+        let w = (i % 4) as u8;
+        let atom = if i % 3 == 0 { table } else { AtomId::new(w) };
+        let at = OpAttrs::read().on_socket(w).with_salt(i);
+        ft.serve(atom, at);
+        xm.serve(atom, at);
     }
     print_table(
         &["system".into(), "avg latency".into(), "remote".into()],

@@ -408,11 +408,34 @@ pub mod microbench {
     /// Number of batch samples the median is taken over.
     const SAMPLES: usize = 7;
 
+    /// One finished measurement: the median time per iteration and how many
+    /// simulated operations each iteration performed (for ops/sec).
+    #[derive(Debug, Clone)]
+    pub struct BenchRow {
+        /// Case name (stable across runs; the perf trajectory keys on it).
+        pub name: String,
+        /// Median wall-clock nanoseconds per iteration.
+        pub median_ns: f64,
+        /// Simulated operations per iteration (1 when unspecified).
+        pub ops_per_iter: u64,
+    }
+
+    impl BenchRow {
+        /// Operations per wall-clock second.
+        pub fn ops_per_sec(&self) -> f64 {
+            if self.median_ns <= 0.0 {
+                0.0
+            } else {
+                self.ops_per_iter as f64 * 1e9 / self.median_ns
+            }
+        }
+    }
+
     /// Collects timed cases and prints one table at the end.
     #[derive(Debug, Default)]
     pub struct Timer {
         group: String,
-        rows: Vec<(String, f64)>,
+        rows: Vec<BenchRow>,
     }
 
     impl Timer {
@@ -425,7 +448,14 @@ pub mod microbench {
         }
 
         /// Times `f`, recording median ns/iteration under `name`.
-        pub fn case<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        pub fn case<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+            self.case_ops(name, 1, f);
+        }
+
+        /// Times `f`, recording median ns/iteration under `name`; each
+        /// iteration is credited with `ops` simulated operations, so the
+        /// row also reports a throughput (ops/sec) figure.
+        pub fn case_ops<T>(&mut self, name: &str, ops: u64, mut f: impl FnMut() -> T) {
             // Warm-up and batch-size calibration: grow until one batch
             // takes a measurable slice of the target.
             let mut batch = 1u64;
@@ -450,19 +480,52 @@ pub mod microbench {
                 })
                 .collect();
             samples.sort_by(|a, b| a.total_cmp(b));
-            self.rows.push((name.to_string(), samples[SAMPLES / 2]));
+            self.rows.push(BenchRow {
+                name: name.to_string(),
+                median_ns: samples[SAMPLES / 2],
+                ops_per_iter: ops,
+            });
+        }
+
+        /// The measurements recorded so far.
+        pub fn rows(&self) -> &[BenchRow] {
+            &self.rows
         }
 
         /// Prints the result table for this group.
-        pub fn finish(self) {
+        pub fn finish(self) -> Vec<BenchRow> {
             println!("\n## {}", self.group);
-            let headers = vec!["case".to_string(), "median".to_string()];
+            let headers = ["case", "median", "ops/sec"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>();
             let rows: Vec<Vec<String>> = self
                 .rows
                 .iter()
-                .map(|(name, ns)| vec![name.clone(), fmt_nanos(*ns)])
+                .map(|r| {
+                    let rate = if r.ops_per_iter > 1 {
+                        fmt_rate(r.ops_per_sec())
+                    } else {
+                        "-".to_string()
+                    };
+                    vec![r.name.clone(), fmt_nanos(r.median_ns), rate]
+                })
                 .collect();
             super::print_table(&headers, &rows);
+            self.rows
+        }
+    }
+
+    /// Formats an ops/sec figure with an adaptive unit (K/M/G ops/s).
+    pub fn fmt_rate(ops_per_sec: f64) -> String {
+        if ops_per_sec >= 1e9 {
+            format!("{:.2} Gop/s", ops_per_sec / 1e9)
+        } else if ops_per_sec >= 1e6 {
+            format!("{:.2} Mop/s", ops_per_sec / 1e6)
+        } else if ops_per_sec >= 1e3 {
+            format!("{:.2} Kop/s", ops_per_sec / 1e3)
+        } else {
+            format!("{ops_per_sec:.1} op/s")
         }
     }
 

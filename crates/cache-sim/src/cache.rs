@@ -100,25 +100,31 @@ const PSEL_MAX: i32 = 1023;
 /// Leader-set spacing for set dueling (1 SRRIP + 1 BRRIP leader per 64 sets).
 const DUEL_PERIOD: usize = 64;
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    pinned: bool,
-    rrpv: u8,
-    lru: u64,
-    /// SHiP: signature of the region that inserted this line.
-    sig: u16,
-    /// SHiP: whether the line was re-referenced since insertion.
-    outcome: bool,
-}
+/// Tag value stored for invalid lines. Real tags are line addresses shifted
+/// right by the set bits, so they cannot reach this value for any physical
+/// address a simulated machine produces; storing a sentinel keeps the hot
+/// `find_way` scan on the tag lane alone (no metadata load per way).
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Per-line metadata bits, packed into one byte so a set's metadata scan
+/// touches a single contiguous lane.
+const META_VALID: u8 = 1 << 0;
+const META_DIRTY: u8 = 1 << 1;
+const META_PINNED: u8 = 1 << 2;
+/// SHiP: whether the line was re-referenced since insertion.
+const META_OUTCOME: u8 = 1 << 3;
 
 /// The cache model.
 ///
 /// Addresses passed in are byte addresses; the cache internally works on
 /// line addresses. `probe` looks up (and updates replacement state on hit);
 /// `fill` installs a line after a miss and reports any eviction.
+///
+/// Line state is stored struct-of-arrays: one lane per field (`tags`,
+/// `lru`, `rrpv`, `sigs`, packed `meta` bits), all indexed by
+/// `set * ways + way`. The hot probe loop scans the tag lane and one
+/// metadata byte per way — a handful of contiguous cache lines per set —
+/// instead of striding over a wide per-line struct.
 ///
 /// # Examples
 ///
@@ -135,8 +141,22 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: usize,
-    lines: Vec<Line>,
+    /// `log2(line_bytes)`: the probe path indexes with shifts, not division.
+    line_shift: u32,
+    /// `log2(sets)`, the tag shift.
+    set_shift: u32,
+    /// `sets - 1`, the set-index mask.
+    set_mask: u64,
+    /// Line tags, indexed by `set * ways + way`.
+    tags: Vec<u64>,
+    /// LRU stamps (same indexing).
+    lru: Vec<u64>,
+    /// RRIP re-reference prediction values.
+    rrpv: Vec<u8>,
+    /// SHiP signatures of the inserting region.
+    sigs: Vec<u16>,
+    /// Packed valid/dirty/pinned/outcome bits ([`META_VALID`] etc.).
+    meta: Vec<u8>,
     clock: u64,
     /// DRRIP policy-select counter (positive favors BRRIP).
     psel: i32,
@@ -153,9 +173,24 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let lines = sets * config.ways;
+        // The set-index mask below already requires a power-of-two set
+        // count; requiring the same of the line size lets the hot probe
+        // path use shifts instead of 64-bit division.
+        assert!(
+            config.line_bytes.is_power_of_two() && sets.is_power_of_two(),
+            "cache geometry must be a power of two (line_bytes={}, sets={sets})",
+            config.line_bytes
+        );
         Cache {
-            lines: vec![Line::default(); sets * config.ways],
-            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tags: vec![TAG_INVALID; lines],
+            lru: vec![0; lines],
+            rrpv: vec![0; lines],
+            sigs: vec![0; lines],
+            meta: vec![0; lines],
             clock: 0,
             psel: 0,
             brrip_ctr: 0,
@@ -198,69 +233,110 @@ impl Cache {
 
     #[inline]
     fn line_index(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes;
-        let set = addr_to_index(line) & (self.sets - 1);
-        let tag = line >> self.sets.trailing_zeros();
+        let line = addr >> self.line_shift;
+        let set = addr_to_index(line & self.set_mask);
+        let tag = line >> self.set_shift;
+        debug_assert_ne!(tag, TAG_INVALID, "address overflows the tag space");
         (set, tag)
     }
 
+    /// Index of the way holding `tag` in `set`. Invalid ways hold
+    /// [`TAG_INVALID`] (which no real address produces), so the scan
+    /// touches only the tag lane; it visits every way without an early
+    /// exit — a tag is resident in at most one way, and the branch-free
+    /// full scan vectorizes where an early-out compare chain mispredicts
+    /// on the (data-dependent) hit position.
     #[inline]
-    fn set_slice_mut(&mut self, set: usize) -> &mut [Line] {
-        let ways = self.config.ways;
-        &mut self.lines[set * ways..(set + 1) * ways]
+    fn find_way(&self, base: usize, ways: usize, tag: u64) -> Option<usize> {
+        let tags = &self.tags[base..base + ways];
+        let mut found = usize::MAX;
+        for (w, &t) in tags.iter().enumerate() {
+            if t == tag {
+                found = w;
+            }
+        }
+        (found != usize::MAX).then(|| base + found)
+    }
+
+    /// First (lowest-way) index minimizing the LRU stamp over `base..base+ways`,
+    /// restricted to lines whose meta bits match `mask`/`want`. Mirrors the
+    /// old `iter().filter(..).min_by_key(lru)` scan: ties keep the earliest
+    /// way, preserving the deterministic victim choice.
+    #[inline]
+    fn min_lru_where(&self, base: usize, ways: usize, mask: u8, want: u8) -> Option<usize> {
+        let metas = &self.meta[base..base + ways];
+        let lrus = &self.lru[base..base + ways];
+        let mut best: Option<usize> = None;
+        for w in 0..ways {
+            if metas[w] & mask == want && best.is_none_or(|b: usize| lrus[w] < lrus[b]) {
+                best = Some(w);
+            }
+        }
+        best.map(|w| base + w)
     }
 
     /// Looks up `addr`; on a hit, promotes the line and (for writes) marks
     /// it dirty. Returns whether it hit.
+    ///
+    /// The lookup itself stays small enough to inline into the hierarchy's
+    /// demand path; hit bookkeeping and the miss-side DRRIP vote live in
+    /// their own helpers.
+    #[inline]
     pub fn probe(&mut self, addr: u64, is_write: bool) -> bool {
         self.clock += 1;
-        let clock = self.clock;
         let (set, tag) = self.line_index(addr);
-        let dueling = self.config.policy == ReplacementPolicy::Drrip;
-        let mut hit = false;
-        let is_ship = self.config.policy == ReplacementPolicy::Ship;
-        let mut hit_sig = None;
-        for line in self.set_slice_mut(set) {
-            if line.valid && line.tag == tag {
-                line.lru = clock;
-                line.rrpv = 0;
-                if is_write {
-                    line.dirty = true;
-                }
-                if is_ship && !line.outcome {
-                    line.outcome = true;
-                    hit_sig = Some(line.sig);
-                }
-                hit = true;
-                break;
+        let ways = self.config.ways;
+        self.stats.accesses += 1;
+        match self.find_way(set * ways, ways, tag) {
+            Some(i) => {
+                self.probe_hit(i, is_write);
+                true
+            }
+            None => {
+                self.probe_miss(set);
+                false
             }
         }
-        if let Some(sig) = hit_sig {
-            let c = &mut self.shct[sig as usize];
+    }
+
+    /// Hit-side bookkeeping: promote, mark dirty, SHiP outcome feedback.
+    #[inline]
+    fn probe_hit(&mut self, i: usize, is_write: bool) {
+        self.lru[i] = self.clock;
+        // The RRPV lane is only consulted by RRIP-family victim searches;
+        // under plain LRU the promote write would dirty a lane nothing
+        // reads.
+        if self.config.policy != ReplacementPolicy::Lru {
+            self.rrpv[i] = 0;
+        }
+        if is_write {
+            self.meta[i] |= META_DIRTY;
+        }
+        if self.config.policy == ReplacementPolicy::Ship && self.meta[i] & META_OUTCOME == 0 {
+            self.meta[i] |= META_OUTCOME;
+            let c = &mut self.shct[self.sigs[i] as usize];
             *c = (*c + 1).min(SHCT_MAX);
         }
-        self.stats.accesses += 1;
-        if hit {
-            self.stats.hits += 1;
-        } else if dueling {
-            // Misses in leader sets steer PSEL (SRRIP leader miss → favor
-            // BRRIP and vice versa).
+        self.stats.hits += 1;
+    }
+
+    /// Miss-side bookkeeping: misses in DRRIP leader sets steer PSEL
+    /// (SRRIP leader miss → favor BRRIP and vice versa).
+    fn probe_miss(&mut self, set: usize) {
+        if self.config.policy == ReplacementPolicy::Drrip {
             match set % DUEL_PERIOD {
                 0 => self.psel = (self.psel + 1).min(PSEL_MAX),
                 1 => self.psel = (self.psel - 1).max(-PSEL_MAX),
                 _ => {}
             }
         }
-        hit
     }
 
     /// Returns whether `addr` is resident, without updating any state.
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.line_index(addr);
         let ways = self.config.ways;
-        self.lines[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.find_way(set * ways, ways, tag).is_some()
     }
 
     /// Installs `addr` after a miss, returning the eviction (if a valid
@@ -272,12 +348,16 @@ impl Cache {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.line_index(addr);
-        let line_bytes = self.config.line_bytes;
-        let sets_shift = self.sets.trailing_zeros();
+        let line_shift = self.line_shift;
+        let sets_shift = self.set_shift;
         let set_mask_base = set as u64;
 
-        let sig = Self::signature(addr);
-        let ship_dead = self.shct[sig as usize] == 0;
+        // SHiP signature work only matters under the SHiP policy; the sigs
+        // lane is read exclusively from SHiP-gated paths, so a zero
+        // signature under other policies is unobservable.
+        let ship = self.config.policy == ReplacementPolicy::Ship;
+        let sig = if ship { Self::signature(addr) } else { 0 };
+        let ship_dead = ship && self.shct[sig as usize] == 0;
         // Resolve the effective policy for this set (DRRIP dueling).
         let policy = match self.config.policy {
             ReplacementPolicy::Drrip => match set % DUEL_PERIOD {
@@ -293,48 +373,64 @@ impl Cache {
             },
             p => p,
         };
-        let brrip_long = {
+        // The BRRIP throttle counter advances once per fill whenever BRRIP
+        // can be in play (directly or as a DRRIP arm); under other policies
+        // it is never read, so skipping the update is unobservable.
+        let brrip_long = if matches!(
+            self.config.policy,
+            ReplacementPolicy::Brrip | ReplacementPolicy::Drrip
+        ) {
             self.brrip_ctr = self.brrip_ctr.wrapping_add(1);
             self.brrip_ctr.is_multiple_of(BRRIP_LONG_EVERY)
+        } else {
+            false
         };
         let pin_cap = self.pin_cap_ways;
+        let ways = self.config.ways;
+        let base = set * ways;
 
-        let lines = self.set_slice_mut(set);
-        let pinned_count = lines.iter().filter(|l| l.valid && l.pinned).count();
+        // The per-set pin census is only needed to apply the pin cap to an
+        // incoming pinned fill.
         let effective_priority = match priority {
-            InsertPriority::Pinned if pinned_count >= pin_cap => InsertPriority::Normal,
+            InsertPriority::Pinned => {
+                let pinned_count = self.meta[base..base + ways]
+                    .iter()
+                    .filter(|&&m| m & (META_VALID | META_PINNED) == META_VALID | META_PINNED)
+                    .count();
+                if pinned_count >= pin_cap {
+                    InsertPriority::Normal
+                } else {
+                    InsertPriority::Pinned
+                }
+            }
             p => p,
         };
 
         // If the line is somehow already present (e.g. racing prefetch),
         // just refresh it.
-        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = clock;
+        if let Some(i) = self.find_way(base, ways, tag) {
+            self.lru[i] = clock;
             if dirty {
-                line.dirty = true;
+                self.meta[i] |= META_DIRTY;
             }
             return None;
         }
 
-        // Victim selection.
-        let victim = if let Some(i) = lines.iter().position(|l| !l.valid) {
-            i
+        // Victim selection: an invalid way wins outright (invalid ways hold
+        // [`TAG_INVALID`] exactly when their `META_VALID` bit is clear).
+        let victim = if let Some(w) = self.tags[base..base + ways]
+            .iter()
+            .position(|&t| t == TAG_INVALID)
+        {
+            base + w
         } else {
             match policy {
-                ReplacementPolicy::Lru => lines
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, l)| !l.pinned)
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
+                ReplacementPolicy::Lru => self
+                    .min_lru_where(base, ways, META_PINNED, 0)
                     .unwrap_or_else(|| {
                         // Every way pinned (pin cap == ways): fall back to LRU
                         // over all lines.
-                        lines
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| l.lru)
-                            .map(|(i, _)| i)
+                        self.min_lru_where(base, ways, 0, 0)
                             // simlint: allow(unwrap, reason = "a cache set always has at least one way")
                             .expect("non-empty set")
                     }),
@@ -342,24 +438,22 @@ impl Cache {
                     // RRIP victim search: find RRPV == MAX among unpinned,
                     // aging as needed.
                     loop {
-                        if let Some(i) = lines.iter().position(|l| !l.pinned && l.rrpv >= RRPV_MAX)
+                        if let Some(i) = (base..base + ways)
+                            .find(|&i| self.meta[i] & META_PINNED == 0 && self.rrpv[i] >= RRPV_MAX)
                         {
                             break i;
                         }
                         let mut any_unpinned = false;
-                        for l in lines.iter_mut() {
-                            if !l.pinned {
+                        for i in base..base + ways {
+                            if self.meta[i] & META_PINNED == 0 {
                                 any_unpinned = true;
-                                l.rrpv = (l.rrpv + 1).min(RRPV_MAX);
+                                self.rrpv[i] = (self.rrpv[i] + 1).min(RRPV_MAX);
                             }
                         }
                         if !any_unpinned {
                             // Fully pinned set: evict the LRU pinned line.
-                            break lines
-                                .iter()
-                                .enumerate()
-                                .min_by_key(|(_, l)| l.lru)
-                                .map(|(i, _)| i)
+                            break self
+                                .min_lru_where(base, ways, 0, 0)
                                 // simlint: allow(unwrap, reason = "a cache set always has at least one way")
                                 .expect("non-empty set");
                         }
@@ -368,7 +462,9 @@ impl Cache {
             }
         };
 
-        let evicted = lines[victim];
+        let ev_meta = self.meta[victim];
+        let ev_tag = self.tags[victim];
+        let ev_sig = self.sigs[victim];
 
         let rrpv = match effective_priority {
             InsertPriority::Pinned => 0,
@@ -399,32 +495,33 @@ impl Cache {
             InsertPriority::Low => clock.saturating_sub(1 << 20),
             _ => clock,
         };
-        lines[victim] = Line {
-            tag,
-            valid: true,
-            dirty,
-            pinned: effective_priority == InsertPriority::Pinned,
-            rrpv,
-            lru,
-            sig,
-            outcome: false,
-        };
+        self.tags[victim] = tag;
+        self.lru[victim] = lru;
+        self.rrpv[victim] = rrpv;
+        self.sigs[victim] = sig;
+        self.meta[victim] = META_VALID
+            | if dirty { META_DIRTY } else { 0 }
+            | if effective_priority == InsertPriority::Pinned {
+                META_PINNED
+            } else {
+                0
+            };
         self.stats.fills += 1;
-        if evicted.valid {
+        if ev_meta & META_VALID != 0 {
             // SHiP feedback: a line evicted without re-reference votes its
             // signature down.
-            if self.config.policy == ReplacementPolicy::Ship && !evicted.outcome {
-                let c = &mut self.shct[evicted.sig as usize];
+            if self.config.policy == ReplacementPolicy::Ship && ev_meta & META_OUTCOME == 0 {
+                let c = &mut self.shct[ev_sig as usize];
                 *c = c.saturating_sub(1);
             }
             self.stats.evictions += 1;
-            if evicted.dirty {
+            if ev_meta & META_DIRTY != 0 {
                 self.stats.writebacks += 1;
             }
-            let line_no = (evicted.tag << sets_shift) | set_mask_base;
+            let line_no = (ev_tag << sets_shift) | set_mask_base;
             Some(Eviction {
-                addr: line_no * line_bytes,
-                dirty: evicted.dirty,
+                addr: line_no << line_shift,
+                dirty: ev_meta & META_DIRTY != 0,
             })
         } else {
             None
@@ -435,43 +532,47 @@ impl Cache {
     /// active-atom list changes, §5.2(3): "only then does the cache age the
     /// high-priority lines so they can be evicted by the default policy").
     pub fn age_pinned(&mut self) {
-        for line in &mut self.lines {
-            if line.pinned {
-                line.pinned = false;
-                line.rrpv = RRPV_MAX;
-                line.lru = line.lru.saturating_sub(1 << 20);
+        for i in 0..self.meta.len() {
+            if self.meta[i] & META_PINNED != 0 {
+                self.meta[i] &= !META_PINNED;
+                self.rrpv[i] = RRPV_MAX;
+                self.lru[i] = self.lru[i].saturating_sub(1 << 20);
             }
         }
     }
 
     /// Number of currently pinned, valid lines.
     pub fn pinned_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid && l.pinned).count()
+        self.meta
+            .iter()
+            .filter(|&&m| m & (META_VALID | META_PINNED) == META_VALID | META_PINNED)
+            .count()
     }
 
     /// Number of valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 
     /// Marks `addr` dirty if resident (no stats impact); returns whether the
     /// line was found. Used to sink writebacks arriving from inner levels.
     pub fn set_dirty(&mut self, addr: u64) -> bool {
         let (set, tag) = self.line_index(addr);
-        for line in self.set_slice_mut(set) {
-            if line.valid && line.tag == tag {
-                line.dirty = true;
-                return true;
-            }
+        let ways = self.config.ways;
+        if let Some(i) = self.find_way(set * ways, ways, tag) {
+            self.meta[i] |= META_DIRTY;
+            return true;
         }
         false
     }
 
     /// Invalidates the whole cache (contents only; stats are kept).
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            *line = Line::default();
-        }
+        self.tags.fill(TAG_INVALID);
+        self.lru.fill(0);
+        self.rrpv.fill(0);
+        self.sigs.fill(0);
+        self.meta.fill(0);
     }
 }
 

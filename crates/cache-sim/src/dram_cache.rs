@@ -91,7 +91,7 @@ impl DramCache {
     /// semantics-blind baseline.
     ///
     /// [`AtomManagementUnit::mapped_bytes`]: xmem_core::amu::AtomManagementUnit::mapped_bytes
-    pub fn access(&mut self, addr: u64, working_set: Option<u64>) -> u64 {
+    pub fn serve(&mut self, addr: u64, working_set: Option<u64>) -> u64 {
         self.stats.accesses += 1;
         let bypass = match working_set {
             Some(ws) => {
@@ -149,11 +149,11 @@ mod tests {
                 // the stream walks its huge buffer (7 of 8 accesses)
                 let addr = (i * 64) % huge_ws;
                 let hint = with_hint.then_some(huge_ws);
-                dc.access(0x1000_0000 + addr, hint);
+                dc.serve(0x1000_0000 + addr, hint);
             } else {
                 let addr = ((i * 2654435761) % hot_ws) & !63;
                 let hint = with_hint.then_some(hot_ws);
-                hot_latency += dc.access(addr, hint);
+                hot_latency += dc.serve(addr, hint);
                 hot_accesses += 1;
             }
         }
@@ -179,8 +179,8 @@ mod tests {
     #[test]
     fn small_working_sets_never_bypass() {
         let mut dc = DramCache::new(DramCacheConfig::default());
-        let first = dc.access(0, Some(64 << 10));
-        let second = dc.access(0, Some(64 << 10));
+        let first = dc.serve(0, Some(64 << 10));
+        let second = dc.serve(0, Some(64 << 10));
         assert_eq!(first, dc.config.miss_latency);
         assert_eq!(second, dc.config.hit_latency);
         assert_eq!(dc.stats().bypassed, 0);
@@ -190,7 +190,7 @@ mod tests {
     fn baseline_ignores_hints_entirely() {
         let mut dc = DramCache::new(DramCacheConfig::default());
         for i in 0..1000u64 {
-            dc.access(i * 64, None);
+            dc.serve(i * 64, None);
         }
         assert_eq!(dc.stats().bypassed, 0);
         assert_eq!(dc.stats().accesses, 1000);

@@ -18,6 +18,7 @@ use crate::cache::{Cache, CacheStats, Eviction, InsertPriority};
 use crate::config::CacheConfig;
 use crate::pin::{select_pinned, PinCandidate};
 use crate::prefetch::{MultiStridePrefetcher, PrefetchStats};
+use cpu_sim::batch::OpAttrs;
 use dram_sim::{Dram, DramStats};
 use std::collections::BTreeSet;
 use xmem_core::addr::PhysAddr;
@@ -113,6 +114,13 @@ pub struct XmemContext<'a> {
 #[derive(Debug)]
 pub struct Hierarchy {
     config: HierarchyConfig,
+    /// `!(l1.line_bytes - 1)`, precomputed for the per-access line align.
+    line_mask: u64,
+    /// Cumulative latencies to each level (L1; L1+L2; L1+L2+L3), hoisted
+    /// out of the per-access path.
+    l1_lat: u64,
+    l2_lat: u64,
+    l3_lat: u64,
     l1: Cache,
     l2: Cache,
     l3: Cache,
@@ -147,6 +155,10 @@ impl Hierarchy {
             None
         };
         Hierarchy {
+            line_mask: !(config.l1.line_bytes - 1),
+            l1_lat: config.l1.latency,
+            l2_lat: config.l1.latency + config.l2.latency,
+            l3_lat: config.l1.latency + config.l2.latency + config.l3.latency,
             l1: Cache::new(config.l1),
             l2: Cache::new(config.l2),
             l3: Cache::new(config.l3),
@@ -217,7 +229,7 @@ impl Hierarchy {
 
     /// Total latency from the core to the DRAM controller.
     fn lat_to_mem(&self) -> u64 {
-        self.config.l1.latency + self.config.l2.latency + self.config.l3.latency
+        self.l3_lat
     }
 
     /// Re-evaluates the pinned-atom set when the AMU epoch has changed
@@ -304,7 +316,7 @@ impl Hierarchy {
             if self.l3.contains(target) {
                 continue;
             }
-            let _ = self.dram.access_prefetch(target, t_mem);
+            let _ = self.dram.serve_prefetch(target, t_mem);
             if let Some(ev) = self.l3.fill(target, false, priority) {
                 self.writeback_to_dram(ev, t_mem);
             }
@@ -322,7 +334,7 @@ impl Hierarchy {
 
     fn writeback_to_dram(&mut self, ev: Eviction, now: u64) {
         if ev.dirty {
-            let _ = self.dram.access(ev.addr, true, now);
+            let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
         }
     }
 
@@ -335,16 +347,16 @@ impl Hierarchy {
         match level {
             1 => {
                 if !self.l2.set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
-                    let _ = self.dram.access(ev.addr, true, now);
+                    let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
                 }
             }
             2 => {
                 if !self.l3.set_dirty(ev.addr) {
-                    let _ = self.dram.access(ev.addr, true, now);
+                    let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
                 }
             }
             _ => {
-                let _ = self.dram.access(ev.addr, true, now);
+                let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
             }
         }
     }
@@ -353,20 +365,36 @@ impl Hierarchy {
     ///
     /// `xmem` supplies the AMU + PATs when the system runs with XMem
     /// enabled; `None` reproduces the baseline exactly (no lookups at all).
-    pub fn access(
+    ///
+    /// Named `serve` to match the batched memory-path vocabulary
+    /// ([`cpu_sim::batch::MemoryPath`]); the extra [`XmemContext`]
+    /// parameter keeps this the one signature the whole hierarchy exposes.
+    #[inline]
+    pub fn serve(
+        &mut self,
+        pa: u64,
+        is_write: bool,
+        now: u64,
+        xmem: Option<XmemContext<'_>>,
+    ) -> u64 {
+        // The dominant outcome by far — keep it inlinable at call sites and
+        // push everything below L1 out of line.
+        if self.l1.probe(pa, is_write) {
+            return self.l1_lat;
+        }
+        self.serve_l1_miss(pa, is_write, now, xmem)
+    }
+
+    /// The below-L1 continuation of [`Hierarchy::serve`].
+    fn serve_l1_miss(
         &mut self,
         pa: u64,
         is_write: bool,
         now: u64,
         mut xmem: Option<XmemContext<'_>>,
     ) -> u64 {
-        let line_mask = !(self.config.l1.line_bytes - 1);
-        let line_addr = pa & line_mask;
-        let l1_lat = self.config.l1.latency;
-        if self.l1.probe(pa, is_write) {
-            return l1_lat;
-        }
-        let l2_lat = l1_lat + self.config.l2.latency;
+        let line_addr = pa & self.line_mask;
+        let l2_lat = self.l2_lat;
         if self.l2.probe(pa, false) {
             if let Some(ev) = self.l1.fill(line_addr, is_write, InsertPriority::Normal) {
                 self.writeback_inner(ev, 1, now);
@@ -387,7 +415,7 @@ impl Hierarchy {
             }
             _ => None,
         };
-        let l3_lat = l2_lat + self.config.l3.latency;
+        let l3_lat = self.l3_lat;
         let l3_hit = self.l3.probe(pa, false);
 
         // Baseline stride prefetcher trains on every L3 access.
@@ -422,7 +450,7 @@ impl Hierarchy {
 
         // L3 miss: demand fetch from DRAM.
         let t_mem = now + self.lat_to_mem();
-        let dram_lat = self.dram.access(line_addr, false, t_mem);
+        let dram_lat = self.dram.serve(line_addr, OpAttrs::read(), t_mem);
 
         // Fill the hierarchy.
         let l3_priority = match (self.config.xmem, atom) {
@@ -485,7 +513,7 @@ impl Hierarchy {
             if self.l3.contains(target) {
                 continue;
             }
-            let _ = self.dram.access_prefetch(target, t_mem);
+            let _ = self.dram.serve_prefetch(target, t_mem);
             // Prefetches insert with the default policy priority: distant
             // insertion would make far-ahead prefetches immediate victims.
             if let Some(ev) = self.l3.fill(target, false, InsertPriority::Normal) {
@@ -539,21 +567,21 @@ mod tests {
     #[test]
     fn miss_then_hit_latencies() {
         let mut h = small_hierarchy(XmemMode::Off);
-        let miss = h.access(0x1000, false, 0, None);
+        let miss = h.serve(0x1000, false, 0, None);
         assert!(miss > 39, "first access must reach DRAM: {miss}");
-        let hit = h.access(0x1000, false, 100, None);
+        let hit = h.serve(0x1000, false, 100, None);
         assert_eq!(hit, 4, "L1 hit");
     }
 
     #[test]
     fn l2_and_l3_hit_latencies() {
         let mut h = small_hierarchy(XmemMode::Off);
-        h.access(0x2000, false, 0, None);
+        h.serve(0x2000, false, 0, None);
         // Evict from L1 by filling its set (L1 = 4 KB, 4 ways, 16 sets).
         for i in 1..=4u64 {
-            h.access(0x2000 + i * 4096, false, i * 1000, None);
+            h.serve(0x2000 + i * 4096, false, i * 1000, None);
         }
-        let lat = h.access(0x2000, false, 100_000, None);
+        let lat = h.serve(0x2000, false, 100_000, None);
         assert_eq!(lat, 12, "L2 hit latency (4+8)");
     }
 
@@ -562,7 +590,7 @@ mod tests {
         let mut h = small_hierarchy(XmemMode::Off);
         // Write many distinct lines so dirty evictions cascade to DRAM.
         for i in 0..4096u64 {
-            h.access(i * 64, true, i * 10, None);
+            h.serve(i * 64, true, i * 10, None);
         }
         assert!(h.dram_stats().writes > 0, "{:?}", h.dram_stats());
     }
@@ -576,7 +604,7 @@ mod tests {
             }
             let mut total = 0u64;
             for i in 0..2048u64 {
-                total += h.access(i * 64, false, i * 50, None);
+                total += h.serve(i * 64, false, i * 50, None);
             }
             total
         };
@@ -591,7 +619,7 @@ mod tests {
         // hierarchy (no panics, no pinning).
         let mut h = small_hierarchy(XmemMode::Off);
         for i in 0..512u64 {
-            h.access(i * 64, false, i, None);
+            h.serve(i * 64, false, i, None);
         }
         assert!(h.pinned_atoms().is_empty());
     }
@@ -639,7 +667,7 @@ mod tests {
         // Miss in the middle of the atom: the guided engine should fetch
         // the *preceding* lines.
         let miss_at = 0x12000u64;
-        h.access(
+        h.serve(
             miss_at,
             false,
             0,

@@ -19,8 +19,8 @@
 //!     HierarchyConfig::westmere_like(),
 //!     Dram::new(DramConfig::ddr3_1066(3.6), AddressMapping::scheme1()),
 //! );
-//! let miss = h.access(0x1000, false, 0, None);
-//! let hit = h.access(0x1000, false, miss, None);
+//! let miss = h.serve(0x1000, false, 0, None);
+//! let hit = h.serve(0x1000, false, miss, None);
 //! assert!(hit < miss);
 //! ```
 

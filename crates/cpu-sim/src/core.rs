@@ -18,8 +18,62 @@
 //! affect them are abstracted away (see DESIGN.md for the substitution
 //! argument).
 
-use crate::trace::{MemoryModel, Op};
-use std::collections::VecDeque;
+use crate::batch::{MemoryPath, OpAttrs, OpBatch, OpKind};
+use crate::trace::Op;
+
+/// Fixed-capacity FIFO of in-flight loads as `(seq, completion)` pairs.
+///
+/// The core pushes and pops one entry per load in the hot step loop, and
+/// its occupancy is bounded by the load-queue size, so a power-of-two ring
+/// with masked indices replaces `VecDeque`'s growth and wrap checks.
+#[derive(Debug)]
+struct LoadRing {
+    buf: Vec<(u64, u64)>,
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl LoadRing {
+    /// A ring holding at least `cap` entries.
+    fn with_capacity(cap: usize) -> Self {
+        let n = cap.next_power_of_two();
+        LoadRing {
+            buf: vec![(0, 0); n],
+            mask: n - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&(u64, u64)> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    #[inline]
+    fn push_back(&mut self, v: (u64, u64)) {
+        debug_assert!(self.len <= self.mask, "LoadRing overflow");
+        self.buf[(self.head + self.len) & self.mask] = v;
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(u64, u64)> + '_ {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) & self.mask])
+    }
+}
 
 /// Core configuration (Table 3 defaults via [`CoreConfig::westmere_like`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,12 +187,16 @@ impl CoreStats {
 pub struct Core {
     config: CoreConfig,
     stats: CoreStats,
+    /// `log2(issue_width)` when the width is a power of two (every real
+    /// configuration): lets the per-op front-end time be a shift instead of
+    /// a 64-bit division.
+    width_shift: Option<u32>,
     /// Issue slots consumed so far; front-end time = issued / width.
     issued: u64,
     /// Sequence number of the next op (computes advance it by n).
     seq: u64,
     /// In-flight or completed loads as (seq, completion), ordered by seq.
-    loads: VecDeque<(u64, u64)>,
+    loads: LoadRing,
     /// Max completion among ops already forced out of the ROB window.
     retire_frontier: u64,
     /// Completion time of the most recent load (for dependent loads).
@@ -155,9 +213,13 @@ impl Core {
         assert!(config.lq_entries > 0, "load queue must be non-empty");
         Core {
             stats: CoreStats::default(),
+            width_shift: config
+                .issue_width
+                .is_power_of_two()
+                .then(|| config.issue_width.trailing_zeros()),
             issued: 0,
             seq: 0,
-            loads: VecDeque::with_capacity(config.lq_entries + 1),
+            loads: LoadRing::with_capacity(config.lq_entries + 1),
             retire_frontier: 0,
             last_load_completion: 0,
             max_completion: 0,
@@ -173,6 +235,15 @@ impl Core {
     /// Resets all execution state and statistics.
     pub fn reset(&mut self) {
         *self = Core::new(self.config);
+    }
+
+    /// Front-end time: the cycle the next op issues in.
+    #[inline]
+    fn front_time(&self) -> u64 {
+        match self.width_shift {
+            Some(s) => self.issued >> s,
+            None => self.issued / self.config.issue_width as u64,
+        }
     }
 
     /// The core's current notion of time (cycle at which everything issued
@@ -205,64 +276,99 @@ impl Core {
     /// Loads whose completion time lies beyond the front end's current
     /// cycle — i.e. misses still outstanding at this instant.
     pub fn outstanding_loads(&self) -> usize {
-        let ft = self.issued / self.config.issue_width as u64;
+        let ft = self.front_time();
         self.loads.iter().filter(|&&(_, c)| c > ft).count()
     }
 
-    /// Feeds one op through the model.
-    pub fn step<M>(&mut self, op: Op, mem: &mut M)
+    /// Bulk compute: advances the front end only. Compute completes at the
+    /// front end; it never extends the critical path beyond issue
+    /// bandwidth.
+    #[inline]
+    fn step_compute(&mut self, n: u64) {
+        self.issued += n;
+        self.seq += n;
+        self.stats.instructions += n;
+    }
+
+    #[inline]
+    fn step_load<M>(&mut self, addr: u64, dep: bool, mem: &mut M)
     where
-        M: MemoryModel + ?Sized,
+        M: MemoryPath + ?Sized,
     {
-        let width = self.config.issue_width as u64;
         let rob = self.config.rob_entries as u64;
         let lq = self.config.lq_entries;
+        // Drop loads that have left the ROB window, feeding the retire
+        // frontier.
+        while let Some(&(s, c)) = self.loads.front() {
+            if s + rob <= self.seq || self.loads.len() >= lq {
+                self.retire_frontier = self.retire_frontier.max(c);
+                self.loads.pop_front();
+            } else {
+                break;
+            }
+        }
+        let ft = self.front_time();
+        let mut start = ft.max(self.retire_frontier);
+        if dep {
+            start = start.max(self.last_load_completion);
+        }
+        let latency = mem.serve(addr, OpAttrs::read().with_dep(dep), start);
+        let completion = start + latency;
+        self.loads.push_back((self.seq, completion));
+        self.last_load_completion = completion;
+        self.max_completion = self.max_completion.max(completion);
+        self.stats.total_load_latency += latency;
+        self.stats.loads += 1;
+        self.stats.instructions += 1;
+        self.issued += 1;
+        self.seq += 1;
+    }
+
+    #[inline]
+    fn step_store<M>(&mut self, addr: u64, mem: &mut M)
+    where
+        M: MemoryPath + ?Sized,
+    {
+        let ft = self.front_time();
+        let start = ft.max(self.retire_frontier);
+        // Stores retire through the write buffer: their latency is off the
+        // critical path, but the access still updates the memory model's
+        // state (fills, bank timings, traffic).
+        let _ = mem.serve(addr, OpAttrs::write(), start);
+        self.stats.stores += 1;
+        self.stats.instructions += 1;
+        self.issued += 1;
+        self.seq += 1;
+    }
+
+    /// Feeds one op through the model.
+    #[inline]
+    pub fn step<M>(&mut self, op: Op, mem: &mut M)
+    where
+        M: MemoryPath + ?Sized,
+    {
         match op {
-            Op::Compute(n) => {
-                self.issued += n as u64;
-                self.seq += n as u64;
-                self.stats.instructions += n as u64;
-                // Compute completes at the front end; it never extends the
-                // critical path beyond issue bandwidth.
-            }
-            Op::Load { addr, dep } => {
-                // Drop loads that have left the ROB window, feeding the
-                // retire frontier.
-                while let Some(&(s, c)) = self.loads.front() {
-                    if s + rob <= self.seq || self.loads.len() >= lq {
-                        self.retire_frontier = self.retire_frontier.max(c);
-                        self.loads.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                let ft = self.issued / width;
-                let mut start = ft.max(self.retire_frontier);
-                if dep {
-                    start = start.max(self.last_load_completion);
-                }
-                let latency = mem.access(addr, false, start);
-                let completion = start + latency;
-                self.loads.push_back((self.seq, completion));
-                self.last_load_completion = completion;
-                self.max_completion = self.max_completion.max(completion);
-                self.stats.total_load_latency += latency;
-                self.stats.loads += 1;
-                self.stats.instructions += 1;
-                self.issued += 1;
-                self.seq += 1;
-            }
-            Op::Store { addr } => {
-                let ft = self.issued / width;
-                let start = ft.max(self.retire_frontier);
-                // Stores retire through the write buffer: their latency is
-                // off the critical path, but the access still updates the
-                // memory model's state (fills, bank timings, traffic).
-                let _ = mem.access(addr, true, start);
-                self.stats.stores += 1;
-                self.stats.instructions += 1;
-                self.issued += 1;
-                self.seq += 1;
+            Op::Compute(n) => self.step_compute(n as u64),
+            Op::Load { addr, dep } => self.step_load(addr, dep, mem),
+            Op::Store { addr } => self.step_store(addr, mem),
+        }
+    }
+
+    /// Feeds every op in `batch` through the model, in buffer order.
+    ///
+    /// Exactly equivalent to calling [`Core::step`] per op — the batch only
+    /// amortizes dispatch, it never reorders, so batched and scalar runs
+    /// produce identical statistics — but dispatches straight off the SoA
+    /// lanes instead of reconstructing an [`Op`] enum per entry.
+    pub fn step_batch<M>(&mut self, batch: &OpBatch, mem: &mut M)
+    where
+        M: MemoryPath + ?Sized,
+    {
+        for i in 0..batch.len() {
+            match batch.kind(i) {
+                OpKind::Compute => self.step_compute(batch.addr(i)),
+                OpKind::Load => self.step_load(batch.addr(i), batch.attrs(i).dep, mem),
+                OpKind::Store => self.step_store(batch.addr(i), mem),
             }
         }
     }
@@ -275,7 +381,7 @@ impl Core {
     pub fn run<I, M>(&mut self, ops: I, mem: &mut M) -> CoreStats
     where
         I: IntoIterator<Item = Op>,
-        M: MemoryModel + ?Sized,
+        M: MemoryPath + ?Sized,
     {
         self.reset();
         for op in ops {

@@ -1,8 +1,10 @@
 //! # cpu-sim — trace-driven core timing model
 //!
 //! The CPU substrate for the XMem reproduction: a limited-window
-//! out-of-order core model ([`core::Core`]) driven by lazy op traces
-//! ([`trace::Op`]) against any [`trace::MemoryModel`].
+//! out-of-order core model ([`core::Core`]) driven by op traces
+//! ([`trace::Op`]) against any [`batch::MemoryPath`] — either per op or in
+//! fixed-size [`batch::OpBatch`] buffers. Scalar models implement the
+//! one-method [`trace::MemoryModel`] adapter instead.
 //!
 //! The model captures what memory-system studies need — issue bandwidth,
 //! ROB-bounded miss overlap, load-queue-bounded MLP, and dependent-load
@@ -21,11 +23,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod core;
 pub mod kv;
 pub mod stats;
 pub mod trace;
 
+pub use crate::batch::{MemoryPath, OpAttrs, OpBatch, OpKind, BATCH_CAPACITY};
 pub use crate::core::{Core, CoreConfig, CoreStats};
 pub use crate::kv::{KvPairs, KvValue};
 pub use crate::stats::LatencyHistogram;

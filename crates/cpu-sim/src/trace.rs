@@ -64,7 +64,14 @@ impl Op {
     }
 }
 
-/// The interface between the core model and the memory hierarchy.
+/// The *scalar adapter* trait for simple memory models.
+///
+/// The simulators implement the batched [`crate::batch::MemoryPath`]
+/// contract directly; a blanket impl in `crate::batch` lifts every
+/// `MemoryModel` to a `MemoryPath`, so fixed-latency stubs and test
+/// doubles stay one method long. New per-op `access` chains must not grow
+/// back in sim-state crates — simlint's `scalar-access` rule flags them;
+/// implement `MemoryPath::serve` (or use this adapter from a test) instead.
 ///
 /// `access` is called once per load/store, with the core's issue time; it
 /// returns the access latency in core cycles. Implementations are expected

@@ -18,16 +18,13 @@
 
 use crate::config::{DramConfig, RowPolicy};
 use crate::mapping::AddressMapping;
+use cpu_sim::batch::{MemoryPath, OpAttrs};
 use cpu_sim::stats::LatencyHistogram;
 
-/// Per-bank state: the open row and when the bank can next start a command.
-#[derive(Debug, Clone, Copy, Default)]
-struct BankState {
-    open_row: Option<u64>,
-    ready_at: u64,
-    /// Earliest time the open row may be precharged (tRAS constraint).
-    ras_until: u64,
-}
+/// Sentinel for "no row open" in the open-row lane. Row numbers are small
+/// (row index within a bank), so the all-ones pattern can never collide
+/// with a real row.
+const NO_ROW: u64 = u64::MAX;
 
 /// Classification of one access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,19 +142,30 @@ impl DramStats {
 /// ```
 /// use dram_sim::{AddressMapping, Dram, DramConfig};
 ///
+/// use cpu_sim::batch::OpAttrs;
+///
 /// let cfg = DramConfig::ddr3_1066(3.6);
 /// let mut dram = Dram::new(cfg, AddressMapping::scheme5());
 /// // Two lines in the same row: the second is a row hit.
-/// let first = dram.access(0, false, 0);
-/// let second = dram.access(64, false, first);
+/// let first = dram.serve(0, OpAttrs::read(), 0);
+/// let second = dram.serve(64, OpAttrs::read(), first);
 /// assert!(second < first);
 /// assert_eq!(dram.stats().row_hits, 1);
 /// ```
+///
+/// Bank state is stored struct-of-arrays (one lane per field, indexed by
+/// global bank): the hot loop touches only the lanes it needs, and the
+/// telemetry scans (`busy_banks`) stream one contiguous lane.
 #[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
     mapping: AddressMapping,
-    banks: Vec<BankState>,
+    /// Open row per global bank ([`NO_ROW`] when precharged).
+    open_rows: Vec<u64>,
+    /// Cycle at which each bank can next start a command.
+    ready_at: Vec<u64>,
+    /// Earliest time each bank's open row may be precharged (tRAS).
+    ras_until: Vec<u64>,
     bus_free: Vec<u64>,
     stats: DramStats,
     /// Total cycles banks have been held busy by reads (activation,
@@ -174,7 +182,9 @@ impl Dram {
     /// Creates a DRAM with all banks precharged.
     pub fn new(config: DramConfig, mapping: AddressMapping) -> Self {
         Dram {
-            banks: vec![BankState::default(); config.total_banks()],
+            open_rows: vec![NO_ROW; config.total_banks()],
+            ready_at: vec![0; config.total_banks()],
+            ras_until: vec![0; config.total_banks()],
             bus_free: vec![0; config.channels],
             stats: DramStats::default(),
             busy_bank_cycles: 0,
@@ -221,7 +231,7 @@ impl Dram {
 
     /// Number of banks still busy (`ready_at` in the future) at `now`.
     pub fn busy_banks(&self, now: u64) -> usize {
-        self.banks.iter().filter(|b| b.ready_at > now).count()
+        self.ready_at.iter().filter(|&&r| r > now).count()
     }
 
     /// An instantaneous proxy for FR-FCFS queue depth at `now`: busy banks
@@ -240,7 +250,8 @@ impl Dram {
     /// is precharged). Exposing the timing model's own bank state lets a
     /// scheduler's first-ready predicate never drift from it.
     pub fn open_row(&self, bank: usize) -> Option<u64> {
-        self.banks[bank].open_row
+        let row = self.open_rows[bank];
+        (row != NO_ROW).then_some(row)
     }
 
     /// Whether an access to `addr` would be a row-buffer hit right now.
@@ -251,28 +262,30 @@ impl Dram {
             return true;
         }
         let loc = self.mapping.decode(addr, &self.config);
-        self.banks[loc.global_bank(&self.config)].open_row == Some(loc.row)
+        self.open_rows[loc.global_bank(&self.config)] == loc.row
     }
 
     /// Serves one access arriving at cycle `now`; returns its latency.
+    /// (The inherent mirror of [`MemoryPath::serve`], so callers holding a
+    /// concrete `Dram` need no trait import.)
     ///
     /// Reads walk the full bank state machine. Writes model a controller
     /// with write buffering and opportunistic drain (as FR-FCFS controllers
     /// do): they occupy the channel bus and pay nominal write latency, but
     /// do not perturb the banks' open rows — row-buffer statistics are
     /// therefore read-only statistics.
-    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> u64 {
-        self.access_inner(addr, is_write, false, now)
+    pub fn serve(&mut self, addr: u64, attrs: OpAttrs, now: u64) -> u64 {
+        self.serve_inner(addr, attrs.write, false, now)
     }
 
     /// Serves a prefetch read: identical timing to a demand read, but
     /// accounted separately (it occupies banks and bus without being on the
     /// core's critical path).
-    pub fn access_prefetch(&mut self, addr: u64, now: u64) -> u64 {
-        self.access_inner(addr, false, true, now)
+    pub fn serve_prefetch(&mut self, addr: u64, now: u64) -> u64 {
+        self.serve_inner(addr, false, true, now)
     }
 
-    fn access_inner(&mut self, addr: u64, is_write: bool, is_prefetch: bool, now: u64) -> u64 {
+    fn serve_inner(&mut self, addr: u64, is_write: bool, is_prefetch: bool, now: u64) -> u64 {
         let loc = self.mapping.decode(addr, &self.config);
         if is_write && !self.ideal_rbl {
             let bus = &mut self.bus_free[loc.channel];
@@ -293,21 +306,21 @@ impl Dram {
             data_start + self.config.bus_cycles - now
         } else {
             let bank_idx = loc.global_bank(&self.config);
-            let bank = &mut self.banks[bank_idx];
-            let start = now.max(bank.ready_at);
-            let (outcome, cmd_cycles, ras_wait) = match bank.open_row {
-                Some(r) if r == loc.row => (RowOutcome::Hit, self.config.t_cl, 0),
-                None => (RowOutcome::Miss, self.config.t_rcd + self.config.t_cl, 0),
-                Some(_) => {
-                    // Must respect tRAS of the currently open row before
-                    // precharging it.
-                    let wait = bank.ras_until.saturating_sub(start);
-                    (
-                        RowOutcome::Conflict,
-                        self.config.t_rp + self.config.t_rcd + self.config.t_cl,
-                        wait,
-                    )
-                }
+            let start = now.max(self.ready_at[bank_idx]);
+            let open_row = self.open_rows[bank_idx];
+            let (outcome, cmd_cycles, ras_wait) = if open_row == loc.row {
+                (RowOutcome::Hit, self.config.t_cl, 0)
+            } else if open_row == NO_ROW {
+                (RowOutcome::Miss, self.config.t_rcd + self.config.t_cl, 0)
+            } else {
+                // Must respect tRAS of the currently open row before
+                // precharging it.
+                let wait = self.ras_until[bank_idx].saturating_sub(start);
+                (
+                    RowOutcome::Conflict,
+                    self.config.t_rp + self.config.t_rcd + self.config.t_cl,
+                    wait,
+                )
             };
             match outcome {
                 RowOutcome::Hit => self.stats.row_hits += 1,
@@ -324,7 +337,7 @@ impl Dram {
             // slot); a precharge/activate occupies the bank until the row is
             // open. The *latency* of this access still includes the full
             // command chain above.
-            bank.ready_at = start
+            let mut ready = start
                 + ras_wait
                 + match outcome {
                     RowOutcome::Hit => self.config.bus_cycles,
@@ -333,17 +346,18 @@ impl Dram {
                 };
             if outcome != RowOutcome::Hit {
                 // Row was (re)activated: tRAS runs from activation.
-                bank.ras_until = start + ras_wait + self.config.t_ras;
+                self.ras_until[bank_idx] = start + ras_wait + self.config.t_ras;
             }
-            bank.open_row = match self.config.row_policy {
-                RowPolicy::Open => Some(loc.row),
+            self.open_rows[bank_idx] = match self.config.row_policy {
+                RowPolicy::Open => loc.row,
                 RowPolicy::Closed => {
                     // Auto-precharge after the access.
-                    bank.ready_at = bank.ready_at.max(done) + self.config.t_rp;
-                    None
+                    ready = ready.max(done) + self.config.t_rp;
+                    NO_ROW
                 }
             };
-            self.busy_bank_cycles += bank.ready_at - start;
+            self.ready_at[bank_idx] = ready;
+            self.busy_bank_cycles += ready - start;
             done - now
         };
 
@@ -363,6 +377,15 @@ impl Dram {
     }
 }
 
+/// The batched memory-path contract: per-op timing identical to the
+/// inherent [`Dram::serve`].
+impl MemoryPath for Dram {
+    #[inline]
+    fn serve(&mut self, addr: u64, attrs: OpAttrs, now: u64) -> u64 {
+        Dram::serve(self, addr, attrs, now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,7 +397,7 @@ mod tests {
     #[test]
     fn first_access_is_row_miss() {
         let mut d = dram(AddressMapping::scheme5());
-        let lat = d.access(0, false, 0);
+        let lat = d.serve(0, OpAttrs::read(), 0);
         assert_eq!(d.stats().row_misses, 1);
         assert_eq!(lat, d.config().miss_latency());
     }
@@ -384,7 +407,7 @@ mod tests {
         let mut d = dram(AddressMapping::scheme5());
         let mut t = 0;
         for line in 0..128u64 {
-            t += d.access(line * 64, false, t);
+            t += d.serve(line * 64, OpAttrs::read(), t);
         }
         // One miss per 8 KB row (128 lines per row → 1 miss in 128 lines).
         assert!(d.stats().row_hit_rate() > 0.95, "{:?}", d.stats());
@@ -394,7 +417,7 @@ mod tests {
     fn open_row_inspection_matches_timing() {
         let mut d = dram(AddressMapping::scheme5());
         assert!(!d.row_hit(0), "banks start precharged");
-        d.access(0, false, 0);
+        d.serve(0, OpAttrs::read(), 0);
         assert!(d.row_hit(64), "same row is open");
         let loc = AddressMapping::scheme5().decode(0, d.config());
         assert_eq!(d.open_row(loc.global_bank(d.config())), Some(loc.row));
@@ -404,7 +427,7 @@ mod tests {
         );
         // Writes are buffered and never open rows.
         let mut d = dram(AddressMapping::scheme5());
-        d.access(0, true, 0);
+        d.serve(0, OpAttrs::write(), 0);
         assert!(!d.row_hit(64));
         // Ideal-RBL devices hit by definition.
         let ideal = Dram::new_ideal_rbl(DramConfig::ddr3_1066(3.6), AddressMapping::scheme5());
@@ -419,7 +442,7 @@ mod tests {
         for i in 0..32u64 {
             // Ping-pong between row 0 and row 1 of the same bank.
             let addr = (i % 2) * row_bytes;
-            t += d.access(addr, false, t);
+            t += d.serve(addr, OpAttrs::read(), t);
         }
         assert!(d.stats().row_conflicts >= 30, "{:?}", d.stats());
     }
@@ -430,12 +453,12 @@ mod tests {
         let mut hitter = Dram::new(cfg, AddressMapping::scheme5());
         let mut t = 0;
         for line in 0..64u64 {
-            t += hitter.access(line * 64, false, t);
+            t += hitter.serve(line * 64, OpAttrs::read(), t);
         }
         let mut conflicter = Dram::new(cfg, AddressMapping::scheme5());
         let mut t2 = 0;
         for i in 0..64u64 {
-            t2 += conflicter.access((i % 2) * cfg.row_bytes, false, t2);
+            t2 += conflicter.serve((i % 2) * cfg.row_bytes, OpAttrs::read(), t2);
         }
         assert!(conflicter.stats().avg_read_latency() > 1.5 * hitter.stats().avg_read_latency());
     }
@@ -447,11 +470,13 @@ mod tests {
         let cfg = DramConfig::ddr3_1066(3.6);
         let m = AddressMapping::scheme7(); // line-interleaved banks
         let mut spread = Dram::new(cfg, m);
-        let spread_latency: u64 = (0..8u64).map(|i| spread.access(i * 64, false, 0)).sum();
+        let spread_latency: u64 = (0..8u64)
+            .map(|i| spread.serve(i * 64, OpAttrs::read(), 0))
+            .sum();
 
         let mut serial = Dram::new(cfg, AddressMapping::scheme5());
         let serial_latency: u64 = (0..8u64)
-            .map(|i| serial.access(i * cfg.row_bytes, false, 0))
+            .map(|i| serial.serve(i * cfg.row_bytes, OpAttrs::read(), 0))
             .sum();
         assert!(spread_latency < serial_latency);
     }
@@ -462,12 +487,12 @@ mod tests {
         let cfg = DramConfig::ddr3_1066(3.6);
         let mut d = Dram::new(cfg, AddressMapping::scheme5());
         // Warm the row.
-        let mut t = d.access(0, false, 0);
-        let base = d.access(64, false, t);
+        let mut t = d.serve(0, OpAttrs::read(), 0);
+        let base = d.serve(64, OpAttrs::read(), t);
         t += base;
         // Two hits issued at the same instant: the second waits for the bus.
-        let a = d.access(128, false, t);
-        let b = d.access(192, false, t);
+        let a = d.serve(128, OpAttrs::read(), t);
+        let b = d.serve(192, OpAttrs::read(), t);
         assert!(b >= a + cfg.bus_cycles - 1);
     }
 
@@ -477,7 +502,7 @@ mod tests {
         let mut d = Dram::new_ideal_rbl(cfg, AddressMapping::scheme1());
         let mut t = 0;
         for i in 0..64u64 {
-            t += d.access(i * 1_000_003, false, t); // scattered addresses
+            t += d.serve(i * 1_000_003, OpAttrs::read(), t); // scattered addresses
         }
         assert_eq!(d.stats().row_hits, 64);
         assert_eq!(d.stats().row_conflicts, 0);
@@ -492,7 +517,7 @@ mod tests {
         let mut d = Dram::new(cfg, AddressMapping::scheme5());
         let mut t = 0;
         for line in 0..16u64 {
-            t += d.access(line * 64, false, t);
+            t += d.serve(line * 64, OpAttrs::read(), t);
         }
         assert_eq!(d.stats().row_hits, 0);
         assert_eq!(d.stats().row_misses, 16);
@@ -501,8 +526,8 @@ mod tests {
     #[test]
     fn write_stats_tracked() {
         let mut d = dram(AddressMapping::scheme1());
-        d.access(0, true, 0);
-        d.access(64, false, 0);
+        d.serve(0, OpAttrs::write(), 0);
+        d.serve(64, OpAttrs::read(), 0);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().reads, 1);
         assert!(d.stats().avg_read_latency() > 0.0);

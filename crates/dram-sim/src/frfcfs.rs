@@ -17,6 +17,7 @@
 use crate::config::DramConfig;
 use crate::dram::{Dram, DramStats};
 use crate::mapping::AddressMapping;
+use cpu_sim::batch::OpAttrs;
 
 /// The default bounded-reorder threshold of [`Discipline::FrFcfs`],
 /// expressed in row-conflict latencies: the oldest pending request is
@@ -149,7 +150,14 @@ pub fn schedule(
         let (index, req) = pending.remove(pick);
 
         let start = now.max(req.arrival);
-        let lat = dram.access(req.addr, req.is_write, start);
+        let lat = dram.serve(
+            req.addr,
+            OpAttrs {
+                write: req.is_write,
+                ..OpAttrs::read()
+            },
+            start,
+        );
         let finish = start + lat;
         completions.push(Completion {
             index,

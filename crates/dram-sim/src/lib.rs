@@ -14,12 +14,13 @@
 //!   studies and ablation against FCFS.
 //!
 //! ```
+//! use cpu_sim::batch::OpAttrs;
 //! use dram_sim::{AddressMapping, Dram, DramConfig};
 //!
 //! let mut dram = Dram::new(DramConfig::ddr3_1066(3.6), AddressMapping::scheme5());
 //! let mut t = 0;
 //! for line in 0..256u64 {
-//!     t += dram.access(line * 64, false, t);
+//!     t += dram.serve(line * 64, OpAttrs::read(), t);
 //! }
 //! assert!(dram.stats().row_hit_rate() > 0.9); // sequential = row friendly
 //! ```

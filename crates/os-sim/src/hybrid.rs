@@ -17,6 +17,7 @@
 //!   damage NVM would do them (write intensity first, then hotness) and
 //!   give DRAM to the most NVM-averse; read-only/cold data goes to NVM.
 
+use cpu_sim::batch::OpAttrs;
 use xmem_core::atom::AtomId;
 use xmem_core::translate::PlacementPrimitive;
 
@@ -175,16 +176,18 @@ impl HybridMemory {
         self.tier_of_atom[atom.index()]
     }
 
-    /// Serves one access to `atom`'s data, returning its latency.
+    /// Serves one access to `atom`'s data, returning its latency. The
+    /// read/write direction arrives as typed [`OpAttrs`] — the same
+    /// attribute word the batched memory path carries per op.
     ///
     /// # Panics
     ///
     /// Panics if the atom was never allocated.
-    pub fn access(&mut self, atom: AtomId, is_write: bool) -> u64 {
+    pub fn serve(&mut self, atom: AtomId, attrs: OpAttrs) -> u64 {
         let tier = self.tier_of_atom[atom.index()]
             // simlint: allow(unwrap, reason = "documented `# Panics` API contract; workload bug, not a recoverable error")
             .expect("access before allocation");
-        let lat = match (tier, is_write) {
+        let lat = match (tier, attrs.write) {
             (Tier::Dram, false) => {
                 self.stats.dram_reads += 1;
                 self.config.dram_read
@@ -281,11 +284,11 @@ mod tests {
         for i in 0..10_000u64 {
             let write = i % 2 == 0;
             if write {
-                naive.access(rw_log, true);
-                xmem.access(rw_log, true);
+                naive.serve(rw_log, OpAttrs::write());
+                xmem.serve(rw_log, OpAttrs::write());
             } else {
-                naive.access(ro_table, false);
-                xmem.access(ro_table, false);
+                naive.serve(ro_table, OpAttrs::read());
+                xmem.serve(ro_table, OpAttrs::read());
             }
         }
         assert!(xmem.stats().avg_latency() < naive.stats().avg_latency());
@@ -298,8 +301,8 @@ mod tests {
         let a = AtomId::new(0);
         let mut mem = HybridMemory::new(HybridConfig::default(), &HybridPolicy::FirstFit);
         mem.alloc_first_fit(a, 1 << 20);
-        mem.access(a, false);
-        mem.access(a, true);
+        mem.serve(a, OpAttrs::read());
+        mem.serve(a, OpAttrs::write());
         let s = mem.stats();
         assert_eq!(s.accesses(), 2);
         assert_eq!(s.dram_reads, 1);

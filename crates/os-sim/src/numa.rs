@@ -15,6 +15,7 @@
 //! The baseline is first-touch on socket 0 (the classic pathology when a
 //! main thread initializes everything before workers spawn).
 
+use cpu_sim::batch::OpAttrs;
 use xmem_core::atom::AtomId;
 use xmem_core::attrs::{AtomAttributes, DataProps, RwChar};
 
@@ -105,20 +106,25 @@ impl NumaSystem {
         self.placements[atom.index()]
     }
 
-    /// One access from a thread on `socket` to `atom`'s data; returns and
-    /// accumulates the latency. `salt` decorrelates interleaved accesses.
+    /// One access to `atom`'s data; returns and accumulates the latency.
+    /// The originating socket and the interleave salt (which decorrelates
+    /// `Interleaved` accesses) arrive as typed [`OpAttrs`], the same
+    /// attribute word the batched memory path carries per op.
     ///
     /// # Panics
     ///
     /// Panics if the atom was never placed.
-    pub fn access(&mut self, atom: AtomId, socket: usize, salt: u64) -> u64 {
+    pub fn serve(&mut self, atom: AtomId, attrs: OpAttrs) -> u64 {
         let placement = self.placements[atom.index()]
             // simlint: allow(unwrap, reason = "documented `# Panics` API contract; workload bug, not a recoverable error")
             .expect("access before placement");
+        let socket = attrs.socket as usize;
         let local = match placement {
             NumaPlacement::Replicated => true,
             NumaPlacement::OnSocket(s) => s == socket,
-            NumaPlacement::Interleaved => (salt % self.config.sockets as u64) as usize == socket,
+            NumaPlacement::Interleaved => {
+                (attrs.salt % self.config.sockets as u64) as usize == socket
+            }
         };
         let lat = if local {
             self.config.local_latency
@@ -165,8 +171,11 @@ mod tests {
         numa.place_with_semantics(a, &attrs(RwChar::ReadOnly, DataProps::EMPTY), None);
         assert_eq!(numa.placement_of(a), Some(NumaPlacement::Replicated));
         // Every socket reads it locally.
-        for s in 0..4 {
-            assert_eq!(numa.access(a, s, 0), numa.config.local_latency);
+        for s in 0..4u8 {
+            assert_eq!(
+                numa.serve(a, OpAttrs::read().on_socket(s)),
+                numa.config.local_latency
+            );
         }
         assert_eq!(numa.remote_fraction(), 0.0);
     }
@@ -177,8 +186,8 @@ mod tests {
         let a = AtomId::new(1);
         numa.place_with_semantics(a, &attrs(RwChar::ReadWrite, DataProps::PRIVATE), Some(2));
         assert_eq!(numa.placement_of(a), Some(NumaPlacement::OnSocket(2)));
-        assert_eq!(numa.access(a, 2, 0), 200);
-        assert_eq!(numa.access(a, 0, 0), 420);
+        assert_eq!(numa.serve(a, OpAttrs::read().on_socket(2)), 200);
+        assert_eq!(numa.serve(a, OpAttrs::read().on_socket(0)), 420);
     }
 
     #[test]
@@ -204,13 +213,14 @@ mod tests {
         }
 
         for i in 0..40_000u64 {
-            let w = (i % 4) as usize;
+            let w = (i % 4) as u8;
+            let at = OpAttrs::read().on_socket(w).with_salt(i);
             if i % 3 == 0 {
-                first_touch.access(table, w, i);
-                xmem.access(table, w, i);
+                first_touch.serve(table, at);
+                xmem.serve(table, at);
             } else {
-                first_touch.access(worker_buf(w as u8), w, i);
-                xmem.access(worker_buf(w as u8), w, i);
+                first_touch.serve(worker_buf(w), at);
+                xmem.serve(worker_buf(w), at);
             }
         }
         assert!(xmem.remote_fraction() < 0.01, "{}", xmem.remote_fraction());
@@ -231,7 +241,9 @@ mod tests {
         // Across many salted accesses, each socket sees ~1/4 local.
         let mut local = 0;
         for salt in 0..4000u64 {
-            if numa.access(a, 1, salt) == numa.config.local_latency {
+            if numa.serve(a, OpAttrs::read().on_socket(1).with_salt(salt))
+                == numa.config.local_latency
+            {
                 local += 1;
             }
         }

@@ -6,8 +6,8 @@
 //! timing model. Fully associative, LRU, per-process flush on context
 //! switch.
 
-use std::collections::BTreeMap;
 use xmem_core::addr::VirtAddr;
+use xmem_core::flatmap::FlatMap;
 
 /// TLB geometry and timing.
 #[derive(Debug, Clone, Copy)]
@@ -66,9 +66,12 @@ impl TlbStats {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    /// vpn → last-used stamp. Ordered so the LRU victim scan below is
-    /// deterministic even if two entries ever carried the same stamp.
-    entries: BTreeMap<u64, u64>,
+    /// vpn → last-used stamp, in a key-sorted [`FlatMap`]: the probe is a
+    /// binary search over 64 contiguous entries instead of a tree walk,
+    /// and iteration stays in ascending-vpn order, so the LRU victim scan
+    /// below is deterministic even if two entries ever carried the same
+    /// stamp (identical tie-break to the BTreeMap it replaced).
+    entries: FlatMap<u64, u64>,
     clock: u64,
     stats: TlbStats,
 }
@@ -86,7 +89,7 @@ impl Tlb {
             "page size must be a power of two"
         );
         Tlb {
-            entries: BTreeMap::new(),
+            entries: FlatMap::with_capacity(config.entries),
             clock: 0,
             stats: TlbStats::default(),
             config,

@@ -5,11 +5,18 @@
 //! DRAM banks and channels. The table implements
 //! [`xmem_core::amu::Mmu`] so the AMU can translate `ATOM_MAP` ranges.
 
-use std::collections::BTreeMap;
 use xmem_core::addr::{PhysAddr, VirtAddr};
 use xmem_core::amu::Mmu;
+use xmem_core::flatmap::FlatMap;
 
 /// A flat VPN→PFN page table for one address space.
+///
+/// Translation sits on the per-access hot path (every load/store
+/// translates), so the backing store is a [`FlatMap`]: binary-search
+/// lookups over contiguous keys, with the same ascending-VPN iteration
+/// order as the `BTreeMap` it replaced (the determinism invariant).
+/// Allocation maps pages in mostly ascending VPN order, so inserts are
+/// amortized appends.
 ///
 /// # Examples
 ///
@@ -26,7 +33,7 @@ use xmem_core::amu::Mmu;
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_size: u64,
-    map: BTreeMap<u64, u64>,
+    map: FlatMap<u64, u64>,
 }
 
 impl PageTable {
@@ -42,7 +49,7 @@ impl PageTable {
         );
         PageTable {
             page_size,
-            map: BTreeMap::new(),
+            map: FlatMap::new(),
         }
     }
 

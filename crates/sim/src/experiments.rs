@@ -96,38 +96,6 @@ impl KernelRun {
     }
 }
 
-/// Runs one use-case-1 kernel on the scaled system (Figs 4 and 5).
-#[deprecated(note = "use the KernelRun builder: \
-    `KernelRun::new(kernel, params).l3_bytes(..).system(..).run()`")]
-pub fn run_kernel(
-    kernel: PolybenchKernel,
-    params: &KernelParams,
-    l3_bytes: u64,
-    kind: SystemKind,
-) -> RunReport {
-    KernelRun::new(kernel, *params)
-        .l3_bytes(l3_bytes)
-        .system(kind)
-        .run()
-}
-
-/// Runs one use-case-1 kernel with a per-core bandwidth override (Fig 6).
-#[deprecated(note = "use the KernelRun builder: \
-    `KernelRun::new(kernel, params).per_core_gbps(..).run()`")]
-pub fn run_kernel_bw(
-    kernel: PolybenchKernel,
-    params: &KernelParams,
-    l3_bytes: u64,
-    kind: SystemKind,
-    per_core_gbps: f64,
-) -> RunReport {
-    KernelRun::new(kernel, *params)
-        .l3_bytes(l3_bytes)
-        .system(kind)
-        .per_core_gbps(per_core_gbps)
-        .run()
-}
-
 /// The three systems compared in Figs 7 and 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Uc2System {
@@ -284,17 +252,6 @@ mod tests {
             .per_core_gbps(0.5)
             .run();
         assert!(slow.cycles() >= fast.cycles());
-    }
-
-    #[test]
-    fn deprecated_wrappers_match_builder() {
-        let p = tiny_kernel_params();
-        #[allow(deprecated)]
-        let old = run_kernel(PolybenchKernel::Mvt, &p, 32 << 10, SystemKind::Xmem);
-        let new = KernelRun::new(PolybenchKernel::Mvt, p)
-            .system(SystemKind::Xmem)
-            .run();
-        assert_eq!(old, new);
     }
 
     #[test]

@@ -54,7 +54,6 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::config::SystemConfig;
-use crate::machine::{run_workload, run_workload_with_telemetry};
 use crate::report::RunReport;
 use crate::report_sink::{config_kv, scan_point_records, write_point_record, JsonValue};
 use crate::telemetry::TelemetrySeries;
@@ -348,12 +347,23 @@ impl WorkloadSpec {
 
     /// Replays the workload into a trace sink (what [`run_workload`] does
     /// twice: once to scan, once to execute).
-    pub fn generate(&self, sink: &mut dyn TraceSink) {
+    ///
+    /// Generic over the sink so the executing path monomorphizes: driven
+    /// through [`RunSpec::execute`], the generator's per-op sink calls
+    /// inline straight into the batch emitter instead of going through a
+    /// `dyn TraceSink` vtable per op.
+    pub fn generate<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         match self {
             WorkloadSpec::Kernel { kernel, params } => kernel.generate(params, sink),
             WorkloadSpec::Placement(w) => w.generate(sink),
             WorkloadSpec::Fault { message } => panic!("{message}"),
         }
+    }
+}
+
+impl crate::machine::Generator for WorkloadSpec {
+    fn emit<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        self.generate(sink);
     }
 }
 
@@ -380,8 +390,11 @@ impl RunSpec {
 
     /// Executes this spec (one full two-pass simulation). Pure: equal specs
     /// give equal reports.
+    ///
+    /// This is the monomorphized hot path: the workload's sink calls inline
+    /// into the batch emitter with no per-op virtual dispatch.
     pub fn execute(&self) -> RunReport {
-        run_workload(&self.config, |sink| self.workload.generate(sink))
+        crate::machine::run_generator(&self.config, None, &self.workload).0
     }
 
     /// Like [`RunSpec::execute`], additionally sampling a telemetry series
@@ -391,9 +404,7 @@ impl RunSpec {
         &self,
         epoch_instructions: Option<u64>,
     ) -> (RunReport, Option<TelemetrySeries>) {
-        run_workload_with_telemetry(&self.config, epoch_instructions, |sink| {
-            self.workload.generate(sink)
-        })
+        crate::machine::run_generator(&self.config, epoch_instructions, &self.workload)
     }
 }
 

@@ -42,13 +42,15 @@ pub use crate::config::{
     FramePolicyKind, MultiCoreConfig, SystemConfig, SystemConfigBuilder, SystemKind,
 };
 pub use crate::experiments::{placement_specs, run_placement, KernelRun, Uc2System};
-#[allow(deprecated)]
-pub use crate::experiments::{run_kernel, run_kernel_bw};
 pub use crate::harness::{
     default_workers, run_jobs, Progress, RunFailure, RunMeta, RunOutcome, RunRecord, RunSpec,
     Sweep, WorkloadSpec,
 };
-pub use crate::machine::{run_workload, run_workload_with_telemetry, Machine, ScanSink};
+#[doc(hidden)]
+pub use crate::machine::run_workload_scalar;
+pub use crate::machine::{
+    run_generator, run_workload, run_workload_with_telemetry, Generator, Machine, ScanSink,
+};
 pub use crate::multicore::{run_corun, CorunReport};
 pub use crate::report::RunReport;
 pub use crate::report_sink::{

@@ -16,17 +16,18 @@ use crate::config::{FramePolicyKind, SystemConfig};
 use crate::report::RunReport;
 use crate::telemetry::{TelemetrySample, TelemetrySeries};
 use cache_sim::hierarchy::{Hierarchy, XmemContext};
+use cpu_sim::batch::{MemoryPath, OpAttrs, OpBatch};
 use cpu_sim::core::Core;
-use cpu_sim::trace::{MemoryModel, Op};
+use cpu_sim::trace::Op;
 use dram_sim::Dram;
 use os_sim::loader::{load_segment, LoadedProcess};
 use os_sim::os::Os;
 use os_sim::placement::FramePolicy;
 use os_sim::tlb::Tlb;
 use std::collections::BTreeMap;
-use workloads::sink::TraceSink;
+use workloads::sink::{BatchEmitter, TraceSink};
 use xmem_core::aam::AamConfig;
-use xmem_core::addr::VirtAddr;
+use xmem_core::addr::{addr_to_index, VirtAddr};
 use xmem_core::amu::{AmuConfig, AtomManagementUnit, Mmu};
 use xmem_core::atom::{AtomId, StaticAtom};
 use xmem_core::attrs::AtomAttributes;
@@ -102,26 +103,62 @@ struct MemSystem {
     os: Os,
     tlb: Option<Tlb>,
     xmem_enabled: bool,
+    /// Small direct-mapped VPN→PFN translate cache over the OS page table
+    /// (indexed by the VPN's low bits). Workloads alternate between a few
+    /// data structures on different pages — gemm touches three arrays per
+    /// inner iteration — so a single entry thrashes; [`TC_ENTRIES`] slots
+    /// remove the page-table binary search from the hot path entirely. It
+    /// is *exact* (never changes a translation): [`Machine::alloc`] — the
+    /// only path that mutates the page table — invalidates it.
+    tc_vpn: [u64; TC_ENTRIES],
+    tc_pfn: [u64; TC_ENTRIES],
+    /// `log2(page_size)`; translation caching assumes power-of-two pages.
+    page_shift: u32,
 }
 
-impl MemoryModel for MemSystem {
-    fn access(&mut self, va: u64, is_write: bool, now: u64) -> u64 {
+/// Translate-cache slots (power of two; covers the handful of distinct
+/// pages a kernel's inner loop cycles through).
+const TC_ENTRIES: usize = 16;
+
+/// `tc_vpn` value meaning "translate cache entry empty".
+const TC_EMPTY: u64 = u64::MAX;
+
+impl MemSystem {
+    /// Translates `va`, consulting the direct-mapped cache first.
+    #[inline]
+    fn translate(&mut self, va: u64) -> u64 {
+        let vpn = va >> self.page_shift;
+        let slot = addr_to_index(vpn & (TC_ENTRIES as u64 - 1));
+        if vpn == self.tc_vpn[slot] {
+            return (self.tc_pfn[slot] << self.page_shift) | (va & ((1 << self.page_shift) - 1));
+        }
+        let pa = self
+            .os
+            .page_table()
+            .translate(VirtAddr::new(va))
+            .unwrap_or_else(|| panic!("access to unallocated VA {va:#x}"))
+            .raw();
+        self.tc_vpn[slot] = vpn;
+        self.tc_pfn[slot] = pa >> self.page_shift;
+        pa
+    }
+}
+
+impl MemoryPath for MemSystem {
+    #[inline]
+    fn serve(&mut self, va: u64, attrs: OpAttrs, now: u64) -> u64 {
         let walk = self
             .tlb
             .as_mut()
             .map(|t| t.translate_cost(VirtAddr::new(va)))
             .unwrap_or(0);
-        let pa = self
-            .os
-            .page_table()
-            .translate(VirtAddr::new(va))
-            .unwrap_or_else(|| panic!("access to unallocated VA {va:#x}"));
+        let pa = self.translate(va);
         let ctx = self.xmem_enabled.then_some(XmemContext {
             amu: &mut self.amu,
             cache_pat: &self.cache_pat,
             pf_pat: &self.pf_pat,
         });
-        walk + self.hierarchy.access(pa.raw(), is_write, now + walk, ctx)
+        walk + self.hierarchy.serve(pa, attrs.write, now + walk, ctx)
     }
 }
 
@@ -214,9 +251,12 @@ impl Machine {
                 amu,
                 cache_pat,
                 pf_pat,
-                os,
                 tlb: config.tlb.map(Tlb::new),
                 xmem_enabled,
+                tc_vpn: [TC_EMPTY; TC_ENTRIES],
+                tc_pfn: [0; TC_ENTRIES],
+                page_shift: os.page_table().page_size().trailing_zeros(),
+                os,
             },
             lib: XMemLib::new(),
             labels: BTreeMap::new(),
@@ -358,7 +398,24 @@ impl TraceSink for Machine {
         }
     }
 
+    fn op_batch(&mut self, batch: &OpBatch) {
+        if self.next_sample_at == u64::MAX {
+            // Telemetry disarmed: the per-op boundary check is always
+            // false, so the tight batch loop is observably identical.
+            self.core.step_batch(batch, &mut self.mem);
+        } else {
+            for i in 0..batch.len() {
+                self.core.step(batch.op(i), &mut self.mem);
+                if self.core.instructions() >= self.next_sample_at {
+                    self.take_sample();
+                }
+            }
+        }
+    }
+
     fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        // The page table is about to grow: drop the translate cache.
+        self.mem.tc_vpn = [TC_EMPTY; TC_ENTRIES];
         self.mem
             .os
             .malloc(bytes, atom)
@@ -518,21 +575,122 @@ pub fn run_workload_with_telemetry(
     epoch_instructions: Option<u64>,
     generate: impl Fn(&mut dyn TraceSink),
 ) -> (RunReport, Option<TelemetrySeries>) {
+    run_generator(config, epoch_instructions, &ClosureGen(generate))
+}
+
+/// A workload generator the two-pass runner can replay into any sink type.
+///
+/// The generic method is the point: implementors written against a concrete
+/// `S` monomorphize, so the executing pass inlines generator → batch
+/// emitter → machine with no per-op virtual dispatch. `dyn TraceSink` still
+/// satisfies `S` (it is `?Sized`), which is how the closure-based
+/// [`run_workload`] entry points reuse the same flow.
+pub trait Generator {
+    /// Replays the workload into `sink`. Must be deterministic: the runner
+    /// calls this twice (scan pass, then execute pass) and the two replays
+    /// must emit the same trace.
+    fn emit<S: TraceSink + ?Sized>(&self, sink: &mut S);
+}
+
+/// Adapts a `Fn(&mut dyn TraceSink)` closure to [`Generator`] for the
+/// dyn-dispatch entry points ([`run_workload`] and friends).
+struct ClosureGen<F: Fn(&mut dyn TraceSink)>(F);
+
+impl<F: Fn(&mut dyn TraceSink)> Generator for ClosureGen<F> {
+    fn emit<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        // `S` may itself be unsized, so it can't coerce to `dyn TraceSink`
+        // directly; the Sized forwarder below can.
+        (self.0)(&mut ForwardSink(sink));
+    }
+}
+
+/// Sized shim forwarding every [`TraceSink`] method to a possibly-unsized
+/// inner sink, so `&mut S` can be handed to a `&mut dyn TraceSink` closure.
+struct ForwardSink<'a, S: TraceSink + ?Sized>(&'a mut S);
+
+impl<S: TraceSink + ?Sized> TraceSink for ForwardSink<'_, S> {
+    fn op(&mut self, op: Op) {
+        self.0.op(op);
+    }
+    fn op_batch(&mut self, batch: &OpBatch) {
+        self.0.op_batch(batch);
+    }
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.0.alloc(bytes, atom)
+    }
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        self.0.create_atom(label, attrs)
+    }
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        self.0.map(atom, start, len);
+    }
+    fn unmap(&mut self, start: u64, len: u64) {
+        self.0.unmap(start, len);
+    }
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.0.map_2d(atom, base, size_x, size_y, len_x);
+    }
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.0.unmap_2d(base, size_x, size_y, len_x);
+    }
+    fn activate(&mut self, atom: AtomId) {
+        self.0.activate(atom);
+    }
+    fn deactivate(&mut self, atom: AtomId) {
+        self.0.deactivate(atom);
+    }
+}
+
+/// Runs the two-pass simulation for a [`Generator`], monomorphized over the
+/// concrete sink type of each pass. [`RunSpec::execute`] routes here, so
+/// sweep runs pay zero per-op virtual dispatch on the generation side.
+///
+/// [`RunSpec::execute`]: crate::harness::RunSpec::execute
+pub fn run_generator<G: Generator>(
+    config: &SystemConfig,
+    epoch_instructions: Option<u64>,
+    generator: &G,
+) -> (RunReport, Option<TelemetrySeries>) {
     // Pass 1: compile-time summarization.
     let mut scan = ScanSink::new();
-    generate(&mut scan);
+    generator.emit(&mut scan);
     let segment = scan.segment();
     // Load time: GAT + translator + PATs + placement primitives.
     let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
     // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
     let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
-    // Execution.
+    // Execution: generators emit per-op; the BatchEmitter buffers ops into
+    // OpBatches and the machine executes them through the batched path.
     let mut machine = Machine::new(config, &loaded);
     if let Some(epoch) = epoch_instructions {
         machine.enable_telemetry(epoch);
     }
-    generate(&mut machine);
+    {
+        let mut emitter = BatchEmitter::new(&mut machine);
+        generator.emit(&mut emitter);
+    }
     machine.report_with_telemetry()
+}
+
+/// Scalar reference arm for the byte-identity suite: identical to
+/// [`run_workload`] except the generator drives the machine one op at a
+/// time — no [`BatchEmitter`], the pre-batching execution shape. Exists so
+/// tests can prove the batched path changes nothing; not part of the
+/// supported API.
+#[doc(hidden)]
+pub fn run_workload_scalar(
+    config: &SystemConfig,
+    generate: impl Fn(&mut dyn TraceSink),
+) -> RunReport {
+    let mut scan = ScanSink::new();
+    generate(&mut scan);
+    let segment = scan.segment();
+    let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
+    let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
+    let mut machine = Machine::new(config, &loaded);
+    generate(&mut machine);
+    machine.report()
 }
 
 #[cfg(test)]

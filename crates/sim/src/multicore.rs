@@ -17,8 +17,8 @@ use cache_sim::cache::{Cache, CacheStats, Eviction, InsertPriority};
 use cache_sim::pin::{select_pinned, PinCandidate};
 use cache_sim::prefetch::MultiStridePrefetcher;
 use cache_sim::XmemMode;
+use cpu_sim::batch::{MemoryPath, OpAttrs};
 use cpu_sim::core::{Core, CoreStats};
-use cpu_sim::trace::MemoryModel;
 use dram_sim::{Dram, DramStats};
 use os_sim::loader::load_segment;
 use os_sim::os::Os;
@@ -112,7 +112,7 @@ impl SharedMem {
 
     fn writeback_shared(&mut self, ev: Eviction, now: u64) {
         if ev.dirty {
-            let _ = self.dram.access(ev.addr, true, now);
+            let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
         }
     }
 
@@ -162,7 +162,7 @@ impl SharedMem {
             if self.l3.contains(target) {
                 continue;
             }
-            let _ = self.dram.access_prefetch(target, t_mem);
+            let _ = self.dram.serve_prefetch(target, t_mem);
             if let Some(ev) = self.l3.fill(target, false, priority) {
                 self.writeback_shared(ev, t_mem);
             }
@@ -175,7 +175,7 @@ impl SharedMem {
     /// One access from `core` (same policy structure as the single-core
     /// [`cache_sim::hierarchy::Hierarchy`], with private L1/L2/prefetcher
     /// and shared L3/DRAM/AMU).
-    fn access(&mut self, core: usize, pa: u64, is_write: bool, now: u64) -> u64 {
+    fn serve_core(&mut self, core: usize, pa: u64, is_write: bool, now: u64) -> u64 {
         let line_addr = pa & !(self.line_bytes - 1);
         if self.l1s[core].probe(pa, is_write) {
             return self.l1_lat;
@@ -183,7 +183,7 @@ impl SharedMem {
         if self.l2s[core].probe(pa, false) {
             if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
                 if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
-                    let _ = self.dram.access(ev.addr, true, now);
+                    let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
                 }
             }
             return self.l1_lat + self.l2_lat;
@@ -208,12 +208,12 @@ impl SharedMem {
             self.inflight_prefetches.remove(&line_addr);
             if let Some(ev) = self.l2s[core].fill(line_addr, false, InsertPriority::Normal) {
                 if ev.dirty && !self.l3.set_dirty(ev.addr) {
-                    let _ = self.dram.access(ev.addr, true, now);
+                    let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
                 }
             }
             if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
                 if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
-                    let _ = self.dram.access(ev.addr, true, now);
+                    let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
                 }
             }
             self.issue_stride(stride_reqs, now + l3_total);
@@ -221,7 +221,7 @@ impl SharedMem {
         }
 
         let t_mem = now + l3_total;
-        let dram_lat = self.dram.access(line_addr, false, t_mem);
+        let dram_lat = self.dram.serve(line_addr, OpAttrs::read(), t_mem);
         let priority = match (self.mode, atom) {
             (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => InsertPriority::Pinned,
             _ => InsertPriority::Normal,
@@ -231,12 +231,12 @@ impl SharedMem {
         }
         if let Some(ev) = self.l2s[core].fill(line_addr, false, InsertPriority::Normal) {
             if ev.dirty && !self.l3.set_dirty(ev.addr) {
-                let _ = self.dram.access(ev.addr, true, now);
+                let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
             }
         }
         if let Some(ev) = self.l1s[core].fill(line_addr, is_write, InsertPriority::Normal) {
             if ev.dirty && !self.l2s[core].set_dirty(ev.addr) && !self.l3.set_dirty(ev.addr) {
-                let _ = self.dram.access(ev.addr, true, now);
+                let _ = self.dram.serve(ev.addr, OpAttrs::write(), now);
             }
         }
 
@@ -268,7 +268,7 @@ impl SharedMem {
             if self.l3.contains(target) {
                 continue;
             }
-            let _ = self.dram.access_prefetch(target, t_mem);
+            let _ = self.dram.serve_prefetch(target, t_mem);
             if let Some(ev) = self.l3.fill(target, false, InsertPriority::Normal) {
                 self.writeback_shared(ev, t_mem);
             }
@@ -301,8 +301,8 @@ fn translate_va(ranges: &[(u64, u64, u64)], va: u64) -> u64 {
     }
 }
 
-impl MemoryModel for CoreMemView<'_> {
-    fn access(&mut self, va: u64, is_write: bool, now: u64) -> u64 {
+impl MemoryPath for CoreMemView<'_> {
+    fn serve(&mut self, va: u64, attrs: OpAttrs, now: u64) -> u64 {
         let actual_va = translate_va(self.ranges, va);
         let pa = self
             .mem
@@ -310,7 +310,7 @@ impl MemoryModel for CoreMemView<'_> {
             .page_table()
             .translate(VirtAddr::new(actual_va))
             .unwrap_or_else(|| panic!("core {}: unallocated VA {va:#x}", self.core));
-        self.mem.access(self.core, pa.raw(), is_write, now)
+        self.mem.serve_core(self.core, pa.raw(), attrs.write, now)
     }
 }
 

@@ -1,0 +1,315 @@
+//! The byte-identity suite for the batched memory path (PR 6).
+//!
+//! The batched API's contract is that buffering ops into [`OpBatch`]es and
+//! serving them through `MemoryPath::serve_batch` is *observably identical*
+//! to the scalar one-op-at-a-time execution it replaced. These tests pin
+//! that contract at every level:
+//!
+//! * quick-sized fig4–fig7 grid points, batched vs. the scalar reference
+//!   arm (`run_workload_scalar`, which drives the machine without a
+//!   `BatchEmitter`);
+//! * sweep records under 1 worker vs. 8 workers;
+//! * SplitMix64-fuzzed `OpBatch` lane round trips and `serve_batch` vs.
+//!   per-op `serve` through the DRAM layer and the scalar adapter.
+
+use cpu_sim::batch::{MemoryPath, OpAttrs, OpBatch, OpKind, BATCH_CAPACITY};
+use cpu_sim::trace::{FixedLatency, Op};
+use dram_sim::{AddressMapping, Dram, DramConfig};
+use workloads::placement::PlacementWorkload;
+use workloads::polybench::{KernelParams, PolybenchKernel};
+use workloads::sink::TraceSink;
+use xmem_core::rng::SplitMix64;
+use xmem_sim::{
+    placement_specs, run_workload_scalar, KernelRun, RunSpec, Sweep, SystemKind, Uc2System,
+};
+
+/// Asserts one spec's batched report equals the scalar reference report,
+/// field for field and byte for byte (the `Debug` rendering covers every
+/// counter in the report, so string equality is a byte-level check).
+fn assert_identical(spec: &RunSpec) {
+    let batched = spec.execute();
+    let scalar = run_workload_scalar(&spec.config, |s| spec.workload.generate(s));
+    assert_eq!(batched, scalar, "{}: batched != scalar", spec.label);
+    assert_eq!(
+        format!("{batched:?}"),
+        format!("{scalar:?}"),
+        "{}: Debug renderings differ",
+        spec.label
+    );
+}
+
+fn uc1_params(n: usize, tile_bytes: u64) -> KernelParams {
+    KernelParams {
+        n,
+        tile_bytes,
+        steps: 4,
+        reuse: 200,
+    }
+}
+
+/// Figures 4–6 are (kernel, system, tile-size) grids over the polybench
+/// kernels. A quick-sized sample of that grid — small/tuned/oversized
+/// tiles, a spread of kernels, both systems — must be byte-identical
+/// batched vs. scalar.
+#[test]
+fn fig4_to_fig6_quick_points_batched_equals_scalar() {
+    let l3 = 32 << 10;
+    let kernels = [
+        PolybenchKernel::Gemm,
+        PolybenchKernel::Syrk,
+        PolybenchKernel::Trmm,
+    ];
+    for kernel in kernels {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            for tile in [2048, l3 / 2, 2 * l3] {
+                let mut spec = KernelRun::new(kernel, uc1_params(32, tile))
+                    .l3_bytes(l3)
+                    .system(kind)
+                    .spec();
+                spec.label = format!("{}/{kind}/tile={tile}", kernel.name());
+                assert_identical(&spec);
+            }
+        }
+    }
+}
+
+/// Figure 7 sweeps the placement workloads over Baseline / XMem /
+/// Ideal-RBL systems; each grid point must be byte-identical batched vs.
+/// scalar. Two representative mixes at quick size keep the runtime sane.
+#[test]
+fn fig7_quick_points_batched_equals_scalar() {
+    let mut workloads: Vec<PlacementWorkload> =
+        PlacementWorkload::all().into_iter().take(2).collect();
+    for w in &mut workloads {
+        w.accesses = 20_000;
+    }
+    for w in &workloads {
+        for sys in [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl] {
+            for spec in placement_specs(w, sys) {
+                assert_identical(&spec);
+            }
+        }
+    }
+}
+
+/// Worker-count invariance: the records of a sweep are identical whether
+/// the pool has 1 worker (serial reference) or 8, including the sampled
+/// telemetry series. This is the `XMEM_WORKERS=1` vs `=8` CI check,
+/// exercised through `Sweep::workers` (the same value the env var feeds)
+/// so the test never touches the process environment.
+#[test]
+fn sweep_records_identical_under_1_and_8_workers() {
+    let specs = || -> Vec<RunSpec> {
+        [
+            PolybenchKernel::Gemm,
+            PolybenchKernel::Mvt,
+            PolybenchKernel::Syr2k,
+        ]
+        .into_iter()
+        .flat_map(|kernel| {
+            [SystemKind::Baseline, SystemKind::Xmem].map(|kind| {
+                let mut spec = KernelRun::new(kernel, uc1_params(32, 4096))
+                    .l3_bytes(32 << 10)
+                    .system(kind)
+                    .spec();
+                spec.label = format!("{}/{kind}", kernel.name());
+                spec
+            })
+        })
+        .collect()
+    };
+    let serial = Sweep::new(specs()).workers(1).epoch(Some(2_000)).run();
+    let parallel = Sweep::new(specs()).workers(8).epoch(Some(2_000)).run();
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.report, b.report, "{}", a.label);
+        assert_eq!(
+            format!("{:?}", a.report),
+            format!("{:?}", b.report),
+            "{}",
+            a.label
+        );
+        // Telemetry samples carry f64 rates; the Debug rendering compares
+        // their exact bit patterns without needing PartialEq on the series.
+        assert_eq!(
+            format!("{:?}", a.telemetry),
+            format!("{:?}", b.telemetry),
+            "{}",
+            a.label
+        );
+    }
+}
+
+/// A deterministic random op with random attributes.
+fn random_push(rng: &mut SplitMix64, batch: &mut OpBatch, now: u64) -> (OpKind, u64, OpAttrs) {
+    let kind = match rng.below(4) {
+        0 => OpKind::Compute,
+        1 | 2 => OpKind::Load,
+        _ => OpKind::Store,
+    };
+    let addr = match kind {
+        OpKind::Compute => rng.range(1, 400),
+        _ => rng.below(1 << 26),
+    };
+    let attrs = match kind {
+        OpKind::Compute => OpAttrs::default(),
+        OpKind::Load => OpAttrs::read()
+            .with_dep(rng.percent(30))
+            .on_socket(rng.below(4) as u8)
+            .with_salt(rng.next_u64()),
+        OpKind::Store => OpAttrs::write()
+            .on_socket(rng.below(4) as u8)
+            .with_salt(rng.next_u64()),
+    };
+    batch.push(kind, addr, attrs, now);
+    (kind, addr, attrs)
+}
+
+/// Fuzz: everything pushed into an `OpBatch` reads back exactly — kind,
+/// address, attributes, start cycle, and the reconstructed trace `Op`.
+#[test]
+fn opbatch_lanes_round_trip_fuzzed() {
+    let mut rng = SplitMix64::new(0x1DE57);
+    for _ in 0..64 {
+        let mut batch = OpBatch::new();
+        let n = rng.range(1, BATCH_CAPACITY as u64 + 1) as usize;
+        let mut pushed = Vec::with_capacity(n);
+        for i in 0..n {
+            let now = i as u64 * 3;
+            pushed.push((random_push(&mut rng, &mut batch, now), now));
+        }
+        assert_eq!(batch.len(), n);
+        for (i, &((kind, addr, attrs), now)) in pushed.iter().enumerate() {
+            assert_eq!(batch.kind(i), kind);
+            assert_eq!(batch.addr(i), addr);
+            assert_eq!(batch.start(i), now);
+            if kind != OpKind::Compute {
+                assert_eq!(batch.attrs(i), attrs);
+            }
+            let expect_op = match kind {
+                OpKind::Compute => Op::Compute(addr as u32),
+                OpKind::Load => Op::Load {
+                    addr,
+                    dep: attrs.dep,
+                },
+                OpKind::Store => Op::Store { addr },
+            };
+            assert_eq!(batch.op(i), expect_op);
+        }
+    }
+}
+
+/// Fuzz: `serve_batch` against the DRAM layer leaves the model in exactly
+/// the state per-op `serve` calls produce, and returns the same latencies.
+#[test]
+fn dram_serve_batch_matches_per_op_serve_fuzzed() {
+    let mut rng = SplitMix64::new(0xD1A);
+    let fresh = || {
+        Dram::new(
+            DramConfig::ddr3_1066(3.6).with_capacity(64 << 20),
+            AddressMapping::scheme1(),
+        )
+    };
+    let mut batched = fresh();
+    let mut scalar = fresh();
+    let mut now = 0u64;
+    for _ in 0..32 {
+        let mut batch = OpBatch::new();
+        let mut mirror = Vec::new();
+        for _ in 0..rng.range(1, 257) {
+            now += rng.range(1, 32);
+            random_push(&mut rng, &mut batch, now);
+            mirror.push(now);
+        }
+        let reference: Vec<Option<u64>> = (0..batch.len())
+            .map(|i| match batch.kind(i) {
+                OpKind::Compute => None,
+                _ => Some(scalar.serve(batch.addr(i), batch.attrs(i), batch.start(i))),
+            })
+            .collect();
+        batched.serve_batch(&mut batch);
+        for (i, expect) in reference.iter().enumerate() {
+            match expect {
+                Some(lat) => assert_eq!(batch.latency(i), *lat, "op {i}"),
+                // Compute lanes keep their start cycle untouched.
+                None => assert_eq!(batch.latency(i), mirror[i], "compute op {i}"),
+            }
+        }
+        assert_eq!(
+            format!("{batched:?}"),
+            format!("{scalar:?}"),
+            "DRAM state diverged"
+        );
+    }
+}
+
+/// Fuzz: the blanket scalar adapter serves batches exactly as the scalar
+/// `MemoryModel::access` would, op for op.
+#[test]
+fn scalar_adapter_serve_batch_matches_access_fuzzed() {
+    use cpu_sim::trace::MemoryModel;
+    let mut rng = SplitMix64::new(0xF1);
+    let mut model = FixedLatency { latency: 13 };
+    for _ in 0..16 {
+        let mut batch = OpBatch::new();
+        for i in 0..rng.range(1, 257) {
+            random_push(&mut rng, &mut batch, i * 2);
+        }
+        let reference: Vec<Option<u64>> = (0..batch.len())
+            .map(|i| match batch.kind(i) {
+                OpKind::Compute => None,
+                _ => Some(model.access(batch.addr(i), batch.attrs(i).write, batch.start(i))),
+            })
+            .collect();
+        model.serve_batch(&mut batch);
+        for (i, expect) in reference.iter().enumerate() {
+            if let Some(lat) = expect {
+                assert_eq!(batch.latency(i), *lat);
+            }
+        }
+    }
+}
+
+/// Fuzz the whole machine: a seeded synthetic workload (random allocs,
+/// loads, stores, compute bursts, atom hints) runs byte-identical through
+/// the batched and scalar paths.
+#[test]
+fn random_workloads_batched_equals_scalar() {
+    use xmem_core::attrs::{AccessPattern, AtomAttributes, Reuse};
+    use xmem_sim::{run_workload, SystemConfig};
+
+    let generate = |seed: u64, sink: &mut dyn TraceSink| {
+        let mut rng = SplitMix64::new(seed);
+        let atom = sink.create_atom(
+            "fuzz",
+            AtomAttributes::builder()
+                .access_pattern(AccessPattern::sequential(8))
+                .reuse(Reuse(100))
+                .build(),
+        );
+        let bytes = 1 << rng.range(14, 17);
+        let base = sink.alloc(bytes, Some(atom));
+        sink.map(atom, base, bytes);
+        sink.activate(atom);
+        for _ in 0..6_000 {
+            let addr = base + rng.below(bytes / 8) * 8;
+            match rng.below(10) {
+                0..=5 => sink.op(Op::load(addr)),
+                6 => sink.op(Op::load_dep(addr)),
+                7 | 8 => sink.op(Op::store(addr)),
+                _ => sink.op(Op::Compute(rng.range(1, 64) as u32)),
+            }
+        }
+        sink.deactivate(atom);
+    };
+    for seed in [1u64, 7, 42] {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            let cfg = SystemConfig::scaled_use_case1(32 << 10, kind);
+            let batched = run_workload(&cfg, |s| generate(seed, s));
+            let scalar = run_workload_scalar(&cfg, |s| generate(seed, s));
+            assert_eq!(batched, scalar, "seed {seed}, {kind}");
+            assert_eq!(format!("{batched:?}"), format!("{scalar:?}"));
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! | `narrowing-cast` | no narrowing `as` on address/cycle expressions (R3)         |
 //! | `unwrap`         | no unannotated `.unwrap()`/`.expect()` in library code (R4) |
 //! | `float-cmp`      | no float comparison in timing/scheduling decisions (R5)     |
+//! | `scalar-access`  | no new scalar `fn access(` in sim-state crates (R6) — the   |
+//! |                  | batched `MemoryPath::serve`/`serve_batch` API replaced it   |
 //!
 //! Suppression: a per-site `// simlint: allow(<rule>, reason = "...")`
 //! comment (same line, or the line directly above), or a `simlint.toml`
@@ -102,7 +104,7 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
 pub struct FileCtx {
     /// Workspace-relative path with `/` separators (diagnostics + allowlist key).
     pub rel_path: String,
-    /// Crate is in [`rules::SIM_STATE_DIRS`] — R1/R2/R3/R5 apply.
+    /// Crate is in [`rules::SIM_STATE_DIRS`] — R1/R2/R3/R5/R6 apply.
     pub sim_state: bool,
     /// Library code (not `src/bin/*`, not `src/main.rs`) — R4 applies.
     pub library: bool,

@@ -24,6 +24,7 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_NARROWING_CAST: &str = "narrowing-cast";
 pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_FLOAT_CMP: &str = "float-cmp";
+pub const RULE_SCALAR_ACCESS: &str = "scalar-access";
 /// Meta-rules: a malformed `// simlint: allow(...)` comment, and an allow
 /// comment that suppresses nothing (so stale annotations cannot linger).
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
@@ -50,6 +51,12 @@ pub fn hint_for(rule: &str) -> &'static str {
         RULE_FLOAT_CMP => {
             "float comparison in timing/scheduling paths is rounding-order fragile; compare \
              integer counters or add `// simlint: allow(float-cmp, reason = \"...\")`"
+        }
+        RULE_SCALAR_ACCESS => {
+            "the scalar `fn access(...)` memory API is superseded by the batched \
+             `MemoryPath::serve`/`serve_batch` (see DESIGN.md \"The batched hot path\"); \
+             implement `MemoryPath` instead — only the compatibility adapter in \
+             cpu-sim/src/trace.rs keeps the old name"
         }
         RULE_ALLOW_SYNTAX => {
             "expected `// simlint: allow(<rule>, reason = \"...\")` with a non-empty reason"
@@ -230,6 +237,7 @@ fn parse_allow(s: &str) -> Option<String> {
         RULE_NARROWING_CAST,
         RULE_UNWRAP,
         RULE_FLOAT_CMP,
+        RULE_SCALAR_ACCESS,
     ];
     if reason.trim().is_empty() || !known.contains(&rule) {
         return None;
@@ -251,6 +259,7 @@ pub fn run_all(toks: &[Tok], mask: &[bool], ctx: &FileCtx, out: &mut Vec<Finding
             wall_clock(t, ctx, out);
             narrowing_cast(toks, i, t, ctx, out);
             float_cmp(toks, i, t, ctx, out);
+            scalar_access(toks, i, t, ctx, out);
         }
         if ctx.library {
             unwrap_rule(toks, i, t, ctx, out);
@@ -426,6 +435,32 @@ fn unwrap_rule(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Fin
             t,
             RULE_UNWRAP,
             format!("`.{}()` in non-test library code", t.text),
+        );
+    }
+}
+
+/// R6: no new scalar `fn access(` definitions in sim-state crates. The
+/// batched API (PR 6) renamed the per-op entry points to `serve` /
+/// `serve_batch`; the only scalar `access` left is the `MemoryModel`
+/// compatibility adapter, allowlisted by path in `simlint.toml`. Flagging
+/// the *definition* (not call sites) keeps the rule cheap and precise:
+/// a `fn` keyword directly followed by the identifier `access` and `(`.
+fn scalar_access(toks: &[Tok], i: usize, t: &Tok, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !t.is_ident("fn") {
+        return;
+    }
+    let mut rest = toks[i + 1..].iter().filter(|n| n.kind != TokKind::Comment);
+    let (Some(name), Some(open)) = (rest.next(), rest.next()) else {
+        return;
+    };
+    if name.is_ident("access") && open.is_punct("(") {
+        push(
+            out,
+            ctx,
+            name,
+            RULE_SCALAR_ACCESS,
+            "scalar `fn access(...)` in sim-state crate (use the batched `MemoryPath` API)"
+                .to_string(),
         );
     }
 }

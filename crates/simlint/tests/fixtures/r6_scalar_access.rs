@@ -1,0 +1,35 @@
+// R6 fixture: scalar `fn access(` definitions in a sim-state crate.
+pub struct Widget;
+
+impl Widget {
+    pub fn access(&mut self, addr: u64, is_write: bool, now: u64) -> u64 {
+        let _ = (addr, is_write);
+        now
+    }
+}
+
+pub trait OldModel {
+    fn access(&mut self, addr: u64, is_write: bool, now: u64) -> u64;
+}
+
+// Not flagged: different name, and `access` used as a call, not a definition.
+pub fn serve(w: &mut Widget, addr: u64) -> u64 {
+    w.access(addr, false, 0)
+}
+
+pub fn accessor() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt, like every other rule.
+    fn access(x: u64) -> u64 {
+        x
+    }
+
+    #[test]
+    fn ok() {
+        assert_eq!(access(1), 1);
+    }
+}

@@ -85,6 +85,17 @@ fn r5_float_cmp_golden() {
 }
 
 #[test]
+fn r6_scalar_access_golden() {
+    assert_eq!(
+        rendered("r6_scalar_access.rs"),
+        [
+            "r6_scalar_access.rs:5:12: scalar-access: scalar `fn access(...)` in sim-state crate (use the batched `MemoryPath` API)",
+            "r6_scalar_access.rs:12:8: scalar-access: scalar `fn access(...)` in sim-state crate (use the batched `MemoryPath` API)",
+        ]
+    );
+}
+
+#[test]
 fn clean_file_has_no_findings() {
     assert_eq!(rendered("clean.rs"), [] as [String; 0]);
 }
@@ -147,15 +158,16 @@ fn toml_allowlist_suppresses_exactly_the_listed_path() {
     assert_eq!(lint_source(&src, &other, &cfg).len(), 4);
 }
 
-/// Every seeded fixture violation is flagged — all five rules fire.
+/// Every seeded fixture violation is flagged — all six rules fire.
 #[test]
-fn all_five_rules_fire_on_the_corpus() {
+fn all_six_rules_fire_on_the_corpus() {
     for (file, rule) in [
         ("r1_nondet_map.rs", "nondet-map"),
         ("r2_wall_clock.rs", "wall-clock"),
         ("r3_narrowing_cast.rs", "narrowing-cast"),
         ("r4_unwrap.rs", "unwrap"),
         ("r5_float_cmp.rs", "float-cmp"),
+        ("r6_scalar_access.rs", "scalar-access"),
     ] {
         let findings = lint_fixture(file);
         assert!(

@@ -9,7 +9,7 @@ use xmem_core::attrs::{AccessPattern, AtomAttributes, DataType, Reuse};
 /// `accesses` loads. With XMem it honestly expresses *zero reuse*, letting
 /// the shared cache deprioritize it (Table 1, "bypassing data that has no
 /// reuse").
-pub fn stream_hog(sink: &mut dyn TraceSink, bytes: u64, accesses: u64, compute: u32) {
+pub fn stream_hog<S: TraceSink + ?Sized>(sink: &mut S, bytes: u64, accesses: u64, compute: u32) {
     let atom = sink.create_atom(
         "hog_stream",
         AtomAttributes::builder()
@@ -32,7 +32,7 @@ pub fn stream_hog(sink: &mut dyn TraceSink, bytes: u64, accesses: u64, compute: 
 
 /// A random-access hog: uniformly random lines over a `bytes` buffer,
 /// expressing a non-deterministic pattern.
-pub fn random_hog(sink: &mut dyn TraceSink, bytes: u64, accesses: u64, compute: u32) {
+pub fn random_hog<S: TraceSink + ?Sized>(sink: &mut S, bytes: u64, accesses: u64, compute: u32) {
     let atom = sink.create_atom(
         "hog_random",
         AtomAttributes::builder()

@@ -396,7 +396,7 @@ impl PlacementWorkload {
 
     /// Generates the workload trace: allocate + express every structure,
     /// then issue the interleaved access stream.
-    pub fn generate(&self, sink: &mut dyn TraceSink) {
+    pub fn generate<S: TraceSink + ?Sized>(&self, sink: &mut S) {
         // Intensity ranking: proportional to access weight (the paper's
         // AccessIntensity is a relative ranking between atoms, §3.3).
         let max_weight = self.structs.iter().map(|s| s.weight).max().unwrap_or(1);

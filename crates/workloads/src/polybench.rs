@@ -83,7 +83,7 @@ struct Mat {
 }
 
 impl Mat {
-    fn alloc(sink: &mut dyn TraceSink, rows: usize, cols: usize) -> Mat {
+    fn alloc<S: TraceSink + ?Sized>(sink: &mut S, rows: usize, cols: usize) -> Mat {
         let base = sink.alloc(rows as u64 * cols as u64 * ELEM, None);
         Mat {
             base,
@@ -195,7 +195,7 @@ impl PolybenchKernel {
     }
 
     /// Generates the kernel's trace into `sink`.
-    pub fn generate(&self, p: &KernelParams, sink: &mut dyn TraceSink) {
+    pub fn generate<S: TraceSink + ?Sized>(&self, p: &KernelParams, sink: &mut S) {
         match self {
             PolybenchKernel::Gemm => gemm(p, sink),
             PolybenchKernel::TwoMm => two_mm(p, sink),
@@ -218,7 +218,7 @@ impl PolybenchKernel {
 }
 
 /// Creates the shared high-reuse tile atom (§5.2(1)).
-fn tile_atom(p: &KernelParams, sink: &mut dyn TraceSink) -> xmem_core::atom::AtomId {
+fn tile_atom<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) -> xmem_core::atom::AtomId {
     sink.create_atom(
         "tile",
         AtomAttributes::builder()
@@ -231,9 +231,9 @@ fn tile_atom(p: &KernelParams, sink: &mut dyn TraceSink) -> xmem_core::atom::Ato
 
 /// One blocked matrix-multiply pass `C += A·B`, mapping the active `B` block
 /// to `atom`. Shared by gemm / 2mm / 3mm.
-fn gemm_pass(
+fn gemm_pass<S: TraceSink + ?Sized>(
     p: &KernelParams,
-    sink: &mut dyn TraceSink,
+    sink: &mut S,
     atom: xmem_core::atom::AtomId,
     a: Mat,
     b: Mat,
@@ -274,7 +274,7 @@ fn gemm_pass(
     sink.deactivate(atom);
 }
 
-fn gemm(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn gemm<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     let atom = tile_atom(p, sink);
     let a = Mat::alloc(sink, p.n, p.n);
     let b = Mat::alloc(sink, p.n, p.n);
@@ -282,7 +282,7 @@ fn gemm(p: &KernelParams, sink: &mut dyn TraceSink) {
     gemm_pass(p, sink, atom, a, b, c);
 }
 
-fn two_mm(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn two_mm<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     let atom = tile_atom(p, sink);
     let a = Mat::alloc(sink, p.n, p.n);
     let b = Mat::alloc(sink, p.n, p.n);
@@ -293,7 +293,7 @@ fn two_mm(p: &KernelParams, sink: &mut dyn TraceSink) {
     gemm_pass(p, sink, atom, tmp, c, d);
 }
 
-fn three_mm(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn three_mm<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     let atom = tile_atom(p, sink);
     let a = Mat::alloc(sink, p.n, p.n);
     let b = Mat::alloc(sink, p.n, p.n);
@@ -307,7 +307,7 @@ fn three_mm(p: &KernelParams, sink: &mut dyn TraceSink) {
     gemm_pass(p, sink, atom, e, f, g);
 }
 
-fn syrk(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn syrk<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // C[i][j] += A[i][k] * A[j][k]: the block of A-rows [jj..jj+jb] over
     // columns [kk..kk+kb] plays the role of gemm's B tile.
     let atom = tile_atom(p, sink);
@@ -344,7 +344,7 @@ fn syrk(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn syr2k(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn syr2k<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // C[i][j] += A[i][k]·B[j][k] + B[i][k]·A[j][k]: both the A-row block and
     // the B-row block are high-reuse — one atom maps both (an atom can map
     // non-contiguous data, §3.2).
@@ -396,7 +396,7 @@ fn syr2k(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn trmm(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn trmm<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // B[i][j] += A[i][k] · B[k][j] for k < i (A lower-triangular). The block
     // of B-rows [kk..kk+kb] is the reused tile.
     let atom = tile_atom(p, sink);
@@ -435,7 +435,7 @@ fn trmm(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn mvt(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn mvt<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // x1 += A·y1 ; x2 += Aᵀ·y2 — the vector chunk is the reused tile; the
     // matrix streams through once per pass.
     let atom = tile_atom(p, sink);
@@ -483,7 +483,7 @@ fn mvt(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn gemver(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn gemver<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // A += u1·v1ᵀ + u2·v2ᵀ; x = Aᵀ·y + z; w = A·x.
     let atom = tile_atom(p, sink);
     let a = Mat::alloc(sink, p.n, p.n);
@@ -560,7 +560,7 @@ fn gemver(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn gesummv(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn gesummv<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // y = α·A·x + β·B·x: the x chunk is reused by every row of A and B.
     let atom = tile_atom(p, sink);
     let a = Mat::alloc(sink, p.n, p.n);
@@ -588,7 +588,7 @@ fn gesummv(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn jacobi2d(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn jacobi2d<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // Time-tiled 5-point Jacobi: each row block of the two grids is
     // processed for all `steps` sweeps before moving on (the PLUTO-style
     // time-tiled schedule), so the block is reused `steps` times.
@@ -623,7 +623,7 @@ fn jacobi2d(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn seidel2d(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn seidel2d<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // In-place 9-point Gauss–Seidel, time-tiled by row blocks.
     let atom = tile_atom(p, sink);
     let n = p.n;
@@ -651,7 +651,7 @@ fn seidel2d(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn heat3d(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn heat3d<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // 7-point 3D heat equation on an m³ grid (m = n^(2/3) to keep total work
     // comparable to the 2D kernels), time-tiled by z-plane blocks.
     let atom = tile_atom(p, sink);
@@ -693,7 +693,7 @@ fn heat3d(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn cholesky(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn cholesky<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // Right-looking Cholesky: at step k, column k below the diagonal is the
     // reused working set for the trailing-submatrix update. The column is a
     // strided region — mapped with `map_2d` (width = one element, pitch =
@@ -737,7 +737,7 @@ fn cholesky(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn lu(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn lu<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // LU without pivoting: at step k, row k right of the diagonal is reused
     // by every row of the trailing submatrix.
     let atom = tile_atom(p, sink);
@@ -773,7 +773,7 @@ fn lu(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn floyd_warshall(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn floyd_warshall<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // All-pairs shortest paths: at step k, row k and column k are the
     // reused working set for the whole n x n sweep. Both map to one atom
     // (flexible non-contiguous mapping, §3.2).
@@ -802,7 +802,7 @@ fn floyd_warshall(p: &KernelParams, sink: &mut dyn TraceSink) {
     sink.deactivate(atom);
 }
 
-fn adi(p: &KernelParams, sink: &mut dyn TraceSink) {
+fn adi<S: TraceSink + ?Sized>(p: &KernelParams, sink: &mut S) {
     // Alternating-direction-implicit: each time step does a row-wise sweep
     // (forward + back substitution along rows) then a column-wise sweep.
     // The active row/column block is the reused working set.

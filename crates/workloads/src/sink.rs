@@ -8,6 +8,7 @@
 //! baseline that executes the ops but ignores every hint — which is exactly
 //! the paper's baseline (same binary minus the XMem calls).
 
+use cpu_sim::batch::{OpAttrs, OpBatch, OpKind};
 use cpu_sim::trace::Op;
 use xmem_core::atom::AtomId;
 use xmem_core::attrs::AtomAttributes;
@@ -20,6 +21,19 @@ use xmem_core::attrs::AtomAttributes;
 pub trait TraceSink {
     /// Executes one CPU op.
     fn op(&mut self, op: Op);
+
+    /// Executes a buffer of ops in order.
+    ///
+    /// The default forwards each op to [`TraceSink::op`], so every sink is
+    /// batch-correct by construction; sinks with a genuinely batched fast
+    /// path (the executing machine) override it. Overrides must observe
+    /// the ops in exactly buffer order — the byte-identity invariant of
+    /// the batched memory path rests on it.
+    fn op_batch(&mut self, batch: &OpBatch) {
+        for i in 0..batch.len() {
+            self.op(batch.op(i));
+        }
+    }
 
     /// Allocates `bytes` of virtual memory on behalf of `atom` (if the data
     /// belongs to one), returning the base address. This is the augmented
@@ -65,6 +79,216 @@ pub trait TraceSink {
     /// Convenience: `n` compute instructions.
     fn compute(&mut self, n: u32) {
         self.op(Op::Compute(n));
+    }
+}
+
+/// Buffers ops into an [`OpBatch`] and hands full buffers downstream via
+/// [`TraceSink::op_batch`], flushing before any hint so program order is
+/// preserved exactly.
+///
+/// Wrap the executing sink in this to turn a per-op generator into a
+/// batched one without touching the generator: ops amortize the dynamic
+/// dispatch into one call per [`cpu_sim::batch::BATCH_CAPACITY`] ops,
+/// while allocation and XMem hints still land between the right ops.
+///
+/// Call [`BatchEmitter::flush`] (or drop the emitter) after the generator
+/// finishes; dropping flushes any tail ops automatically.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::sink::{BatchEmitter, CollectSink, TraceSink};
+///
+/// let mut inner = CollectSink::new();
+/// {
+///     let mut em = BatchEmitter::new(&mut inner);
+///     for i in 0..1000u64 {
+///         em.load(i * 64);
+///     }
+/// } // drop flushes the tail
+/// assert_eq!(inner.ops.len(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct BatchEmitter<'a, S: TraceSink + ?Sized> {
+    sink: &'a mut S,
+    batch: OpBatch,
+}
+
+impl<'a, S: TraceSink + ?Sized> BatchEmitter<'a, S> {
+    /// Wraps `sink` with an empty buffer.
+    pub fn new(sink: &'a mut S) -> Self {
+        BatchEmitter {
+            sink,
+            batch: OpBatch::new(),
+        }
+    }
+
+    /// Sends any buffered ops downstream.
+    pub fn flush(&mut self) {
+        if !self.batch.is_empty() {
+            self.sink.op_batch(&self.batch);
+            self.batch.clear();
+        }
+    }
+}
+
+impl<S: TraceSink + ?Sized> Drop for BatchEmitter<'_, S> {
+    fn drop(&mut self) {
+        // Flush tail ops; skip during unwind (the sink may be poisoned).
+        if !std::thread::panicking() {
+            self.flush();
+        }
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for BatchEmitter<'_, S> {
+    #[inline]
+    fn op(&mut self, op: Op) {
+        self.batch.push_op(op, 0);
+        if self.batch.is_full() {
+            self.flush();
+        }
+    }
+
+    // The convenience emitters push lanes directly instead of routing
+    // through an [`Op`] value; each is exactly its trait-default expansion
+    // (`OpAttrs::read()` carries `dep: false`, and a `Compute` push stores
+    // the count in the address lane with default attributes).
+    #[inline]
+    fn load(&mut self, addr: u64) {
+        self.batch.push(OpKind::Load, addr, OpAttrs::read(), 0);
+        if self.batch.is_full() {
+            self.flush();
+        }
+    }
+
+    #[inline]
+    fn load_dep(&mut self, addr: u64) {
+        self.batch
+            .push(OpKind::Load, addr, OpAttrs::read().with_dep(true), 0);
+        if self.batch.is_full() {
+            self.flush();
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64) {
+        self.batch.push(OpKind::Store, addr, OpAttrs::write(), 0);
+        if self.batch.is_full() {
+            self.flush();
+        }
+    }
+
+    #[inline]
+    fn compute(&mut self, n: u32) {
+        self.batch
+            .push(OpKind::Compute, n as u64, OpAttrs::default(), 0);
+        if self.batch.is_full() {
+            self.flush();
+        }
+    }
+
+    fn op_batch(&mut self, batch: &OpBatch) {
+        self.flush();
+        self.sink.op_batch(batch);
+    }
+
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.flush();
+        self.sink.alloc(bytes, atom)
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        self.flush();
+        self.sink.create_atom(label, attrs)
+    }
+
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        self.flush();
+        self.sink.map(atom, start, len);
+    }
+
+    fn unmap(&mut self, start: u64, len: u64) {
+        self.flush();
+        self.sink.unmap(start, len);
+    }
+
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.flush();
+        self.sink.map_2d(atom, base, size_x, size_y, len_x);
+    }
+
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.flush();
+        self.sink.unmap_2d(base, size_x, size_y, len_x);
+    }
+
+    fn activate(&mut self, atom: AtomId) {
+        self.flush();
+        self.sink.activate(atom);
+    }
+
+    fn deactivate(&mut self, atom: AtomId) {
+        self.flush();
+        self.sink.deactivate(atom);
+    }
+}
+
+/// Forces the scalar path of the wrapped sink: every incoming batch is
+/// unbundled into per-op [`TraceSink::op`] calls (the trait default), and
+/// the wrapped sink's own `op_batch` override is never invoked.
+///
+/// This is the reference arm of the byte-identity tests: a run through
+/// `Scalarize<Machine>` must produce a report identical to the batched run.
+#[derive(Debug)]
+pub struct Scalarize<'a, S: TraceSink + ?Sized> {
+    sink: &'a mut S,
+}
+
+impl<'a, S: TraceSink + ?Sized> Scalarize<'a, S> {
+    /// Wraps `sink`.
+    pub fn new(sink: &'a mut S) -> Self {
+        Scalarize { sink }
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for Scalarize<'_, S> {
+    // No op_batch override: the trait default unbundles batches through
+    // `op`, which is exactly the point.
+    fn op(&mut self, op: Op) {
+        self.sink.op(op);
+    }
+
+    fn alloc(&mut self, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.sink.alloc(bytes, atom)
+    }
+
+    fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId {
+        self.sink.create_atom(label, attrs)
+    }
+
+    fn map(&mut self, atom: AtomId, start: u64, len: u64) {
+        self.sink.map(atom, start, len);
+    }
+
+    fn unmap(&mut self, start: u64, len: u64) {
+        self.sink.unmap(start, len);
+    }
+
+    fn map_2d(&mut self, atom: AtomId, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.sink.map_2d(atom, base, size_x, size_y, len_x);
+    }
+
+    fn unmap_2d(&mut self, base: u64, size_x: u64, size_y: u64, len_x: u64) {
+        self.sink.unmap_2d(base, size_x, size_y, len_x);
+    }
+
+    fn activate(&mut self, atom: AtomId) {
+        self.sink.activate(atom);
+    }
+
+    fn deactivate(&mut self, atom: AtomId) {
+        self.sink.deactivate(atom);
     }
 }
 
@@ -424,6 +648,60 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(s.atoms().len(), 2);
+    }
+
+    #[test]
+    fn batch_emitter_preserves_program_order_across_hints() {
+        // Record the same program directly and through a BatchEmitter; the
+        // fully-ordered logs must be identical (hints land between the
+        // right ops even when the buffer is mid-fill).
+        let program = |s: &mut dyn TraceSink| {
+            let a = s.create_atom("t", AtomAttributes::default());
+            let base = s.alloc(4096, Some(a));
+            for i in 0..300u64 {
+                s.load(base + i * 64);
+            }
+            s.map(a, base, 4096);
+            s.activate(a);
+            for i in 0..300u64 {
+                s.store(base + i * 64);
+                s.compute(1);
+            }
+            s.deactivate(a);
+        };
+        let mut direct = LogSink::new();
+        program(&mut direct);
+        let mut batched = LogSink::new();
+        {
+            let mut em = BatchEmitter::new(&mut batched);
+            program(&mut em);
+        }
+        assert_eq!(direct.events(), batched.events());
+    }
+
+    #[test]
+    fn batch_emitter_flushes_at_capacity() {
+        let mut inner = CollectSink::new();
+        let mut em = BatchEmitter::new(&mut inner);
+        for i in 0..cpu_sim::batch::BATCH_CAPACITY as u64 {
+            em.load(i * 64);
+        }
+        // A full buffer flushed itself without waiting for drop.
+        em.flush();
+        assert_eq!(em.sink.ops.len(), cpu_sim::batch::BATCH_CAPACITY);
+    }
+
+    #[test]
+    fn scalarize_unbundles_batches() {
+        let mut inner = CollectSink::new();
+        {
+            let mut scalar = Scalarize::new(&mut inner);
+            let mut em = BatchEmitter::new(&mut scalar);
+            for i in 0..700u64 {
+                em.load(i * 64);
+            }
+        }
+        assert_eq!(inner.ops.len(), 700);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! A flat sorted-vector map for hot simulator lookup paths.
+//!
+//! The determinism rules (DESIGN.md, enforced by simlint) ban hash maps
+//! from sim-state structs because their iteration order varies run to run.
+//! `BTreeMap` satisfies the rules but costs pointer-chasing on every
+//! lookup, which shows up directly in the per-access simulation loop
+//! (page-table translate, TLB probe). [`FlatMap`] is the replacement for
+//! *small or scan-friendly* hot maps: two parallel vectors sorted by key,
+//! binary-search lookups, and — the property the determinism argument
+//! rests on — iteration in strictly ascending key order, exactly like the
+//! `BTreeMap` it replaces. Any tie-breaking scan written against the old
+//! map (e.g. the TLB's LRU victim search) sees the same candidate order
+//! and picks the same victim.
+//!
+//! Inserts shift the tail (`O(n)`), so this is *not* a general-purpose
+//! map: it fits tables that are probed far more often than they grow
+//! (page tables fill mostly in ascending VPN order, making inserts an
+//! amortized push), and small fixed-capacity structures (a 64-entry TLB).
+
+/// A map from `K` to `V` stored as two parallel key-sorted vectors.
+///
+/// # Examples
+///
+/// ```
+/// use xmem_core::flatmap::FlatMap;
+///
+/// let mut m = FlatMap::new();
+/// m.insert(5u64, "five");
+/// m.insert(1, "one");
+/// assert_eq!(m.get(&5), Some(&"five"));
+/// // Iteration is in ascending key order, like BTreeMap.
+/// let keys: Vec<u64> = m.iter().map(|(&k, _)| k).collect();
+/// assert_eq!(keys, vec![1, 5]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlatMap<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+}
+
+impl<K: Ord, V> FlatMap<K, V> {
+    /// An empty map.
+    pub const fn new() -> Self {
+        FlatMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// An empty map with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        FlatMap {
+            keys: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match self.keys.binary_search(key) {
+            Ok(i) => Some(&self.vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.keys.binary_search(key) {
+            Ok(i) => Some(&mut self.vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// `true` when `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+
+    /// Inserts `key → val`, returning the previous value if the key was
+    /// present. Ascending-key inserts append in `O(1)`; out-of-order
+    /// inserts shift the tail.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        match self.keys.binary_search(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.vals[i], val)),
+            Err(i) => {
+                self.keys.insert(i, key);
+                self.vals.insert(i, val);
+                None
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match self.keys.binary_search(key) {
+            Ok(i) => {
+                self.keys.remove(i);
+                Some(self.vals.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Iterates `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.keys.iter()
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.vals.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = FlatMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(3u64, 30), None);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(3, 33), Some(30));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get(&2), None);
+        *m.get_mut(&1).unwrap() += 1;
+        assert_eq!(m.remove(&1), Some(11));
+        assert_eq!(m.remove(&1), None);
+        assert!(m.contains_key(&3) && !m.contains_key(&1));
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_workload() {
+        // The determinism argument: FlatMap must behave observably like
+        // the BTreeMap it replaces, including iteration order.
+        let mut rng = SplitMix64::new(0xF1A7);
+        let mut flat = FlatMap::new();
+        let mut btree = BTreeMap::new();
+        for _ in 0..2000 {
+            let k = rng.below(64);
+            match rng.below(3) {
+                0 => {
+                    assert_eq!(flat.insert(k, k * 7), btree.insert(k, k * 7));
+                }
+                1 => {
+                    assert_eq!(flat.remove(&k), btree.remove(&k));
+                }
+                _ => {
+                    assert_eq!(flat.get(&k), btree.get(&k));
+                }
+            }
+            assert_eq!(flat.len(), btree.len());
+        }
+        let f: Vec<(u64, u64)> = flat.iter().map(|(&k, &v)| (k, v)).collect();
+        let b: Vec<(u64, u64)> = btree.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(f, b, "iteration order must match BTreeMap");
+    }
+
+    #[test]
+    fn min_scan_tie_break_matches_btreemap() {
+        // The TLB victim scan relies on ascending-key order to break
+        // stamp ties; verify both maps agree when values collide.
+        let pairs = [(9u64, 5u64), (2, 5), (7, 1), (4, 1)];
+        let mut flat = FlatMap::new();
+        let mut btree = BTreeMap::new();
+        for (k, v) in pairs {
+            flat.insert(k, v);
+            btree.insert(k, v);
+        }
+        let fv = flat.iter().min_by_key(|(_, &v)| v).map(|(&k, _)| k);
+        let bv = btree.iter().min_by_key(|(_, &v)| v).map(|(&k, _)| k);
+        assert_eq!(fv, bv);
+        assert_eq!(fv, Some(4));
+    }
+}

@@ -79,6 +79,7 @@ pub mod ast;
 pub mod atom;
 pub mod attrs;
 pub mod error;
+pub mod flatmap;
 pub mod gat;
 pub mod isa;
 pub mod overhead;

@@ -81,8 +81,8 @@ fn main() {
 
     // ── DRAM cache: working-set size gates insertion ─────────────────────
     let mut dc = DramCache::new(DramCacheConfig::default());
-    let small = dc.access(0, Some(64 << 10));
-    let huge = dc.access(1 << 30, Some(256 << 20));
+    let small = dc.serve(0, Some(64 << 10));
+    let huge = dc.serve(1 << 30, Some(256 << 20));
     println!(
         "dram cache: 64KB-WS access cached (latency {small}), 256MB-WS access bypassed (latency {huge})"
     );

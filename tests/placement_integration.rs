@@ -5,6 +5,7 @@ use xmem::core::amu::Mmu;
 use xmem::core::atom::AtomId;
 use xmem::core::attrs::{AccessIntensity, AccessPattern, AtomAttributes};
 use xmem::core::translate::AttributeTranslator;
+use xmem::cpu::batch::OpAttrs;
 use xmem::dram::{AddressMapping, Dram, DramConfig};
 use xmem::os::os::Os;
 use xmem::os::placement::FramePolicy;
@@ -59,7 +60,7 @@ fn isolated_stream_gets_row_locality() {
             reserved.contains(&loc.global_bank(&cfg)),
             "stream page escaped its banks at offset {off:#x}"
         );
-        t += dram.access(pa.raw(), false, t);
+        t += dram.serve(pa.raw(), OpAttrs::read(), t);
     }
     assert!(
         dram.stats().row_hit_rate() > 0.9,
@@ -92,7 +93,7 @@ fn isolation_shields_stream_from_interference() {
                 let frame = stream_frames[(line / 64) as usize];
                 let pa = frame * 4096 + (line % 64) * 64;
                 let before = dram.stats().row_hits;
-                t += dram.access(pa, false, t);
+                t += dram.serve(pa, OpAttrs::read(), t);
                 stream_hits += dram.stats().row_hits - before;
                 stream_accesses += 1;
                 hits_before = dram.stats().row_hits;
@@ -100,7 +101,7 @@ fn isolation_shields_stream_from_interference() {
                 rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let frame = noise_frames[(rng >> 33) as usize % noise_frames.len()];
                 let pa = frame * 4096 + ((rng >> 20) % 64) * 64;
-                t += dram.access(pa, false, t);
+                t += dram.serve(pa, OpAttrs::read(), t);
                 let _ = hits_before;
             }
         }

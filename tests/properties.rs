@@ -16,6 +16,7 @@ use xmem::core::attrs::{
 };
 use xmem::core::rng::SplitMix64;
 use xmem::core::segment::AtomSegment;
+use xmem::cpu::batch::OpAttrs;
 use xmem::cpu::{Core, CoreConfig, FixedLatency, Op};
 use xmem::dram::{AddressMapping, Dram, DramConfig};
 
@@ -229,7 +230,7 @@ fn dram_latency_bounds() {
         let mut t = 0;
         for _ in 0..count {
             let a = rng.below(1 << 24);
-            let lat = dram.access(a, false, t);
+            let lat = dram.serve(a, OpAttrs::read(), t);
             assert!(
                 lat >= cfg.hit_latency(),
                 "case {case}: lat {lat} < hit {}",
