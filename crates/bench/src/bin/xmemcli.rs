@@ -312,6 +312,7 @@ fn main() {
                 workload_params: JsonValue::Null,
                 report,
                 telemetry: None,
+                sampling: None,
                 run: None,
             };
             emit(&f, &record);
@@ -339,6 +340,7 @@ fn main() {
                 workload_params: WorkloadSpec::kernel(kernel, p).params_json(),
                 report,
                 telemetry: Some(series.clone()),
+                sampling: None,
                 run: None,
             };
             if f.json {

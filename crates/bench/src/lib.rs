@@ -138,6 +138,11 @@ pub mod reports {
     //! * `--epoch[=N]` samples a cross-layer telemetry series every `N`
     //!   retired instructions (default 100 000) into each record's
     //!   `telemetry` block;
+    //! * `--sample[=W:D:I]` runs every point in statistical-sampling mode:
+    //!   each interval of `I` ops fast-forwards, warms caches/TLB/DRAM for
+    //!   `W` ops, then simulates a `D`-op detailed window; measured window
+    //!   metrics land in each record's `sampling` block with 95% confidence
+    //!   intervals. Bare `--sample` uses the tuned default spec;
     //! * `--trace-out[=PATH]` additionally writes the series as a Chrome
     //!   trace-format JSON (openable in `chrome://tracing` / Perfetto),
     //!   implying `--epoch` when it was not given. The default path is
@@ -147,8 +152,8 @@ pub mod reports {
     use std::path::PathBuf;
     use xmem_sim::report_sink::write_report;
     use xmem_sim::{
-        ChromeTrace, CsvSink, JsonSink, ReportSink, RunFailure, RunOutcome, RunRecord, Sweep,
-        DEFAULT_EPOCH_INSTRUCTIONS,
+        ChromeTrace, CsvSink, JsonSink, ReportSink, RunFailure, RunOutcome, RunRecord,
+        SamplingSpec, Sweep, DEFAULT_EPOCH_INSTRUCTIONS,
     };
 
     /// Collects records during a run and writes the report files at the
@@ -161,6 +166,7 @@ pub mod reports {
         json: JsonSink,
         csv: Option<CsvSink>,
         epoch: Option<u64>,
+        sampling: Option<SamplingSpec>,
         trace_out: Option<PathBuf>,
         trace: ChromeTrace,
     }
@@ -173,6 +179,7 @@ pub mod reports {
             let mut explicit_dir = false;
             let mut csv = None;
             let mut epoch = None;
+            let mut sampling = None;
             let mut trace_requested = false;
             let mut trace_path = None;
             for arg in std::env::args() {
@@ -191,6 +198,16 @@ pub mod reports {
                         Ok(n) if n > 0 => epoch = Some(n),
                         _ => {
                             eprintln!("--epoch wants a positive instruction count, got '{n}'");
+                            std::process::exit(2);
+                        }
+                    }
+                } else if arg == "--sample" {
+                    sampling = Some(SamplingSpec::DEFAULT);
+                } else if let Some(spec) = arg.strip_prefix("--sample=") {
+                    match SamplingSpec::parse(spec) {
+                        Ok(s) => sampling = Some(s),
+                        Err(e) => {
+                            eprintln!("--sample wants WARMUP:WINDOW:INTERVAL: {e}");
                             std::process::exit(2);
                         }
                     }
@@ -220,6 +237,7 @@ pub mod reports {
                 json: JsonSink::new(),
                 csv,
                 epoch,
+                sampling,
                 trace_out,
                 trace: ChromeTrace::new(),
             }
@@ -229,6 +247,12 @@ pub mod reports {
         /// (`None` when sampling is off).
         pub fn epoch(&self) -> Option<u64> {
             self.epoch
+        }
+
+        /// The sampling spec requested on the command line (`None` when
+        /// every point runs fully detailed).
+        pub fn sampling(&self) -> Option<SamplingSpec> {
+            self.sampling
         }
 
         /// The per-point streaming directory (`DIR/<bin>.points`), active
@@ -249,9 +273,13 @@ pub mod reports {
         /// under an explicit `--report-dir`, per-point streaming plus
         /// resume of already-finished labels.
         pub fn sweep(&self, sweep: Sweep) -> Sweep {
-            // Epoch before resume: stored points are only adopted when
-            // their telemetry epoch matches this run's sampling setup.
-            let sweep = sweep.progress(&self.name).epoch(self.epoch);
+            // Epoch and sampling before resume: stored points are only
+            // adopted when their telemetry epoch and sampling spec match
+            // this run's setup.
+            let sweep = sweep
+                .progress(&self.name)
+                .epoch(self.epoch)
+                .sampling(self.sampling);
             match self.points_dir() {
                 Some(dir) => sweep.resume_from(dir),
                 None => sweep,

@@ -271,17 +271,57 @@ impl Hierarchy {
     /// When the walk reaches the end of the atom it wraps to the beginning —
     /// tiles are swept repeatedly, so the wrap is the right continuation.
     fn xmem_prefetch(&mut self, pa: u64, atom: AtomId, ctx: &mut XmemContext<'_>, t_mem: u64) {
-        let Some(prim) = ctx.pf_pat.get(atom) else {
+        let Some((targets, priority)) = self.xmem_prefetch_targets(pa, atom, ctx) else {
             return;
         };
-        let Some(stride) = prim.stride else {
+        for target in targets {
+            if self.l3.contains(target) {
+                continue;
+            }
+            let _ = self.dram.serve_prefetch(target, t_mem);
+            if let Some(ev) = self.l3.fill(target, false, priority) {
+                self.writeback_to_dram(ev, t_mem);
+            }
+            self.track_prefetch(target);
+            self.xmem_pf_stats.issued += 1;
+        }
+    }
+
+    /// Warm-path twin of [`Hierarchy::xmem_prefetch`]: the same fills,
+    /// tracking, and stats, but DRAM rows are warmed instead of timed and
+    /// dirty evictions are dropped.
+    fn warm_xmem_prefetch(&mut self, pa: u64, atom: AtomId, ctx: &mut XmemContext<'_>) {
+        let Some((targets, priority)) = self.xmem_prefetch_targets(pa, atom, ctx) else {
             return;
         };
+        for target in targets {
+            if self.l3.contains(target) {
+                continue;
+            }
+            self.dram.warm_access(target);
+            let _ = self.l3.fill(target, false, priority);
+            self.track_prefetch(target);
+            self.xmem_pf_stats.issued += 1;
+        }
+    }
+
+    /// The target walk shared by the timed and warm guided-prefetch paths:
+    /// the next `xmem_prefetch_degree` lines of `atom`'s data in the
+    /// direction of its expressed stride, bounded to (and wrapping around)
+    /// the atom's extents.
+    fn xmem_prefetch_targets(
+        &self,
+        pa: u64,
+        atom: AtomId,
+        ctx: &XmemContext<'_>,
+    ) -> Option<(Vec<u64>, InsertPriority)> {
+        let prim = ctx.pf_pat.get(atom)?;
+        let stride = prim.stride?;
         let line = self.config.l3.line_bytes;
         let forward = stride >= 0;
         let exts = ctx.amu.extents(atom);
         if exts.is_empty() {
-            return;
+            return None;
         }
         let mut ei = exts
             .iter()
@@ -312,17 +352,7 @@ impl Hierarchy {
         } else {
             InsertPriority::Normal
         };
-        for target in targets {
-            if self.l3.contains(target) {
-                continue;
-            }
-            let _ = self.dram.serve_prefetch(target, t_mem);
-            if let Some(ev) = self.l3.fill(target, false, priority) {
-                self.writeback_to_dram(ev, t_mem);
-            }
-            self.track_prefetch(target);
-            self.xmem_pf_stats.issued += 1;
-        }
+        Some((targets, priority))
     }
 
     fn track_prefetch(&mut self, line_addr: u64) {
@@ -474,6 +504,113 @@ impl Hierarchy {
         }
 
         l3_lat + dram_lat
+    }
+
+    /// State-only warmup probe: walks the hierarchy with the same probes,
+    /// fills, replacement updates, pinning refresh, ALB lookups, prefetcher
+    /// training, and prefetch fills as [`Hierarchy::serve`], but skips
+    /// everything timing-related — no latencies, no writeback traffic, and
+    /// no DRAM bank/bus occupancy (only the row-buffer state is warmed).
+    ///
+    /// This is the functional fast-forward path of sampled execution: it
+    /// keeps tags, LRU/DRRIP state, pinned-insertion decisions, the ALB,
+    /// DRAM open rows, the stride prefetcher's streams, and the L3's
+    /// prefetch-inserted lines (useful coverage *and* pollution) where a
+    /// detailed run would have left them, so a detailed window opens
+    /// against warm state. Dirty evictions are dropped rather than written
+    /// back (writebacks only produce timing and traffic, neither of which
+    /// exists here). Cache/ALB/prefetch counters do advance — sampled-mode
+    /// raw counters are a warm+detailed mixture, and the per-window metrics
+    /// are computed from deltas across detailed windows only.
+    pub fn warm_access(&mut self, pa: u64, is_write: bool, mut xmem: Option<XmemContext<'_>>) {
+        if self.l1.probe(pa, is_write) {
+            return;
+        }
+        let line_addr = pa & self.line_mask;
+        if self.l2.probe(pa, false) {
+            let _ = self.l1.fill(line_addr, is_write, InsertPriority::Normal);
+            return;
+        }
+        if let Some(ctx) = xmem.as_mut() {
+            if self.config.xmem != XmemMode::Off {
+                self.refresh_pinning(ctx);
+            }
+        }
+        let atom = match (&mut xmem, self.config.xmem) {
+            (Some(ctx), XmemMode::Full | XmemMode::PrefetchOnly) => {
+                ctx.amu.active_atom_at(PhysAddr::new(pa))
+            }
+            _ => None,
+        };
+        let stride_reqs = self
+            .stride_pf
+            .as_mut()
+            .map(|pf| pf.train(pa))
+            .unwrap_or_default();
+        if self.l3.probe(pa, false) {
+            if self.inflight_prefetches.remove(&line_addr) {
+                if let Some(pf) = self.stride_pf.as_mut() {
+                    pf.record_useful();
+                } else {
+                    self.xmem_pf_stats.useful += 1;
+                }
+            }
+            let _ = self.l2.fill(line_addr, false, InsertPriority::Normal);
+            let _ = self.l1.fill(line_addr, is_write, InsertPriority::Normal);
+            self.warm_stride_prefetches(stride_reqs);
+            return;
+        }
+        self.dram.warm_access(line_addr);
+        let l3_priority = match (self.config.xmem, atom) {
+            (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => InsertPriority::Pinned,
+            _ => InsertPriority::Normal,
+        };
+        let _ = self.l3.fill(line_addr, false, l3_priority);
+        let _ = self.l2.fill(line_addr, false, InsertPriority::Normal);
+        let _ = self.l1.fill(line_addr, is_write, InsertPriority::Normal);
+        if !self.warm_guided_prefetch(pa, atom, &mut xmem) {
+            self.warm_stride_prefetches(stride_reqs);
+        }
+    }
+
+    /// Warm-path twin of [`Hierarchy::guided_prefetch`]: same mode/atom
+    /// dispatch, warm prefetch mechanics.
+    fn warm_guided_prefetch(
+        &mut self,
+        pa: u64,
+        atom: Option<AtomId>,
+        xmem: &mut Option<XmemContext<'_>>,
+    ) -> bool {
+        match (xmem, self.config.xmem, atom) {
+            (Some(ctx), XmemMode::Full, Some(a)) if self.pinned.contains(&a) => {
+                self.warm_xmem_prefetch(pa, a, ctx);
+                true
+            }
+            (Some(ctx), XmemMode::PrefetchOnly, Some(a)) => {
+                let reuse = ctx.cache_pat.get(a).map(|p| p.reuse).unwrap_or(0);
+                if reuse > 0 {
+                    self.warm_xmem_prefetch(pa, a, ctx);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Warm-path twin of [`Hierarchy::issue_stride_prefetches`]: fills and
+    /// tracks the prefetched lines, warms their DRAM rows, drops evictions.
+    fn warm_stride_prefetches(&mut self, reqs: Vec<crate::prefetch::PrefetchRequest>) {
+        for req in reqs {
+            let target = req.addr & !(self.config.l3.line_bytes - 1);
+            if self.l3.contains(target) {
+                continue;
+            }
+            self.dram.warm_access(target);
+            let _ = self.l3.fill(target, false, InsertPriority::Normal);
+            self.track_prefetch(target);
+        }
     }
 
     /// Issues XMem-guided prefetches for `pa` if its atom qualifies under
@@ -681,6 +818,26 @@ mod tests {
         // The line just *before* the miss is now resident.
         assert!(h.l3.contains(miss_at - 64));
         assert!(!h.l3.contains(miss_at + 4 * 64));
+    }
+
+    #[test]
+    fn warm_access_fills_caches_without_timing_traffic() {
+        let mut h = small_hierarchy(XmemMode::Off);
+        h.warm_access(0x3000, false, None);
+        // The line is resident all the way up: a detailed access is an L1
+        // hit with no DRAM traffic.
+        let lat = h.serve(0x3000, false, 0, None);
+        assert_eq!(lat, 4, "L1 hit after warm fill");
+        assert_eq!(h.dram_stats().accesses(), 0, "warm probes skip DRAM timing");
+        // The DRAM row is warmed: the first detailed miss to a neighbouring
+        // line in the same row is a row hit. Scheme1 interleaves channels
+        // at line granularity (2 channels), so the same-channel, same-row
+        // neighbour of 0x100_0000 is two lines over, not one.
+        h.warm_access(0x100_0000, false, None);
+        h.serve(0x100_0080, false, 0, None);
+        assert_eq!(h.dram_stats().row_hits, 1, "{:?}", h.dram_stats());
+        // No prefetches were issued by warm probes.
+        assert_eq!(h.stride_prefetch_stats().unwrap().issued, 0);
     }
 
     #[test]

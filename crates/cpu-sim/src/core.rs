@@ -19,7 +19,7 @@
 //! argument).
 
 use crate::batch::{MemoryPath, OpAttrs, OpBatch, OpKind};
-use crate::trace::Op;
+use crate::trace::{FixedLatency, Op};
 
 /// Fixed-capacity FIFO of in-flight loads as `(seq, completion)` pairs.
 ///
@@ -354,6 +354,57 @@ impl Core {
         }
     }
 
+    /// Feeds one op through the model, retiring loads with a caller-fixed
+    /// latency instead of consulting a memory model.
+    ///
+    /// This is the *functional-warmup* step of sampled execution: between
+    /// detailed windows, memory state (tags, LRU, row buffers) is warmed
+    /// separately while the core keeps its issue/ROB/load-queue machinery
+    /// advancing at a nominal cost, so a detailed window opens with a
+    /// plausibly occupied pipeline rather than an idle one.
+    #[inline]
+    pub fn step_fixed(&mut self, op: Op, latency: u64) {
+        self.step(op, &mut FixedLatency { latency });
+    }
+
+    /// Fast-forward accounting: counts the op (instructions, loads, stores,
+    /// issue slots) without entering the load queue or touching any memory
+    /// model. Loads and stores complete instantly at the front end.
+    ///
+    /// Used by the fast-forward phase of sampled execution, where neither
+    /// core timing nor memory state is simulated.
+    #[inline]
+    pub fn skip(&mut self, op: Op) {
+        match op {
+            Op::Compute(n) => self.step_compute(n as u64),
+            Op::Load { .. } => {
+                self.stats.loads += 1;
+                self.stats.instructions += 1;
+                self.issued += 1;
+                self.seq += 1;
+            }
+            Op::Store { .. } => {
+                self.stats.stores += 1;
+                self.stats.instructions += 1;
+                self.issued += 1;
+                self.seq += 1;
+            }
+        }
+    }
+
+    /// Bulk [`Core::skip`] accounting for `loads` load ops plus `stores`
+    /// store ops, in one update. Exactly equivalent to that many scalar
+    /// `skip` calls (each op counts one instruction and one issue slot, and
+    /// the relative order of instant-retiring skips is unobservable), so
+    /// the fast-forward loop can tally a whole run and settle once.
+    pub fn skip_bulk(&mut self, loads: u64, stores: u64) {
+        self.stats.loads += loads;
+        self.stats.stores += stores;
+        self.stats.instructions += loads + stores;
+        self.issued += loads + stores;
+        self.seq += loads + stores;
+    }
+
     /// Feeds every op in `batch` through the model, in buffer order.
     ///
     /// Exactly equivalent to calling [`Core::step`] per op — the batch only
@@ -364,7 +415,18 @@ impl Core {
     where
         M: MemoryPath + ?Sized,
     {
-        for i in 0..batch.len() {
+        self.step_batch_range(batch, 0, batch.len(), mem);
+    }
+
+    /// Feeds ops `start..end` of `batch` through the model, in buffer
+    /// order. Same contract as [`Core::step_batch`], restricted to a
+    /// sub-range — sampled execution uses this to run each same-phase run
+    /// of a batch in one tight loop.
+    pub fn step_batch_range<M>(&mut self, batch: &OpBatch, start: usize, end: usize, mem: &mut M)
+    where
+        M: MemoryPath + ?Sized,
+    {
+        for i in start..end {
             match batch.kind(i) {
                 OpKind::Compute => self.step_compute(batch.addr(i)),
                 OpKind::Load => self.step_load(batch.addr(i), batch.attrs(i).dep, mem),
@@ -484,6 +546,40 @@ mod tests {
         let a = core().run(ops.clone(), &mut FixedLatency { latency: 30 });
         let b = core().run(ops, &mut FixedLatency { latency: 30 });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_fixed_matches_fixed_latency_memory() {
+        let ops: Vec<Op> = (0..50)
+            .map(|i| match i % 3 {
+                0 => Op::load(i * 64),
+                1 => Op::Compute(7),
+                _ => Op::store(i * 64),
+            })
+            .collect();
+        let via_mem = core().run(ops.clone(), &mut FixedLatency { latency: 12 });
+        let mut c = core();
+        for op in ops {
+            c.step_fixed(op, 12);
+        }
+        assert_eq!(c.stats(), via_mem);
+    }
+
+    #[test]
+    fn skip_counts_ops_without_memory_time() {
+        let mut c = core();
+        c.skip(Op::Compute(40));
+        for i in 0..8 {
+            c.skip(Op::load(i * 64));
+        }
+        c.skip(Op::store(0));
+        let stats = c.stats();
+        assert_eq!(stats.instructions, 49);
+        assert_eq!(stats.loads, 8);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.total_load_latency, 0);
+        // Front-end bound only: 49 instructions at 4-wide.
+        assert_eq!(stats.cycles, 49u64.div_ceil(4));
     }
 
     #[test]

@@ -285,6 +285,26 @@ impl Dram {
         self.serve_inner(addr, false, true, now)
     }
 
+    /// State-only warmup probe for a read of `addr`: updates the bank's
+    /// open-row state exactly as a detailed read would, but records no
+    /// statistics and advances no timing lanes (bank readiness, tRAS, bus).
+    ///
+    /// Used by the functional fast-forward phase of sampled execution so a
+    /// detailed window opens against warm row buffers. Writes need no warm
+    /// counterpart (they are buffered and never open rows), and ideal-RBL
+    /// devices carry no row state to warm.
+    pub fn warm_access(&mut self, addr: u64) {
+        if self.ideal_rbl {
+            return;
+        }
+        let loc = self.mapping.decode(addr, &self.config);
+        let bank_idx = loc.global_bank(&self.config);
+        self.open_rows[bank_idx] = match self.config.row_policy {
+            RowPolicy::Open => loc.row,
+            RowPolicy::Closed => NO_ROW,
+        };
+    }
+
     fn serve_inner(&mut self, addr: u64, is_write: bool, is_prefetch: bool, now: u64) -> u64 {
         let loc = self.mapping.decode(addr, &self.config);
         if is_write && !self.ideal_rbl {
@@ -521,6 +541,26 @@ mod tests {
         }
         assert_eq!(d.stats().row_hits, 0);
         assert_eq!(d.stats().row_misses, 16);
+    }
+
+    #[test]
+    fn warm_access_opens_rows_without_stats_or_timing() {
+        let mut d = dram(AddressMapping::scheme5());
+        d.warm_access(0);
+        assert!(d.row_hit(64), "warm probe opened the row");
+        assert_eq!(d.stats(), DramStats::default(), "no statistics recorded");
+        assert_eq!(d.busy_banks(0), 0, "no bank timing consumed");
+        // A detailed read after warming is a row hit.
+        d.serve(64, OpAttrs::read(), 0);
+        assert_eq!(d.stats().row_hits, 1);
+        // Closed-row policy: warm probes leave the bank precharged.
+        let cfg = DramConfig {
+            row_policy: RowPolicy::Closed,
+            ..DramConfig::ddr3_1066(3.6)
+        };
+        let mut closed = Dram::new(cfg, AddressMapping::scheme5());
+        closed.warm_access(0);
+        assert!(!closed.row_hit(64));
     }
 
     #[test]

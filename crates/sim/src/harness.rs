@@ -54,8 +54,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::config::SystemConfig;
+use crate::machine::RunOutput;
 use crate::report::RunReport;
 use crate::report_sink::{config_kv, scan_point_records, write_point_record, JsonValue};
+use crate::sampling::{SamplingSpec, SamplingSummary};
 use crate::telemetry::TelemetrySeries;
 use workloads::placement::PlacementWorkload;
 use workloads::polybench::{KernelParams, PolybenchKernel};
@@ -406,6 +408,22 @@ impl RunSpec {
     ) -> (RunReport, Option<TelemetrySeries>) {
         crate::machine::run_generator(&self.config, epoch_instructions, &self.workload)
     }
+
+    /// Like [`RunSpec::execute_with_telemetry`], additionally executing
+    /// under an interval [`SamplingSpec`] when one is given (`None` runs
+    /// fully detailed — identical to the other entry points).
+    pub fn execute_sampled(
+        &self,
+        epoch_instructions: Option<u64>,
+        sampling: Option<SamplingSpec>,
+    ) -> RunOutput {
+        crate::machine::run_generator_sampled(
+            &self.config,
+            epoch_instructions,
+            sampling,
+            &self.workload,
+        )
+    }
 }
 
 /// Execution metadata for one finished point — the report's optional
@@ -441,6 +459,10 @@ pub struct RunRecord {
     /// sweep enabled sampling via [`Sweep::epoch`]. Serialized as the
     /// record's optional `telemetry` block.
     pub telemetry: Option<TelemetrySeries>,
+    /// Interval-sampling summary ([`crate::sampling`]); `None` unless the
+    /// sweep executed under a [`Sweep::sampling`] spec. Serialized as the
+    /// record's optional `sampling` block.
+    pub sampling: Option<SamplingSummary>,
     /// How the point was executed (`None` for records built outside a
     /// sweep, e.g. replayed from JSON).
     pub run: Option<RunMeta>,
@@ -517,6 +539,7 @@ pub struct Sweep {
     resumed: BTreeMap<String, RunRecord>,
     progress: Option<String>,
     epoch: Option<u64>,
+    sampling: Option<SamplingSpec>,
 }
 
 impl Sweep {
@@ -529,6 +552,7 @@ impl Sweep {
             resumed: BTreeMap::new(),
             progress: None,
             epoch: None,
+            sampling: None,
         }
     }
 
@@ -545,6 +569,17 @@ impl Sweep {
     /// sampling epoch matches this setting (no block ↔ `None`).
     pub fn epoch(mut self, epoch_instructions: Option<u64>) -> Self {
         self.epoch = epoch_instructions.map(|e| e.max(1));
+        self
+    }
+
+    /// Executes every point under the interval-sampling schedule `spec`
+    /// (fast-forward / functional warmup / detailed windows); each record
+    /// gains a `sampling` block with the sampled estimates and their
+    /// confidence intervals. Call *before* [`Sweep::resume_from`]: a
+    /// stored point is adopted only when its sampling spec matches this
+    /// setting (no block ↔ `None`).
+    pub fn sampling(mut self, spec: Option<SamplingSpec>) -> Self {
+        self.sampling = spec;
         self
     }
 
@@ -624,6 +659,14 @@ impl Sweep {
             if telemetry.as_ref().map(|t| t.epoch_instructions) != self.epoch {
                 continue;
             }
+            // Likewise the sampling schedule: a full-detail record cannot
+            // satisfy a sampled sweep (or vice versa), and a record sampled
+            // under a different spec re-runs instead of resuming with the
+            // wrong coverage.
+            let sampling = SamplingSummary::from_record_json(rec);
+            if sampling.as_ref().map(|s| s.spec) != self.sampling {
+                continue;
+            }
             let Some(report) = RunRecord::report_from_json(rec) else {
                 continue;
             };
@@ -640,6 +683,7 @@ impl Sweep {
                     workload_params: spec.workload.params_json(),
                     report,
                     telemetry,
+                    sampling,
                     run: Some(run),
                 },
             );
@@ -676,15 +720,18 @@ impl Sweep {
                 return RunOutcome::Resumed(record.clone());
             }
             let start = Instant::now();
-            match catch_unwind(AssertUnwindSafe(|| spec.execute_with_telemetry(self.epoch))) {
-                Ok((report, telemetry)) => {
+            match catch_unwind(AssertUnwindSafe(|| {
+                spec.execute_sampled(self.epoch, self.sampling)
+            })) {
+                Ok(out) => {
                     let record = RunRecord {
                         label: spec.label.clone(),
                         config: spec.config,
                         workload: spec.workload.name(),
                         workload_params: spec.workload.params_json(),
-                        report,
-                        telemetry,
+                        report: out.report,
+                        telemetry: out.telemetry,
+                        sampling: out.sampling,
                         run: Some(RunMeta {
                             wall_nanos: cycles_to_u64(start.elapsed().as_nanos()),
                             worker: worker as u64,

@@ -36,6 +36,7 @@ pub mod machine;
 pub mod multicore;
 pub mod report;
 pub mod report_sink;
+pub mod sampling;
 pub mod telemetry;
 
 pub use crate::config::{
@@ -46,16 +47,20 @@ pub use crate::harness::{
     default_workers, run_jobs, Progress, RunFailure, RunMeta, RunOutcome, RunRecord, RunSpec,
     Sweep, WorkloadSpec,
 };
-#[doc(hidden)]
-pub use crate::machine::run_workload_scalar;
 pub use crate::machine::{
-    run_generator, run_workload, run_workload_with_telemetry, Generator, Machine, ScanSink,
+    run_generator, run_generator_sampled, run_workload, run_workload_with_telemetry, Generator,
+    Machine, RunOutput, ScanSink,
 };
+#[doc(hidden)]
+pub use crate::machine::{run_workload_sampled_scalar, run_workload_scalar};
 pub use crate::multicore::{run_corun, CorunReport};
 pub use crate::report::RunReport;
 pub use crate::report_sink::{
     point_file_name, scan_point_records, write_point_record, write_report, CsvSink, JsonError,
     JsonSink, JsonValue, ReportSink, JSON_SCHEMA,
+};
+pub use crate::sampling::{
+    SampleCluster, SamplePhase, SampledMetric, SamplingSpec, SamplingSummary, WindowFeatures,
 };
 pub use crate::telemetry::{
     ChromeTrace, TelemetrySample, TelemetrySeries, DEFAULT_EPOCH_INSTRUCTIONS,

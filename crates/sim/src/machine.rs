@@ -14,14 +14,15 @@
 
 use crate::config::{FramePolicyKind, SystemConfig};
 use crate::report::RunReport;
+use crate::sampling::{SamplePhase, SamplingSpec, SamplingSummary, WindowFeatures};
 use crate::telemetry::{TelemetrySample, TelemetrySeries};
 use cache_sim::hierarchy::{Hierarchy, XmemContext};
-use cpu_sim::batch::{MemoryPath, OpAttrs, OpBatch};
+use cpu_sim::batch::{MemoryPath, OpAttrs, OpBatch, OpKind};
 use cpu_sim::core::Core;
 use cpu_sim::trace::Op;
 use dram_sim::Dram;
 use os_sim::loader::{load_segment, LoadedProcess};
-use os_sim::os::Os;
+use os_sim::os::{Os, OsError};
 use os_sim::placement::FramePolicy;
 use os_sim::tlb::Tlb;
 use std::collections::BTreeMap;
@@ -114,7 +115,21 @@ struct MemSystem {
     tc_pfn: [u64; TC_ENTRIES],
     /// `log2(page_size)`; translation caching assumes power-of-two pages.
     page_shift: u32,
+    /// Recently-warmed lines, direct-mapped by line index (the warm-path
+    /// filter); `u64::MAX` means "slot empty".
+    warm_lines: [u64; WARM_FILTER_ENTRIES],
+    /// Whether the matching `warm_lines` entry has been warmed by a store
+    /// (so the line's dirty bit is already set).
+    warm_dirty: [bool; WARM_FILTER_ENTRIES],
 }
+
+/// `log2` of the warm-filter line granularity. Matches the hierarchy's
+/// 64 B lines; a coarser value would skip real state changes.
+const WARM_LINE_SHIFT: u32 = 6;
+
+/// Warm-filter slots (power of two; covers the handful of interleaved
+/// streams a kernel's inner loop cycles through).
+const WARM_FILTER_ENTRIES: usize = 256;
 
 /// Translate-cache slots (power of two; covers the handful of distinct
 /// pages a kernel's inner loop cycles through).
@@ -141,6 +156,58 @@ impl MemSystem {
         self.tc_vpn[slot] = vpn;
         self.tc_pfn[slot] = pa >> self.page_shift;
         pa
+    }
+
+    /// Drops any translate-cache entry covering `va`'s page. Must be
+    /// called whenever the page table *rebinds* an existing VPN (page
+    /// migration): the cache is direct-mapped by VPN, so only the one
+    /// slot can be stale. Wholesale growth ([`Machine::alloc`]) wipes the
+    /// whole array instead.
+    #[inline]
+    fn invalidate_translation(&mut self, va: u64) {
+        let vpn = va >> self.page_shift;
+        let slot = addr_to_index(vpn & (TC_ENTRIES as u64 - 1));
+        if self.tc_vpn[slot] == vpn {
+            self.tc_vpn[slot] = TC_EMPTY;
+        }
+        // The warm-path filter may cover lines of this page; after a
+        // rebind their physical homes change, so force re-walks.
+        self.warm_lines = [u64::MAX; WARM_FILTER_ENTRIES];
+    }
+
+    /// Functional warmup access: touches the TLB (LRU/residency), the
+    /// translate cache, cache tags/LRU/pinning, ALB/AMU state, and DRAM
+    /// open rows — but produces no latency and no core-visible timing.
+    /// Used by the sampled machine's warm phase so detailed windows do not
+    /// open on cold state.
+    fn warm_access(&mut self, va: u64, is_write: bool) {
+        // Recently-warmed-line filter: kernels touch each 64 B line several
+        // times in short order (8 doubles per line, interleaved across a
+        // few arrays), and a repeat access can only refresh LRU stamps that
+        // are already near-freshest. A small direct-mapped filter over the
+        // last lines warmed skips the full hierarchy walk for those
+        // repeats, which is most of the functional-warming cost on
+        // sequential streams. The approximation is bounded: only lines
+        // warmed since the last filter wipe are skipped, and a store after
+        // a clean access still walks, to set the dirty bit the first
+        // access did not.
+        let line = va >> WARM_LINE_SHIFT;
+        let slot = addr_to_index(line & (WARM_FILTER_ENTRIES as u64 - 1));
+        if self.warm_lines[slot] == line && (!is_write || self.warm_dirty[slot]) {
+            return;
+        }
+        self.warm_lines[slot] = line;
+        self.warm_dirty[slot] = is_write;
+        if let Some(tlb) = self.tlb.as_mut() {
+            let _ = tlb.translate_cost(VirtAddr::new(va));
+        }
+        let pa = self.translate(va);
+        let ctx = self.xmem_enabled.then_some(XmemContext {
+            amu: &mut self.amu,
+            cache_pat: &self.cache_pat,
+            pf_pat: &self.pf_pat,
+        });
+        self.hierarchy.warm_access(pa, is_write, ctx);
     }
 }
 
@@ -190,6 +257,49 @@ struct TelemetryState {
     prev: Snapshot,
 }
 
+/// Live sampling state: the schedule, the op/phase accounting, and the
+/// per-window feature measurements.
+///
+/// Window metrics are deltas between the snapshot taken once the window's
+/// detailed *ramp* has run (see below) and the snapshot at the window's
+/// *close* (on the first non-detailed op), so warm-phase counter pollution
+/// never enters a window's features. The run's raw cumulative counters, by
+/// contrast, are a documented warm+detailed mixture under partial coverage
+/// — the [`SamplingSummary`] metrics are the sampled estimates to read.
+///
+/// The ramp exists because the core's clock (`Core::now`) includes the
+/// completion time of the latest outstanding miss: a window measured from
+/// its very first detailed op opens with a drained pipeline (functional
+/// warmup retires everything at the L1 latency) but closes mid-flight,
+/// so the close-side overhang — up to a full DRAM latency — would bias
+/// every window's cycle delta upward (the classic SMARTS end-of-window
+/// drain bias). Running the first `window_ops / 2` detailed ops unmeasured
+/// puts the clock's standing overhang in steady state before the open
+/// snapshot — the ramp must span several DRAM latencies' worth of cycles,
+/// which is why it scales with the window rather than the ROB — so the
+/// in-flight overhang at open and close cancel to first order.
+#[derive(Debug)]
+struct SamplingState {
+    spec: SamplingSpec,
+    /// Global op index: how many sink ops the schedule has classified.
+    ops_seen: u64,
+    /// Ops executed through the detailed path.
+    detailed_ops: u64,
+    /// Ops executed through the functional-warmup path.
+    warm_ops: u64,
+    /// Detailed ops each window runs before the open snapshot is taken.
+    ramp: u64,
+    /// A detailed window is in progress (some detailed op has run since
+    /// the last close).
+    window_active: bool,
+    /// Detailed ops executed in the current window so far.
+    window_detailed: u64,
+    /// Snapshot at the end of the current window's ramp, once taken.
+    window_start: Option<Snapshot>,
+    /// One feature vector per closed detailed window, in time order.
+    windows: Vec<WindowFeatures>,
+}
+
 /// The executing machine (pass 2). Implements [`TraceSink`] so the workload
 /// generator drives it directly.
 #[derive(Debug)]
@@ -204,6 +314,12 @@ pub struct Machine {
     /// feature is one always-false integer compare.
     next_sample_at: u64,
     telemetry: Option<TelemetryState>,
+    /// Interval-sampling state; `None` (full detail everywhere) unless
+    /// [`Machine::enable_sampling`] armed a schedule.
+    sampling: Option<SamplingState>,
+    /// Fixed latency warm-phase loads retire with (the L1 hit latency):
+    /// cheap, deterministic, and close enough for functional warmup.
+    warm_load_latency: u64,
 }
 
 /// Synthetic call-site file for atoms created through the sink interface.
@@ -256,6 +372,8 @@ impl Machine {
                 tc_vpn: [TC_EMPTY; TC_ENTRIES],
                 tc_pfn: [0; TC_ENTRIES],
                 page_shift: os.page_table().page_size().trailing_zeros(),
+                warm_lines: [u64::MAX; WARM_FILTER_ENTRIES],
+                warm_dirty: [false; WARM_FILTER_ENTRIES],
                 os,
             },
             lib: XMemLib::new(),
@@ -263,6 +381,8 @@ impl Machine {
             next_site: 0,
             next_sample_at: u64::MAX,
             telemetry: None,
+            sampling: None,
+            warm_load_latency: config.hierarchy.l1.latency,
         }
     }
 
@@ -275,6 +395,252 @@ impl Machine {
             series,
             prev: Snapshot::default(),
         });
+    }
+
+    /// Arms interval sampling: ops execute per `spec`'s fast-forward /
+    /// warmup / detailed schedule and every detailed window is measured.
+    fn enable_sampling(&mut self, spec: SamplingSpec) {
+        // Ramp < window_ops always (the /2 guarantees it), so every window
+        // longer than 1 op measures something.
+        let ramp = spec.window_ops / 2;
+        self.sampling = Some(SamplingState {
+            spec,
+            ops_seen: 0,
+            detailed_ops: 0,
+            warm_ops: 0,
+            ramp,
+            window_active: false,
+            window_detailed: 0,
+            window_start: None,
+            windows: Vec::new(),
+        });
+    }
+
+    /// Marks a detailed window in progress and, once its ramp has run,
+    /// snapshots the cumulative counters so the window's features are pure
+    /// steady-state deltas. Idempotent within a window.
+    fn open_window(&mut self) {
+        let need_snap = match self.sampling.as_mut() {
+            Some(st) => {
+                st.window_active = true;
+                st.window_start.is_none() && st.window_detailed >= st.ramp
+            }
+            None => false,
+        };
+        if need_snap {
+            let snap = self.snapshot();
+            if let Some(st) = self.sampling.as_mut() {
+                st.window_start = Some(snap);
+            }
+        }
+    }
+
+    /// Closes the in-progress detailed window (no-op when none is),
+    /// recording its feature vector if the ramp completed and a measured
+    /// segment exists.
+    fn close_window(&mut self) {
+        let start = match self.sampling.as_mut() {
+            Some(st) if st.window_active => {
+                st.window_active = false;
+                st.window_detailed = 0;
+                st.window_start.take()
+            }
+            _ => return,
+        };
+        let Some(start) = start else {
+            // The window ended inside its ramp: nothing measured.
+            return;
+        };
+        let cur = self.snapshot();
+        let features = WindowFeatures {
+            instructions: cur.instructions - start.instructions,
+            cycles: cur.cycles.saturating_sub(start.cycles),
+            l1_misses: cur.l1_misses - start.l1_misses,
+            l2_misses: cur.l2_misses - start.l2_misses,
+            l3_misses: cur.l3_misses - start.l3_misses,
+            dram_accesses: cur.dram_accesses - start.dram_accesses,
+            row_hits: cur.row_hits - start.row_hits,
+            alb_lookups: cur.alb_lookups - start.alb_lookups,
+            alb_hits: cur.alb_hits - start.alb_hits,
+        };
+        if std::env::var("XMEM_DUMP_WINDOWS").is_ok() {
+            eprintln!(
+                "WINDOW instr={} cycles={} ipc={:.3} l1m={} l2m={} l3m={} dram={} rowhit={}",
+                features.instructions,
+                features.cycles,
+                features.instructions as f64 / features.cycles.max(1) as f64,
+                features.l1_misses,
+                features.l2_misses,
+                features.l3_misses,
+                features.dram_accesses,
+                features.row_hits
+            );
+        }
+        // simlint: allow(unwrap, reason = "guarded by the window_active match above: sampling state is present")
+        let st = self.sampling.as_mut().expect("sampling state present");
+        st.windows.push(features);
+    }
+
+    /// Executes one op under the sampling schedule.
+    fn sampled_op(&mut self, op: Op) {
+        // simlint: allow(unwrap, reason = "only called from the sampled dispatch, which checked sampling.is_some()")
+        let st = self.sampling.as_ref().expect("sampling state present");
+        let spec = st.spec;
+        let phase = spec.phase_of(st.ops_seen);
+        let window_active = st.window_active;
+        match phase {
+            SamplePhase::Detailed => {
+                self.open_window();
+                self.core.step(op, &mut self.mem);
+                if let Some(st) = self.sampling.as_mut() {
+                    st.detailed_ops += 1;
+                    st.window_detailed += 1;
+                }
+            }
+            SamplePhase::Warm => {
+                if window_active {
+                    self.close_window();
+                }
+                match op {
+                    Op::Load { addr, .. } => self.mem.warm_access(addr, false),
+                    Op::Store { addr, .. } => self.mem.warm_access(addr, true),
+                    Op::Compute(_) => {}
+                }
+                self.core.step_fixed(op, self.warm_load_latency);
+                if let Some(st) = self.sampling.as_mut() {
+                    st.warm_ops += 1;
+                }
+            }
+            SamplePhase::FastForward => {
+                if window_active {
+                    self.close_window();
+                }
+                // Functional warming: caches, TLB, DRAM rows and AMU stats
+                // stay live through the fast-forward, or every window would
+                // open on partially-cold state and over-count misses
+                // (cold-state bias dwarfs every other sampling error).
+                // Only the core's timing is skipped.
+                match op {
+                    Op::Load { addr, .. } => self.mem.warm_access(addr, false),
+                    Op::Store { addr, .. } => self.mem.warm_access(addr, true),
+                    Op::Compute(_) => {}
+                }
+                self.core.skip(op);
+            }
+        }
+        if let Some(st) = self.sampling.as_mut() {
+            st.ops_seen += 1;
+        }
+        if self.core.instructions() >= self.next_sample_at {
+            self.take_sample();
+        }
+    }
+
+    /// Executes a whole batch under the sampling schedule, one tight loop
+    /// per same-phase run (the schedule is deterministic in the op index,
+    /// so run boundaries are known up front). Observably identical to
+    /// calling [`Machine::sampled_op`] per op — same state mutations in
+    /// the same order, same window snapshot boundaries — only the per-op
+    /// phase/bookkeeping overhead is hoisted out of the loops. Callers
+    /// must have telemetry disarmed (`next_sample_at == u64::MAX`); the
+    /// per-op epoch boundary check is skipped here.
+    fn sampled_batch(&mut self, batch: &OpBatch) {
+        let len = batch.len();
+        let mut i = 0usize;
+        while i < len {
+            // simlint: allow(unwrap, reason = "only called from the sampled dispatch, which checked sampling.is_some()")
+            let st = self.sampling.as_ref().expect("sampling state present");
+            let spec = st.spec;
+            let pos = st.ops_seen;
+            let window_active = st.window_active;
+            let run = spec.phase_run(pos).min((len - i) as u64) as usize;
+            match spec.phase_of(pos) {
+                SamplePhase::Detailed => {
+                    // Split the run at the ramp snapshot so batched windows
+                    // measure exactly what scalar ones would.
+                    let mut done = 0usize;
+                    while done < run {
+                        self.open_window();
+                        // simlint: allow(unwrap, reason = "sampling state checked at loop entry; open_window does not clear it")
+                        let st = self.sampling.as_ref().expect("sampling state present");
+                        let sub = match st.window_start {
+                            // open_window just declined to snapshot, so the
+                            // ramp still has `ramp - window_detailed` ops
+                            // to run before the next snapshot point.
+                            None => ((st.ramp - st.window_detailed) as usize).min(run - done),
+                            Some(_) => run - done,
+                        };
+                        let begin = i + done;
+                        self.core
+                            .step_batch_range(batch, begin, begin + sub, &mut self.mem);
+                        // simlint: allow(unwrap, reason = "sampling state checked at loop entry; stepping ops does not clear it")
+                        let st = self.sampling.as_mut().expect("sampling state present");
+                        st.detailed_ops += sub as u64;
+                        st.window_detailed += sub as u64;
+                        st.ops_seen += sub as u64;
+                        done += sub;
+                    }
+                }
+                SamplePhase::Warm => {
+                    if window_active {
+                        self.close_window();
+                    }
+                    for j in i..i + run {
+                        match batch.kind(j) {
+                            OpKind::Load => self.mem.warm_access(batch.addr(j), false),
+                            OpKind::Store => self.mem.warm_access(batch.addr(j), true),
+                            OpKind::Compute => {}
+                        }
+                        self.core.step_fixed(batch.op(j), self.warm_load_latency);
+                    }
+                    // simlint: allow(unwrap, reason = "sampling state checked at loop entry; warming ops does not clear it")
+                    let st = self.sampling.as_mut().expect("sampling state present");
+                    st.warm_ops += run as u64;
+                    st.ops_seen += run as u64;
+                }
+                SamplePhase::FastForward => {
+                    if window_active {
+                        self.close_window();
+                    }
+                    // Functional warming, as in `sampled_op`: memory state
+                    // stays live through the fast-forward; only the core's
+                    // timing is skipped. Loads/stores tally into one bulk
+                    // skip (instant-retiring skips are order-free), so the
+                    // loop's only per-op work is the warm access itself.
+                    let mut loads = 0u64;
+                    let mut stores = 0u64;
+                    for j in i..i + run {
+                        match batch.kind(j) {
+                            OpKind::Load => {
+                                self.mem.warm_access(batch.addr(j), false);
+                                loads += 1;
+                            }
+                            OpKind::Store => {
+                                self.mem.warm_access(batch.addr(j), true);
+                                stores += 1;
+                            }
+                            OpKind::Compute => self.core.skip(batch.op(j)),
+                        }
+                    }
+                    self.core.skip_bulk(loads, stores);
+                    // simlint: allow(unwrap, reason = "sampling state checked at loop entry; skipping ops does not clear it")
+                    let st = self.sampling.as_mut().expect("sampling state present");
+                    st.ops_seen += run as u64;
+                }
+            }
+            i += run;
+        }
+    }
+
+    /// Migrates the page containing `va` to a fresh frame (see
+    /// [`Os::migrate_page`]) and invalidates the machine's translate-cache
+    /// entry for it, so the next access observes the new binding. The TLB
+    /// needs no hook: it models walk *cost* only and stores no frame
+    /// numbers, so a migration cannot make it wrong.
+    pub fn migrate_page(&mut self, va: u64, atom: Option<AtomId>) -> Result<u64, OsError> {
+        let pfn = self.mem.os.migrate_page(VirtAddr::new(va), atom)?;
+        self.mem.invalidate_translation(va);
+        Ok(pfn)
     }
 
     /// Captures the current cumulative counters across all layers.
@@ -371,6 +737,29 @@ impl Machine {
         (self.report(), series)
     }
 
+    /// Everything the run produced: report, telemetry series, and (for
+    /// sampled runs) the sampling summary. Closes any detailed window
+    /// still open at generator end (a run ending mid-window is measured,
+    /// not dropped).
+    fn finish(mut self) -> RunOutput {
+        self.close_window();
+        let sampling = self.sampling.take().map(|st| {
+            SamplingSummary::from_windows(
+                st.spec,
+                st.ops_seen,
+                st.detailed_ops,
+                st.warm_ops,
+                &st.windows,
+            )
+        });
+        let (report, telemetry) = self.report_with_telemetry();
+        RunOutput {
+            report,
+            telemetry,
+            sampling,
+        }
+    }
+
     /// Final statistics for the run.
     fn report(mut self) -> RunReport {
         let core = self.core.stats();
@@ -392,6 +781,10 @@ impl Machine {
 
 impl TraceSink for Machine {
     fn op(&mut self, op: Op) {
+        if self.sampling.is_some() {
+            self.sampled_op(op);
+            return;
+        }
         self.core.step(op, &mut self.mem);
         if self.core.instructions() >= self.next_sample_at {
             self.take_sample();
@@ -399,6 +792,21 @@ impl TraceSink for Machine {
     }
 
     fn op_batch(&mut self, batch: &OpBatch) {
+        if self.sampling.is_some() {
+            if self.next_sample_at == u64::MAX {
+                // Telemetry disarmed: run the batched sampled dispatch. An
+                // all-detailed batch degenerates to a single
+                // `step_batch_range` over the whole buffer (plus at most one
+                // ramp-snapshot split), which is why a 100%-coverage spec
+                // stays byte-identical to an unsampled run.
+                self.sampled_batch(batch);
+            } else {
+                for i in 0..batch.len() {
+                    self.sampled_op(batch.op(i));
+                }
+            }
+            return;
+        }
         if self.next_sample_at == u64::MAX {
             // Telemetry disarmed: the per-op boundary check is always
             // false, so the tight batch loop is observably identical.
@@ -641,6 +1049,19 @@ impl<S: TraceSink + ?Sized> TraceSink for ForwardSink<'_, S> {
     }
 }
 
+/// Everything one simulated run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Final cumulative statistics. Under partial-coverage sampling these
+    /// are a warm+detailed mixture — read the sampled estimates from
+    /// [`RunOutput::sampling`] instead.
+    pub report: RunReport,
+    /// Epoch-sampled telemetry series, when enabled.
+    pub telemetry: Option<TelemetrySeries>,
+    /// Interval-sampling summary, when a [`SamplingSpec`] was set.
+    pub sampling: Option<SamplingSummary>,
+}
+
 /// Runs the two-pass simulation for a [`Generator`], monomorphized over the
 /// concrete sink type of each pass. [`RunSpec::execute`] routes here, so
 /// sweep runs pay zero per-op virtual dispatch on the generation side.
@@ -651,6 +1072,20 @@ pub fn run_generator<G: Generator>(
     epoch_instructions: Option<u64>,
     generator: &G,
 ) -> (RunReport, Option<TelemetrySeries>) {
+    let out = run_generator_sampled(config, epoch_instructions, None, generator);
+    (out.report, out.telemetry)
+}
+
+/// Like [`run_generator`], additionally executing under an interval
+/// [`SamplingSpec`] when one is given. `None` runs fully detailed; a
+/// 100%-coverage spec ([`SamplingSpec::full_coverage`]) produces a report
+/// byte-identical to `None` (the byte-identity suite pins this).
+pub fn run_generator_sampled<G: Generator>(
+    config: &SystemConfig,
+    epoch_instructions: Option<u64>,
+    sampling: Option<SamplingSpec>,
+    generator: &G,
+) -> RunOutput {
     // Pass 1: compile-time summarization.
     let mut scan = ScanSink::new();
     generator.emit(&mut scan);
@@ -665,11 +1100,17 @@ pub fn run_generator<G: Generator>(
     if let Some(epoch) = epoch_instructions {
         machine.enable_telemetry(epoch);
     }
+    if let Some(spec) = sampling {
+        machine.enable_sampling(spec);
+    }
     {
         let mut emitter = BatchEmitter::new(&mut machine);
         generator.emit(&mut emitter);
+        // Explicit tail flush: drop-without-flush is a debug assertion on
+        // the emitter, so the trailing partial batch is always accounted.
+        emitter.flush();
     }
-    machine.report_with_telemetry()
+    machine.finish()
 }
 
 /// Scalar reference arm for the byte-identity suite: identical to
@@ -691,6 +1132,30 @@ pub fn run_workload_scalar(
     let mut machine = Machine::new(config, &loaded);
     generate(&mut machine);
     machine.report()
+}
+
+/// Scalar reference arm for *sampled* execution: identical to
+/// [`run_generator_sampled`] (without telemetry) except the generator
+/// drives the machine one op at a time, so every op takes the scalar
+/// [`Machine::sampled_op`] dispatch. Exists so tests can prove the
+/// batched sampled dispatch — phase-run loops, bulk skip accounting,
+/// ramp-split snapshots — changes nothing; not part of the supported API.
+#[doc(hidden)]
+pub fn run_workload_sampled_scalar(
+    config: &SystemConfig,
+    spec: SamplingSpec,
+    generate: impl Fn(&mut dyn TraceSink),
+) -> RunOutput {
+    let mut scan = ScanSink::new();
+    generate(&mut scan);
+    let segment = scan.segment();
+    let translator = AttributeTranslator::with_row_bytes(config.dram.row_bytes);
+    // simlint: allow(unwrap, reason = "workload-invariant violation; test-only reference arm")
+    let loaded = load_segment(ProcessId(0), &segment, &translator).expect("program load failed");
+    let mut machine = Machine::new(config, &loaded);
+    machine.enable_sampling(spec);
+    generate(&mut machine);
+    machine.finish()
 }
 
 #[cfg(test)]
@@ -834,6 +1299,166 @@ mod tests {
             "ALB activity must appear in the series"
         );
         assert!(report.alb.lookups() > 0);
+    }
+
+    /// A bare machine over an empty program, for tests that drive the
+    /// sink interface directly.
+    fn bare_machine(cfg: &SystemConfig) -> Machine {
+        let scan = ScanSink::new();
+        let segment = scan.segment();
+        let translator = AttributeTranslator::with_row_bytes(cfg.dram.row_bytes);
+        let loaded =
+            load_segment(ProcessId(0), &segment, &translator).expect("empty program loads");
+        Machine::new(cfg, &loaded)
+    }
+
+    #[test]
+    fn translate_cache_invalidated_on_page_migration() {
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline);
+        let mut m = bare_machine(&cfg);
+        let va = m.alloc(4096, None);
+        // Make the page's translate-cache entry hot.
+        m.op(Op::load(va + 8));
+        let old_pa = m.mem.translate(va + 8);
+        let new_pfn = m.migrate_page(va, None).expect("mapped page migrates");
+        // The regression: before the invalidation hook, the stale cached
+        // PFN survived the remap and this still returned `old_pa`.
+        let new_pa = m.mem.translate(va + 8);
+        assert_ne!(new_pa, old_pa, "stale translation served after migration");
+        assert_eq!(new_pa, (new_pfn << 12) | 8, "offset preserved in new frame");
+        // Accesses keep flowing through the migrated page.
+        m.op(Op::load(va + 64));
+        m.op(Op::store(va + 128));
+        assert!(m.core.stats().loads == 2 && m.core.stats().stores == 1);
+    }
+
+    #[test]
+    fn migrating_an_unmapped_page_is_an_error() {
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline);
+        let mut m = bare_machine(&cfg);
+        assert_eq!(m.migrate_page(0x7000_0000, None), Err(OsError::NotMapped));
+    }
+
+    #[test]
+    fn final_epoch_on_exact_boundary_emits_no_degenerate_sample() {
+        // 1000 single-instruction compute ops with epoch 500: the run ends
+        // exactly on an epoch boundary, so the second sample *is* the final
+        // epoch — no empty trailing flush, no zero-delta division.
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline);
+        let (report, series) = run_workload_with_telemetry(&cfg, Some(500), |s| {
+            for _ in 0..1000 {
+                s.compute(1);
+            }
+        });
+        assert_eq!(report.core.instructions, 1000);
+        let series = series.expect("telemetry enabled");
+        assert_eq!(
+            series.samples.len(),
+            2,
+            "one sample per epoch, nothing extra"
+        );
+        let last = &series.samples[1];
+        assert_eq!(last.instructions, 1000);
+        assert!(last.ipc.is_finite() && last.ipc > 0.0);
+        for s in &series.samples {
+            for v in [
+                s.ipc,
+                s.l1_mpki,
+                s.l2_mpki,
+                s.l3_mpki,
+                s.row_hit_rate,
+                s.alb_hit_rate,
+                s.bank_busy_fraction,
+                s.queue_depth,
+            ] {
+                assert!(v.is_finite(), "rate field must stay finite: {s:?}");
+            }
+            // A compute-only run has zero activations/lookups: the rate
+            // guards must pin these to exactly 0, never NaN.
+            assert!(s.row_hit_rate.abs() < 1e-12, "{s:?}");
+            assert!(s.alb_hit_rate.abs() < 1e-12, "{s:?}");
+            assert!(s.l1_mpki.abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cycle_epoch_reports_zero_ipc_not_nan() {
+        // Epoch of 1 instruction with a wide issue core: several epochs
+        // close within the same cycle, so their cycle delta is zero and
+        // the IPC guard must return 0.0 rather than dividing.
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Baseline);
+        let (_, series) = run_workload_with_telemetry(&cfg, Some(1), |s| {
+            for _ in 0..8 {
+                s.compute(1);
+            }
+        });
+        let series = series.expect("telemetry enabled");
+        assert!(series.samples.len() >= 4);
+        assert!(series.samples.iter().all(|s| s.ipc.is_finite()));
+        assert!(
+            series.samples.iter().any(|s| s.ipc.abs() < 1e-12),
+            "a zero-cycle epoch must hit the guard: {:?}",
+            series.samples
+        );
+    }
+
+    #[test]
+    fn full_coverage_sampling_is_byte_identical_to_full_execution() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let generator = ClosureGen(|s: &mut dyn TraceSink| PolybenchKernel::Gemm.generate(&p, s));
+        let (plain, _) = run_generator(&cfg, None, &generator);
+        let sampled = run_generator_sampled(
+            &cfg,
+            None,
+            Some(crate::sampling::SamplingSpec::full_coverage()),
+            &generator,
+        );
+        assert_eq!(plain, sampled.report, "100% coverage must change nothing");
+        let summary = sampled.sampling.expect("sampled run carries a summary");
+        assert_eq!(summary.detailed_ops, summary.total_ops);
+        assert_eq!(summary.warm_ops, 0);
+        assert!(summary.total_ops > 0);
+        assert!((summary.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_sampling_is_deterministic_and_tracks_the_full_run() {
+        let p = params();
+        let cfg = SystemConfig::scaled_use_case1(64 << 10, SystemKind::Xmem);
+        let generator = ClosureGen(|s: &mut dyn TraceSink| PolybenchKernel::Gemm.generate(&p, s));
+        // The measured half of each window (window/2, after the ramp) must
+        // span several DRAM latencies of cycles for the open/close overhang
+        // to cancel, so the windows here are deliberately sizeable.
+        let spec = SamplingSpec {
+            warmup_ops: 1_000,
+            window_ops: 4_000,
+            interval: 20_000,
+        };
+        let out = run_generator_sampled(&cfg, None, Some(spec), &generator);
+        let again = run_generator_sampled(&cfg, None, Some(spec), &generator);
+        assert_eq!(out.report, again.report, "sampled runs are deterministic");
+        assert_eq!(out.sampling, again.sampling);
+        let summary = out.sampling.expect("summary present");
+        assert!(
+            summary.windows > 0,
+            "the run is long enough to open windows"
+        );
+        assert!(summary.detailed_ops < summary.total_ops);
+        assert!(summary.coverage < 0.5);
+        assert_eq!(summary.spec, spec);
+        assert!(!summary.clusters.is_empty());
+        // The sampled IPC estimate lands near the full run's IPC.
+        let (full, _) = run_generator(&cfg, None, &generator);
+        let full_ipc = full.core.instructions as f64 / full.core.cycles as f64;
+        let est = summary.metric("ipc").expect("ipc metric present");
+        assert!(est.mean > 0.0 && est.min <= est.mean && est.mean <= est.max);
+        let err = (est.mean - full_ipc).abs() / full_ipc;
+        assert!(
+            err < 0.25,
+            "sampled IPC {} vs full {full_ipc} (err {err})",
+            est.mean
+        );
     }
 
     #[test]

@@ -561,6 +561,11 @@ impl RunRecord {
         if let Some(telemetry) = &self.telemetry {
             fields.push(("telemetry".into(), telemetry.to_json()));
         }
+        // Optional, backwards-compatible sampling summary: absent unless the
+        // sweep ran in sampled mode, so v1 consumers keep parsing.
+        if let Some(sampling) = &self.sampling {
+            fields.push(("sampling".into(), sampling.to_json()));
+        }
         fields.push(("derived".into(), JsonValue::from_kv(derived)));
         // Optional, backwards-compatible execution metadata: absent for
         // records built outside a sweep, so v1 consumers keep parsing.
@@ -637,12 +642,13 @@ impl RunRecord {
             }
         }
         let mut out = Vec::new();
-        // The telemetry block is a per-record variable-length time series,
-        // so it cannot flatten into the fixed column set a CSV table
-        // requires — rows omit it (the JSON form keeps it).
+        // The telemetry and sampling blocks are per-record variable-length
+        // structures (a time series; a window/cluster summary), so they
+        // cannot flatten into the fixed column set a CSV table requires —
+        // rows omit them (the JSON form keeps them).
         if let JsonValue::Object(pairs) = self.to_json_with(extras) {
             for (k, v) in &pairs {
-                if k == "telemetry" {
+                if k == "telemetry" || k == "sampling" {
                     continue;
                 }
                 flatten(k, v, &mut out);
@@ -1075,6 +1081,7 @@ mod tests {
                 }),
             },
             telemetry: None,
+            sampling: None,
             run: Some(RunMeta {
                 wall_nanos: 123_456,
                 worker: 3,
@@ -1202,6 +1209,74 @@ mod tests {
         record.telemetry = None;
         assert_eq!(with, record.flat_cells(&[]));
         assert!(with.iter().all(|(name, _)| !name.starts_with("telemetry")));
+    }
+
+    #[test]
+    fn sampling_block_is_optional_and_backwards_compatible() {
+        use crate::sampling::{SamplingSpec, SamplingSummary, WindowFeatures};
+        let mut record = synthetic_record();
+        // Without sampled execution there is no block at all — pre-sampling
+        // readers of xmem-report-v1 see an unchanged record.
+        let bare = record.to_json();
+        assert!(bare.get("sampling").is_none());
+        let spec = SamplingSpec {
+            warmup_ops: 100,
+            window_ops: 200,
+            interval: 1000,
+        };
+        let windows = vec![
+            WindowFeatures {
+                instructions: 200,
+                cycles: 250,
+                l1_misses: 3,
+                l2_misses: 1,
+                l3_misses: 0,
+                dram_accesses: 10,
+                row_hits: 7,
+                alb_lookups: 10,
+                alb_hits: 9,
+            },
+            WindowFeatures {
+                instructions: 200,
+                cycles: 330,
+                l1_misses: 6,
+                l2_misses: 2,
+                l3_misses: 1,
+                dram_accesses: 10,
+                row_hits: 4,
+                alb_lookups: 10,
+                alb_hits: 5,
+            },
+        ];
+        let summary = SamplingSummary::from_windows(spec, 10_000, 2000, 1000, &windows);
+        record.sampling = Some(summary.clone());
+        let json = record.to_json();
+        // The block sits after the component stats (and telemetry, when
+        // present), before `derived`; a reader that ignores unknown keys
+        // reconstructs the same report.
+        assert_eq!(
+            SamplingSummary::from_record_json(&json),
+            Some(summary),
+            "summary round-trips through the record"
+        );
+        assert_eq!(
+            RunRecord::report_from_json(&json),
+            RunRecord::report_from_json(&bare),
+            "old readers parse records with the block"
+        );
+        // And through rendered text.
+        let reparsed = JsonValue::parse(&json.render()).expect("valid JSON");
+        assert_eq!(reparsed.render(), json.render());
+        assert_eq!(
+            SamplingSummary::from_record_json(&reparsed),
+            record.sampling
+        );
+        // CSV rows omit the variable-length block: column sets stay fixed
+        // whether or not a record carries a sampling summary.
+        let with = record.flat_cells(&[]);
+        record.sampling = None;
+        assert_eq!(with, record.flat_cells(&[]));
+        assert!(with.iter().all(|(name, _)| !name.starts_with("sampling")));
     }
 
     #[test]

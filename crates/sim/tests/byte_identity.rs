@@ -11,6 +11,11 @@
 //! * sweep records under 1 worker vs. 8 workers;
 //! * SplitMix64-fuzzed `OpBatch` lane round trips and `serve_batch` vs.
 //!   per-op `serve` through the DRAM layer and the scalar adapter.
+//!
+//! PR 8 extends the contract to the interval-sampling engine: a
+//! 100%-coverage [`SamplingSpec`] (every op detailed, nothing fast-forwarded)
+//! must leave the report byte-identical to plain full execution on the same
+//! fig4–fig7 grid points — the sampling machinery may observe, never perturb.
 
 use cpu_sim::batch::{MemoryPath, OpAttrs, OpBatch, OpKind, BATCH_CAPACITY};
 use cpu_sim::trace::{FixedLatency, Op};
@@ -20,7 +25,8 @@ use workloads::polybench::{KernelParams, PolybenchKernel};
 use workloads::sink::TraceSink;
 use xmem_core::rng::SplitMix64;
 use xmem_sim::{
-    placement_specs, run_workload_scalar, KernelRun, RunSpec, Sweep, SystemKind, Uc2System,
+    placement_specs, run_workload_sampled_scalar, run_workload_scalar, KernelRun, RunSpec,
+    SamplingSpec, Sweep, SystemKind, Uc2System,
 };
 
 /// Asserts one spec's batched report equals the scalar reference report,
@@ -138,6 +144,114 @@ fn sweep_records_identical_under_1_and_8_workers() {
             "{}",
             a.label
         );
+    }
+}
+
+/// Asserts one spec's report under a 100%-coverage sampling schedule equals
+/// its plain full execution, byte for byte, and that the run's sampling
+/// summary confirms every op went through the detailed path.
+fn assert_full_coverage_identical(spec: &RunSpec) {
+    let plain = spec.execute();
+    let sampled = spec.execute_sampled(None, Some(SamplingSpec::full_coverage()));
+    assert_eq!(
+        plain, sampled.report,
+        "{}: 100% coverage changed the report",
+        spec.label
+    );
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{:?}", sampled.report),
+        "{}: Debug renderings differ",
+        spec.label
+    );
+    let summary = sampled.sampling.expect("sampled run carries a summary");
+    assert_eq!(summary.detailed_ops, summary.total_ops, "{}", spec.label);
+    assert_eq!(summary.warm_ops, 0, "{}", spec.label);
+}
+
+/// The sampling engine at 100% coverage is a no-op on the fig4–fig6 grid:
+/// same kernels/systems/tiles as the batched-vs-scalar check above.
+#[test]
+fn fig4_to_fig6_quick_points_full_coverage_sampling_is_identity() {
+    let l3 = 32 << 10;
+    let kernels = [
+        PolybenchKernel::Gemm,
+        PolybenchKernel::Syrk,
+        PolybenchKernel::Trmm,
+    ];
+    for kernel in kernels {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            for tile in [2048, l3 / 2, 2 * l3] {
+                let mut spec = KernelRun::new(kernel, uc1_params(32, tile))
+                    .l3_bytes(l3)
+                    .system(kind)
+                    .spec();
+                spec.label = format!("{}/{kind}/tile={tile}", kernel.name());
+                assert_full_coverage_identical(&spec);
+            }
+        }
+    }
+}
+
+/// Asserts one spec, under a *partial*-coverage sampling schedule, is
+/// identical through the batched sampled dispatch (phase-run tight loops,
+/// bulk skip accounting, ramp-split snapshots) and the scalar per-op
+/// dispatch — report and sampling summary both.
+fn assert_sampled_batched_equals_scalar(spec: &RunSpec, sampling: SamplingSpec) {
+    let batched = spec.execute_sampled(None, Some(sampling));
+    let scalar = run_workload_sampled_scalar(&spec.config, sampling, |s| spec.workload.generate(s));
+    assert_eq!(
+        batched.report, scalar.report,
+        "{}: sampled batched != sampled scalar",
+        spec.label
+    );
+    assert_eq!(
+        format!("{:?}", batched.sampling),
+        format!("{:?}", scalar.sampling),
+        "{}: sampling summaries differ",
+        spec.label
+    );
+}
+
+/// Partial-coverage sampled execution is batched/scalar-identical on a
+/// spread of fig4–fig6 grid points. The schedule is sized so quick runs
+/// cross several intervals and every phase boundary lands mid-batch
+/// somewhere (interval and batch capacity are coprime).
+#[test]
+fn partial_coverage_sampling_batched_equals_scalar() {
+    let sampling = SamplingSpec {
+        warmup_ops: 500,
+        window_ops: 1_500,
+        interval: 6_007,
+    };
+    let l3 = 32 << 10;
+    for kernel in [PolybenchKernel::Gemm, PolybenchKernel::Syrk] {
+        for kind in [SystemKind::Baseline, SystemKind::Xmem] {
+            let mut spec = KernelRun::new(kernel, uc1_params(32, l3 / 2))
+                .l3_bytes(l3)
+                .system(kind)
+                .spec();
+            spec.label = format!("{}/{kind}/sampled", kernel.name());
+            assert_sampled_batched_equals_scalar(&spec, sampling);
+        }
+    }
+}
+
+/// The sampling engine at 100% coverage is a no-op on the fig7 placement
+/// grid as well (all three memory systems).
+#[test]
+fn fig7_quick_points_full_coverage_sampling_is_identity() {
+    let mut workloads: Vec<PlacementWorkload> =
+        PlacementWorkload::all().into_iter().take(2).collect();
+    for w in &mut workloads {
+        w.accesses = 20_000;
+    }
+    for w in &workloads {
+        for sys in [Uc2System::Baseline, Uc2System::Xmem, Uc2System::IdealRbl] {
+            for spec in placement_specs(w, sys) {
+                assert_full_coverage_identical(&spec);
+            }
+        }
     }
 }
 

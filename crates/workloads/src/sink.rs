@@ -91,8 +91,10 @@ pub trait TraceSink {
 /// dispatch into one call per [`cpu_sim::batch::BATCH_CAPACITY`] ops,
 /// while allocation and XMem hints still land between the right ops.
 ///
-/// Call [`BatchEmitter::flush`] (or drop the emitter) after the generator
-/// finishes; dropping flushes any tail ops automatically.
+/// Call [`BatchEmitter::flush`] after the generator finishes. Dropping
+/// the emitter with buffered ops is a *debug assertion* — a silently
+/// deferred tail means ops land after whatever the caller did next — but
+/// release builds still flush as a safety net, so no op is ever lost.
 ///
 /// # Examples
 ///
@@ -105,7 +107,8 @@ pub trait TraceSink {
 ///     for i in 0..1000u64 {
 ///         em.load(i * 64);
 ///     }
-/// } // drop flushes the tail
+///     em.flush(); // explicit tail flush at generator end
+/// }
 /// assert_eq!(inner.ops.len(), 1000);
 /// ```
 #[derive(Debug)]
@@ -134,10 +137,19 @@ impl<'a, S: TraceSink + ?Sized> BatchEmitter<'a, S> {
 
 impl<S: TraceSink + ?Sized> Drop for BatchEmitter<'_, S> {
     fn drop(&mut self) {
-        // Flush tail ops; skip during unwind (the sink may be poisoned).
-        if !std::thread::panicking() {
-            self.flush();
+        // Skip during unwind (the sink may be poisoned).
+        if std::thread::panicking() {
+            return;
         }
+        // Dropping with buffered ops is a caller bug: the tail would land
+        // *after* whatever the caller interleaved next. Assert in debug
+        // builds; flush as a release-mode safety net so no op is lost.
+        debug_assert!(
+            self.batch.is_empty(),
+            "BatchEmitter dropped with {} unflushed ops; call flush() at generator end",
+            self.batch.len()
+        );
+        self.flush();
     }
 }
 
@@ -700,8 +712,47 @@ mod tests {
             for i in 0..700u64 {
                 em.load(i * 64);
             }
+            em.flush();
         }
         assert_eq!(inner.ops.len(), 700);
+    }
+
+    #[test]
+    fn non_multiple_of_capacity_emits_every_op() {
+        // 700 is not a multiple of BATCH_CAPACITY (= 256): the trailing
+        // partial batch of 188 ops must reach the sink via the explicit
+        // flush, in order and with the right kinds.
+        assert_ne!(700 % cpu_sim::batch::BATCH_CAPACITY, 0);
+        let mut inner = CollectSink::new();
+        {
+            let mut em = BatchEmitter::new(&mut inner);
+            for i in 0..700u64 {
+                if i % 2 == 0 {
+                    em.load(i * 64);
+                } else {
+                    em.store(i * 64);
+                }
+            }
+            em.flush();
+        }
+        assert_eq!(inner.ops.len(), 700);
+        for (i, op) in inner.ops.iter().enumerate() {
+            match op {
+                Op::Load { addr, .. } => assert_eq!(*addr, i as u64 * 64),
+                Op::Store { addr, .. } => assert_eq!(*addr, i as u64 * 64),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unflushed ops")]
+    fn dropping_with_buffered_ops_asserts_in_debug() {
+        let mut inner = CollectSink::new();
+        let mut em = BatchEmitter::new(&mut inner);
+        em.load(0x40); // one buffered op, never flushed
+        drop(em);
     }
 
     #[test]
