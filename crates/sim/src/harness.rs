@@ -89,6 +89,7 @@ where
                 }
                 let result = run(i, worker);
                 // simlint: allow(unwrap, reason = "slot mutexes are never poisoned: worker panics are caught by catch_unwind inside run()")
+                // simlint: allow(panic-in-worker, reason = "the expect fires only on lock poisoning, which the catch_unwind inside run() rules out")
                 *slots[i].lock().expect("result slot") = Some(result);
             });
         }
@@ -96,6 +97,7 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // simlint: allow(panic-in-worker, reason = "runs after the scope joins; the expect fires only on lock poisoning, which the catch_unwind inside run() rules out")
             slot.into_inner()
                 // simlint: allow(unwrap, reason = "slot mutexes are never poisoned: worker panics are caught by catch_unwind inside run()")
                 .expect("result slot")
@@ -132,6 +134,7 @@ where
 /// pool without per-binary flags), otherwise the machine's available
 /// parallelism.
 pub fn default_workers() -> usize {
+    // simlint: allow(nondet-taint, reason = "worker count shapes scheduling only; per-point results are merged in spec order, so the report bytes do not depend on it")
     workers_override(std::env::var("XMEM_WORKERS").ok().as_deref()).unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
@@ -171,6 +174,7 @@ impl Progress {
             done: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
             resumed: AtomicUsize::new(0),
+            // simlint: allow(nondet-taint, reason = "progress-meter start time feeds the stderr ETA line only, never the report")
             start: Instant::now(),
             enabled: true,
         }
@@ -211,6 +215,7 @@ impl Progress {
         let failures = self.failed.load(Ordering::Relaxed);
         let resumed = self.resumed.load(Ordering::Relaxed);
         let executed = done.saturating_sub(resumed);
+        // simlint: allow(nondet-taint, reason = "elapsed time feeds the stderr ETA line only, never the report")
         let elapsed = self.start.elapsed().as_secs_f64();
         let eta = match eta_secs(elapsed, executed, self.total.saturating_sub(done)) {
             Some(secs) => fmt_eta(secs),
@@ -719,6 +724,7 @@ impl Sweep {
                 progress.tick_resumed();
                 return RunOutcome::Resumed(record.clone());
             }
+            // simlint: allow(nondet-taint, reason = "wall_nanos lands only in the RunMeta `run` block, which is documented pure observability and excluded from determinism comparisons")
             let start = Instant::now();
             match catch_unwind(AssertUnwindSafe(|| {
                 spec.execute_sampled(self.epoch, self.sampling)
@@ -733,6 +739,7 @@ impl Sweep {
                         telemetry: out.telemetry,
                         sampling: out.sampling,
                         run: Some(RunMeta {
+                            // simlint: allow(nondet-taint, reason = "wall_nanos lands only in the RunMeta `run` block, which is documented pure observability and excluded from determinism comparisons")
                             wall_nanos: cycles_to_u64(start.elapsed().as_nanos()),
                             worker: worker as u64,
                             resumed: false,

@@ -1,0 +1,257 @@
+//! Incremental analysis cache.
+//!
+//! Per-file analysis ([`crate::analyze_source`]) is a pure function of
+//! file content, so its result is cached under `fnv64(content)` in a
+//! line-oriented text file at `target/simlint/cache.v<RULES_VERSION>.txt`
+//! (no serde — the workspace has no external dependencies). The
+//! cross-file taint pass and allow/config application run from summaries
+//! on every invocation; only lexing + local rules are skipped on a hit,
+//! which is what keeps the warm full-workspace run under a second.
+//!
+//! The cache is an optimization, never a source of truth: any parse
+//! error, version mismatch or hash miss falls back to re-analysis, and
+//! the file is atomically rewritten from scratch after every run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::output::fnv64;
+use crate::rules;
+use crate::summary::{CallSite, Callee, FileSummary, FnInfo, SourceSite};
+use crate::{FileAnalysis, Finding};
+
+pub fn content_hash(src: &str) -> u64 {
+    fnv64(src.as_bytes())
+}
+
+fn cache_path(root: &Path) -> PathBuf {
+    root.join("target")
+        .join("simlint")
+        .join(format!("cache.v{}.txt", rules::RULES_VERSION))
+}
+
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, String)>,
+}
+
+impl Cache {
+    /// Loads the cache; any failure yields an empty cache.
+    pub fn load(root: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(cache_path(root)) else {
+            return Cache::default();
+        };
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(String, u64, String)> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("file ") {
+                let Some((path, hash)) = rest.rsplit_once(' ') else {
+                    return Cache::default();
+                };
+                let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                    return Cache::default();
+                };
+                cur = Some((path.to_string(), hash, String::new()));
+            } else if line == "end" {
+                if let Some((path, hash, body)) = cur.take() {
+                    entries.insert(path, (hash, body));
+                }
+            } else if let Some((_, _, body)) = cur.as_mut() {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        Cache { entries }
+    }
+
+    /// A cached analysis for `rel_path` at exactly this content hash.
+    pub fn get(&self, rel_path: &str, hash: u64, ctx: &crate::FileCtx) -> Option<FileAnalysis> {
+        let (h, body) = self.entries.get(rel_path)?;
+        if *h != hash {
+            return None;
+        }
+        parse_analysis(body, ctx)
+    }
+}
+
+/// Atomically rewrites the cache with the given (hash, analysis) set.
+pub fn store(root: &Path, analyses: &[(u64, &FileAnalysis)]) -> std::io::Result<()> {
+    let path = cache_path(root);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    for (hash, fa) in analyses {
+        out.push_str(&format!("file {} {:016x}\n", fa.ctx.rel_path, hash));
+        serialize_analysis(fa, &mut out);
+        out.push_str("end\n");
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Line grammar: one record per line, space-separated fixed fields, the
+/// one free-text field (if any) last so it may contain spaces.
+fn serialize_analysis(fa: &FileAnalysis, out: &mut String) {
+    use std::fmt::Write;
+    for f in &fa.findings {
+        let _ = writeln!(out, "finding {} {} {} {}", f.line, f.col, f.rule, f.message);
+    }
+    for a in &fa.allows {
+        let _ = writeln!(
+            out,
+            "allow {} {} {} {}",
+            a.target_line, a.line, a.col, a.rule
+        );
+    }
+    let s = &fa.summary;
+    let _ = writeln!(out, "crate {}", s.crate_key);
+    for f in &s.fns {
+        let _ = writeln!(
+            out,
+            "fn {} {} {} {} {}",
+            f.line,
+            f.span.0,
+            f.span.1,
+            f.self_type.as_deref().unwrap_or("-"),
+            f.name
+        );
+    }
+    for c in &s.calls {
+        let _ = writeln!(
+            out,
+            "call {} {} {} {}",
+            c.caller,
+            c.line,
+            c.col,
+            c.callee.display()
+        );
+    }
+    for (alias, path) in &s.uses {
+        let _ = writeln!(out, "use {} {}", alias, path);
+    }
+    for src in &s.sources {
+        let _ = writeln!(
+            out,
+            "source {} {} {} {} {}",
+            src.fn_idx, src.line, src.col, src.kind, src.what
+        );
+    }
+    for &(f, line, col) in &s.relaxed {
+        let _ = writeln!(out, "relaxed {} {} {}", f, line, col);
+    }
+    for (f, line, col, what) in &s.hazards {
+        let _ = writeln!(out, "hazard {} {} {} {}", f, line, col, what);
+    }
+    for &f in &s.unwind_roots {
+        let _ = writeln!(out, "unwind {}", f);
+    }
+}
+
+/// Splits off `n` leading space-separated fields; the remainder (which
+/// may contain spaces) is the last element.
+fn fields(line: &str, n: usize) -> Option<Vec<&str>> {
+    let mut parts = Vec::with_capacity(n + 1);
+    let mut rest = line;
+    for _ in 0..n {
+        let (head, tail) = rest.split_once(' ')?;
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+    Some(parts)
+}
+
+fn parse_analysis(body: &str, ctx: &crate::FileCtx) -> Option<FileAnalysis> {
+    let mut fa = FileAnalysis {
+        ctx: ctx.clone(),
+        findings: Vec::new(),
+        allows: Vec::new(),
+        summary: FileSummary::default(),
+    };
+    for line in body.lines() {
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "finding" => {
+                let p = fields(rest, 3)?;
+                fa.findings.push(Finding::new(
+                    &ctx.rel_path,
+                    p[0].parse().ok()?,
+                    p[1].parse().ok()?,
+                    rules::rule_from_name(p[2])?,
+                    p[3].to_string(),
+                ));
+            }
+            "allow" => {
+                let p = fields(rest, 3)?;
+                fa.allows.push(rules::Allow {
+                    target_line: p[0].parse().ok()?,
+                    line: p[1].parse().ok()?,
+                    col: p[2].parse().ok()?,
+                    rule: p[3].to_string(),
+                });
+            }
+            "crate" => fa.summary.crate_key = rest.to_string(),
+            "fn" => {
+                let p = fields(rest, 4)?;
+                fa.summary.fns.push(FnInfo {
+                    line: p[0].parse().ok()?,
+                    span: (p[1].parse().ok()?, p[2].parse().ok()?),
+                    self_type: (p[3] != "-").then(|| p[3].to_string()),
+                    name: p[4].to_string(),
+                });
+            }
+            "call" => {
+                let p = fields(rest, 3)?;
+                let callee = if let Some(m) = p[3].strip_prefix('.') {
+                    Callee::Method(m.to_string())
+                } else if p[3].contains("::") {
+                    Callee::Qualified(p[3].split("::").map(str::to_string).collect())
+                } else {
+                    Callee::Bare(p[3].to_string())
+                };
+                fa.summary.calls.push(CallSite {
+                    caller: p[0].parse().ok()?,
+                    line: p[1].parse().ok()?,
+                    col: p[2].parse().ok()?,
+                    callee,
+                });
+            }
+            "use" => {
+                let p = fields(rest, 1)?;
+                fa.summary.uses.push((p[0].to_string(), p[1].to_string()));
+            }
+            "source" => {
+                let p = fields(rest, 4)?;
+                fa.summary.sources.push(SourceSite {
+                    fn_idx: p[0].parse().ok()?,
+                    line: p[1].parse().ok()?,
+                    col: p[2].parse().ok()?,
+                    kind: p[3].to_string(),
+                    what: p[4].to_string(),
+                });
+            }
+            "relaxed" => {
+                let p = fields(rest, 2)?;
+                fa.summary.relaxed.push((
+                    p[0].parse().ok()?,
+                    p[1].parse().ok()?,
+                    p[2].parse().ok()?,
+                ));
+            }
+            "hazard" => {
+                let p = fields(rest, 3)?;
+                fa.summary.hazards.push((
+                    p[0].parse().ok()?,
+                    p[1].parse().ok()?,
+                    p[2].parse().ok()?,
+                    p[3].to_string(),
+                ));
+            }
+            "unwind" => fa.summary.unwind_roots.push(rest.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(fa)
+}

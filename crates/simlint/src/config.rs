@@ -22,10 +22,14 @@ pub struct Config {
 }
 
 #[derive(Debug)]
-struct AllowEntry {
-    rule: String,
-    path: String,
-    reason: String,
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// 1-based inclusive line span of the entry in `simlint.toml` (from
+    /// the `[[allow]]` line through its last key), used by `simlint fix`
+    /// to remove stale entries.
+    pub span: (usize, usize),
 }
 
 impl Config {
@@ -54,6 +58,7 @@ impl Config {
                     rule: String::new(),
                     path: String::new(),
                     reason: String::new(),
+                    span: (lineno, lineno),
                 });
                 continue;
             }
@@ -72,6 +77,7 @@ impl Config {
                 return Err(format!("line {}: key outside [[allow]] table", lineno));
             }
             let entry = allows.last_mut().unwrap();
+            entry.span.1 = lineno;
             match key.trim() {
                 "rule" => entry.rule = value.to_string(),
                 "path" => entry.path = value.replace('\\', "/"),
@@ -92,11 +98,26 @@ impl Config {
 
     /// Is `rule` allowlisted for the file at workspace-relative `rel_path`?
     pub fn allows(&self, rule: &str, rel_path: &str) -> bool {
-        self.allows.iter().any(|a| {
+        self.match_entry(rule, rel_path).is_some()
+    }
+
+    /// Index of the first `[[allow]]` entry covering (rule, path), if any
+    /// — [`crate::finalize`] tracks per-entry usage through this so
+    /// `simlint fix` can retire entries that suppress nothing.
+    pub fn match_entry(&self, rule: &str, rel_path: &str) -> Option<usize> {
+        self.allows.iter().position(|a| {
             (a.rule == rule || a.rule == "*")
                 && (a.path == rel_path
                     || (a.path.ends_with('/') && rel_path.starts_with(a.path.as_str())))
         })
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.allows.len()
+    }
+
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.allows
     }
 }
 

@@ -1,0 +1,146 @@
+//! `simlint fix` — mechanical cleanup of stale suppressions.
+//!
+//! Two kinds of edits, both derived from a full workspace lint:
+//!
+//! * `unused-allow` findings → the dead `// simlint: allow(...)` comment
+//!   is removed (the whole line when nothing else is on it, otherwise
+//!   just the trailing comment);
+//! * `simlint.toml` `[[allow]]` entries that suppressed nothing anywhere
+//!   → the entry is removed together with its contiguous preceding
+//!   comment block.
+//!
+//! `dry_run` computes the same edits and renders them as a diff without
+//! touching any file.
+
+use std::path::Path;
+
+use crate::{rules, Config};
+
+#[derive(Debug, Default)]
+pub struct FixReport {
+    /// Human-readable diff lines (`--- path`, `-/+` hunks).
+    pub diff: Vec<String>,
+    pub allows_removed: usize,
+    pub config_entries_removed: usize,
+    pub files_changed: usize,
+}
+
+pub fn run(root: &Path, dry_run: bool) -> Result<FixReport, String> {
+    let outcome = crate::check_full(root, true)?;
+    let mut report = FixReport::default();
+
+    // Group unused-allow findings by file; edit bottom-up so earlier
+    // removals don't shift later line numbers.
+    let mut by_file: Vec<(String, Vec<(u32, u32)>)> = Vec::new();
+    for f in &outcome.findings {
+        if f.rule != rules::RULE_UNUSED_ALLOW {
+            continue;
+        }
+        match by_file.iter_mut().find(|(p, _)| *p == f.path) {
+            Some((_, sites)) => sites.push((f.line, f.col)),
+            None => by_file.push((f.path.clone(), vec![(f.line, f.col)])),
+        }
+    }
+
+    for (rel, mut sites) in by_file {
+        sites.sort_unstable();
+        sites.reverse();
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| format!("{rel}: {e}"))?;
+        let had_trailing_newline = src.ends_with('\n');
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut file_diff: Vec<String> = Vec::new();
+        for (line, col) in sites {
+            let idx = line as usize - 1;
+            let Some(text) = lines.get(idx).cloned() else {
+                continue;
+            };
+            // The finding's col points at the comment start (1-based,
+            // chars).
+            let byte = text
+                .char_indices()
+                .nth(col as usize - 1)
+                .map(|(b, _)| b)
+                .unwrap_or(text.len());
+            if !text[byte..].starts_with("//") {
+                continue; // line changed since analysis; don't guess
+            }
+            let kept = text[..byte].trim_end().to_string();
+            file_diff.push(format!("-{}", text));
+            if kept.is_empty() {
+                lines.remove(idx);
+            } else {
+                file_diff.push(format!("+{}", kept));
+                lines[idx] = kept;
+            }
+            report.allows_removed += 1;
+        }
+        if file_diff.is_empty() {
+            continue;
+        }
+        report.diff.push(format!("--- {}", rel));
+        report.diff.extend(file_diff);
+        report.files_changed += 1;
+        if !dry_run {
+            let mut out = lines.join("\n");
+            if had_trailing_newline {
+                out.push('\n');
+            }
+            std::fs::write(&abs, out).map_err(|e| format!("{rel}: {e}"))?;
+        }
+    }
+
+    if !outcome.stale_config.is_empty() {
+        let cfg_path = root.join("simlint.toml");
+        if let Ok(text) = std::fs::read_to_string(&cfg_path) {
+            let cfg = Config::parse(&text)?;
+            let lines: Vec<&str> = text.lines().collect();
+            let mut drop = vec![false; lines.len()];
+            for &idx in &outcome.stale_config {
+                let Some(entry) = cfg.entries().get(idx) else {
+                    continue;
+                };
+                // Spans are 1-based inclusive. The comment block directly
+                // above the entry explains it; it goes too, along with one
+                // separating blank line.
+                let (start, end) = entry.span;
+                let mut first = start - 1; // 0-based index of the [[allow]] line
+                while first > 0 && lines[first - 1].trim_start().starts_with('#') {
+                    first -= 1;
+                }
+                if first > 0 && lines[first - 1].trim().is_empty() {
+                    first -= 1;
+                }
+                for d in drop.iter_mut().take(end).skip(first) {
+                    *d = true;
+                }
+                report.config_entries_removed += 1;
+                report.diff.push(format!(
+                    "--- simlint.toml (stale entry: rule={} path={})",
+                    entry.rule, entry.path
+                ));
+                for line in lines.iter().take(end).skip(first) {
+                    report.diff.push(format!("-{}", line));
+                }
+            }
+            if report.config_entries_removed > 0 {
+                report.files_changed += 1;
+                if !dry_run {
+                    let kept: Vec<&str> = lines
+                        .iter()
+                        .zip(&drop)
+                        .filter(|(_, d)| !**d)
+                        .map(|(l, _)| *l)
+                        .collect();
+                    let mut out = kept.join("\n");
+                    if text.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    std::fs::write(&cfg_path, out).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}

@@ -5,35 +5,62 @@
 //! rests on invariants no general-purpose linter knows about; simlint
 //! makes them machine-checked:
 //!
-//! | rule             | invariant                                                   |
-//! |------------------|-------------------------------------------------------------|
-//! | `nondet-map`     | no `HashMap`/`HashSet` in sim-state crates (R1)             |
-//! | `wall-clock`     | no `SystemTime`/`Instant`/ambient randomness in results (R2)|
-//! | `narrowing-cast` | no narrowing `as` on address/cycle expressions (R3)         |
-//! | `unwrap`         | no unannotated `.unwrap()`/`.expect()` in library code (R4) |
-//! | `float-cmp`      | no float comparison in timing/scheduling decisions (R5)     |
-//! | `scalar-access`  | no new scalar `fn access(` in sim-state crates (R6) — the   |
-//! |                  | batched `MemoryPath::serve`/`serve_batch` API replaced it   |
+//! | rule                  | invariant                                                       |
+//! |-----------------------|-----------------------------------------------------------------|
+//! | `nondet-map`          | no `HashMap`/`HashSet` in sim-state crates (R1)                 |
+//! | `wall-clock`          | no `SystemTime`/`Instant`/ambient randomness in test code (R2)  |
+//! | `narrowing-cast`      | no narrowing `as` on address/cycle expressions (R3)             |
+//! | `unwrap`              | no unannotated `.unwrap()`/`.expect()` in library code (R4)     |
+//! | `float-cmp`           | no float comparison in timing/scheduling decisions (R5)         |
+//! | `scalar-access`       | no new scalar `fn access(` in sim-state crates (R6)             |
+//! | `sync-audit`          | no locks/atomics in sim state; no `Relaxed` on sink paths (R7)  |
+//! | `panic-in-worker`     | no panic hazards escaping `catch_unwind` isolation (R8)         |
+//! | `wrapping-cycle-math` | no wrapping arithmetic on address/cycle values (R9)             |
+//! | `ordered-reduce`      | no float reduction over unordered iteration (R10)               |
+//! | `nondet-taint`        | no nondeterminism source may reach a result sink (cross-file)   |
+//!
+//! The cross-file rules run on a workspace call graph built from per-file
+//! summaries ([`summary`], [`taint`]); `nondet-taint` findings carry the
+//! full source→sink chain as flow steps. Per-file analysis is cached on
+//! content hash ([`cache`]) so the warm full-workspace run is sub-second.
 //!
 //! Suppression: a per-site `// simlint: allow(<rule>, reason = "...")`
 //! comment (same line, or the line directly above), or a `simlint.toml`
 //! `[[allow]]` entry for whole files. Both are checked themselves: a
 //! malformed directive is `allow-syntax`, a directive that suppresses
-//! nothing is `unused-allow`.
+//! nothing is `unused-allow`, and `simlint fix` removes stale ones.
 //!
-//! Run it with `cargo run -p simlint -- check` (add `--json` for machine
-//! output). Exits non-zero when findings remain.
+//! Run it with `cargo run -p simlint -- check` (`--json` or `--sarif` for
+//! machine output, `--no-cache` to force cold analysis), or
+//! `cargo run -p simlint -- fix --dry-run` to preview cleanups. Exits
+//! non-zero when findings remain.
 
+pub mod cache;
 pub mod config;
+pub mod fix;
 pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
+pub use output::{assign_ids, findings_to_json, to_sarif};
 
-/// One diagnostic. Rendered as `path:line:col: rule: message` plus a
-/// fix hint in human mode.
+/// One step of a cross-file flow chain (source→sink for `nondet-taint`,
+/// boundary→hazard for `panic-in-worker`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStep {
+    pub path: String,
+    pub line: u32,
+    pub note: String,
+}
+
+/// One diagnostic. Rendered as `path:line:col: rule: message` plus flow
+/// steps and a fix hint in human mode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub path: String,
@@ -41,9 +68,25 @@ pub struct Finding {
     pub col: u32,
     pub rule: &'static str,
     pub message: String,
+    /// Cross-file chain; empty for local findings.
+    pub flow: Vec<FlowStep>,
+    /// Stable content-addressed fingerprint, assigned by [`finalize`].
+    pub id: String,
 }
 
 impl Finding {
+    pub fn new(path: &str, line: u32, col: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            col,
+            rule,
+            message,
+            flow: Vec::new(),
+            id: String::new(),
+        }
+    }
+
     pub fn render(&self) -> String {
         format!(
             "{}:{}:{}: {}: {}",
@@ -52,50 +95,45 @@ impl Finding {
     }
 
     pub fn render_with_hint(&self) -> String {
-        let hint = rules::hint_for(self.rule);
-        if hint.is_empty() {
-            self.render()
-        } else {
-            format!("{}\n  hint: {}", self.render(), hint)
+        let mut out = self.render();
+        for step in &self.flow {
+            out.push_str(&format!(
+                "\n  flow: {} ({}:{})",
+                step.note, step.path, step.line
+            ));
         }
+        let hint = rules::hint_for(self.rule);
+        if !hint.is_empty() {
+            out.push_str(&format!("\n  hint: {}", hint));
+        }
+        out
     }
 
     pub fn to_json(&self) -> String {
+        let flow: Vec<String> = self
+            .flow
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"path":{},"line":{},"note":{}}}"#,
+                    output::json_str(&s.path),
+                    s.line,
+                    output::json_str(&s.note)
+                )
+            })
+            .collect();
         format!(
-            r#"{{"path":{},"line":{},"col":{},"rule":{},"message":{},"hint":{}}}"#,
-            json_str(&self.path),
+            r#"{{"id":{},"path":{},"line":{},"col":{},"rule":{},"message":{},"hint":{},"flow":[{}]}}"#,
+            output::json_str(&self.id),
+            output::json_str(&self.path),
             self.line,
             self.col,
-            json_str(self.rule),
-            json_str(&self.message),
-            json_str(rules::hint_for(self.rule)),
+            output::json_str(self.rule),
+            output::json_str(&self.message),
+            output::json_str(rules::hint_for(self.rule)),
+            flow.join(","),
         )
     }
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-pub fn findings_to_json(findings: &[Finding]) -> String {
-    let items: Vec<String> = findings
-        .iter()
-        .map(|f| format!("  {}", f.to_json()))
-        .collect();
-    format!("[\n{}\n]\n", items.join(",\n"))
 }
 
 /// What simlint knows about a file before reading it: where it lives and
@@ -104,58 +142,148 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
 pub struct FileCtx {
     /// Workspace-relative path with `/` separators (diagnostics + allowlist key).
     pub rel_path: String,
-    /// Crate is in [`rules::SIM_STATE_DIRS`] — R1/R2/R3/R5/R6 apply.
+    /// Crate is in [`rules::SIM_STATE_DIRS`] — R1/R3/R5/R6/R7/R9/R10 and
+    /// the taint sources apply.
     pub sim_state: bool,
     /// Library code (not `src/bin/*`, not `src/main.rs`) — R4 applies.
     pub library: bool,
+    /// Test-adjacent code (`tests/`, `examples/`, `crates/bench`) — the
+    /// `wall-clock` rule applies here *without* the test mask, since a
+    /// byte-identity test that reads the wall clock is a silent flake
+    /// source. Files that are purely tests contribute no call-graph
+    /// summary.
+    pub test_like: bool,
 }
 
-/// Lints one file's source. Test items (`#[cfg(test)]`/`#[test]`) are
-/// exempt from every rule; allow comments and the workspace allowlist are
-/// applied here so callers get the final finding set.
-pub fn lint_source(src: &str, ctx: &FileCtx, cfg: &Config) -> Vec<Finding> {
+/// The per-file analysis: local findings (before allow/config
+/// application), allow directives, and the call-graph summary. A pure
+/// function of file content — see [`cache`].
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    pub ctx: FileCtx,
+    pub findings: Vec<Finding>,
+    pub allows: Vec<rules::Allow>,
+    pub summary: summary::FileSummary,
+}
+
+pub fn analyze_source(src: &str, ctx: &FileCtx) -> FileAnalysis {
     let toks = lexer::lex(src);
     let mask = rules::test_mask(&toks);
     let mut findings = Vec::new();
-    let allows = rules::collect_allows(&toks, &mut findings, ctx);
-    let mut raw = Vec::new();
-    rules::run_all(&toks, &mask, ctx, &mut raw);
+    let allows = rules::collect_allows(&toks, &mask, &mut findings, ctx);
+    rules::run_all(&toks, &mask, ctx, &mut findings);
+    let summary = if ctx.test_like && !ctx.library {
+        // Pure test/example files assert on results rather than produce
+        // them; they stay out of the result-producing call graph.
+        summary::FileSummary::default()
+    } else {
+        summary::summarize(&toks, &mask, ctx)
+    };
+    FileAnalysis {
+        ctx: ctx.clone(),
+        findings,
+        allows,
+        summary,
+    }
+}
 
-    let mut used = vec![false; allows.len()];
-    for f in raw {
-        let suppressed_by_comment = allows.iter().enumerate().any(|(k, a)| {
-            let hit = a.rule == f.rule && a.target_line == f.line;
-            if hit {
-                used[k] = true;
+/// Result of a full lint: the final findings plus which `simlint.toml`
+/// entries suppressed nothing (fed to `simlint fix`).
+#[derive(Debug)]
+pub struct CheckOutcome {
+    pub findings: Vec<Finding>,
+    /// Indices into the config's `[[allow]]` entries that matched no
+    /// finding anywhere in the workspace.
+    pub stale_config: Vec<usize>,
+}
+
+/// Runs the cross-file pass over all analyses, applies allow comments and
+/// the config allowlist, emits `unused-allow`, sorts, and assigns stable
+/// IDs.
+pub fn finalize(analyses: &[FileAnalysis], cfg: &Config) -> CheckOutcome {
+    let mut by_path: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in taint::run(analyses) {
+        by_path.entry(f.path.clone()).or_default().push(f);
+    }
+
+    let mut config_used = vec![false; cfg.entry_count()];
+    let mut findings = Vec::new();
+    for fa in analyses {
+        let mut raw: Vec<Finding> = Vec::new();
+        let mut passthrough: Vec<Finding> = Vec::new();
+        for f in &fa.findings {
+            if f.rule == rules::RULE_ALLOW_SYNTAX {
+                // Malformed directives are never suppressible.
+                passthrough.push(f.clone());
+            } else {
+                raw.push(f.clone());
             }
-            hit
-        });
-        if suppressed_by_comment || cfg.allows(f.rule, &ctx.rel_path) {
-            continue;
         }
-        findings.push(f);
-    }
-    for (k, a) in allows.iter().enumerate() {
-        if !used[k] {
-            findings.push(Finding {
-                path: ctx.rel_path.clone(),
-                line: a.line,
-                col: a.col,
-                rule: rules::RULE_UNUSED_ALLOW,
-                message: format!(
-                    "allow({}) suppresses no finding on line {}",
-                    a.rule, a.target_line
-                ),
+        if let Some(cross) = by_path.remove(fa.ctx.rel_path.as_str()) {
+            raw.extend(cross);
+        }
+        let mut used = vec![false; fa.allows.len()];
+        for f in raw {
+            let by_comment = fa.allows.iter().enumerate().any(|(k, a)| {
+                let hit = a.rule == f.rule && a.target_line == f.line;
+                if hit {
+                    used[k] = true;
+                }
+                hit
             });
+            let by_config = match cfg.match_entry(f.rule, &fa.ctx.rel_path) {
+                Some(idx) => {
+                    config_used[idx] = true;
+                    true
+                }
+                None => false,
+            };
+            if !by_comment && !by_config {
+                findings.push(f);
+            }
+        }
+        findings.extend(passthrough);
+        for (k, a) in fa.allows.iter().enumerate() {
+            if !used[k] {
+                findings.push(Finding::new(
+                    &fa.ctx.rel_path,
+                    a.line,
+                    a.col,
+                    rules::RULE_UNUSED_ALLOW,
+                    format!(
+                        "allow({}) suppresses no finding on line {}",
+                        a.rule, a.target_line
+                    ),
+                ));
+            }
         }
     }
-    findings
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    assign_ids(&mut findings);
+    CheckOutcome {
+        findings,
+        stale_config: (0..config_used.len())
+            .filter(|&i| !config_used[i])
+            .collect(),
+    }
+}
+
+/// Lints one file's source in isolation (fixtures, tests). The cross-file
+/// pass runs over this single file's summary, so same-file source→sink
+/// flows are reported.
+pub fn lint_source(src: &str, ctx: &FileCtx, cfg: &Config) -> Vec<Finding> {
+    let analyses = [analyze_source(src, ctx)];
+    finalize(&analyses, cfg).findings
 }
 
 /// Enumerates the workspace's lintable `.rs` files: `src/` of the root
-/// package and of every crate under `crates/` except simlint itself.
-/// Integration tests, benches and examples are out of scope — they assert
-/// on results rather than produce them.
+/// package and of every crate under `crates/` except simlint itself, plus
+/// — for the wall-clock rule — root `tests/` and `examples/` and each
+/// crate's `tests/` (linted as `test_like`; the bench crate's sources are
+/// both library and test-like).
 pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, FileCtx)>> {
     let mut crate_dirs: Vec<(PathBuf, String)> = vec![(root.to_path_buf(), "xmem".to_string())];
     let crates = root.join("crates");
@@ -179,13 +307,11 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, FileCtx)>> 
     }
 
     let mut files = Vec::new();
-    for (dir, name) in crate_dirs {
-        let src = dir.join("src");
-        if !src.is_dir() {
-            continue;
+    let mut add_tree = |top: &Path, mk: &dyn Fn(String, &Path) -> FileCtx| -> std::io::Result<()> {
+        if !top.is_dir() {
+            return Ok(());
         }
-        let sim_state = rules::SIM_STATE_DIRS.contains(&name.as_str());
-        let mut stack = vec![src.clone()];
+        let mut stack = vec![top.to_path_buf()];
         while let Some(d) = stack.pop() {
             let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
                 .filter_map(|e| e.ok())
@@ -201,36 +327,78 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, FileCtx)>> 
                         .unwrap_or(&p)
                         .to_string_lossy()
                         .replace('\\', "/");
-                    let in_bin = rel.contains("/src/bin/");
-                    let is_main = p.file_name().is_some_and(|n| n == "main.rs");
-                    files.push((
-                        p,
-                        FileCtx {
-                            rel_path: rel,
-                            sim_state,
-                            library: !in_bin && !is_main,
-                        },
-                    ));
+                    files.push((p.clone(), mk(rel, &p)));
                 }
             }
         }
+        Ok(())
+    };
+
+    for (dir, name) in &crate_dirs {
+        let sim_state = rules::SIM_STATE_DIRS.contains(&name.as_str());
+        // The bench crate's sources run the measurement harness —
+        // wall-clock sites there need explicit config allows.
+        let bench = name == "bench";
+        add_tree(&dir.join("src"), &move |rel: String, p: &Path| {
+            let in_bin = rel.contains("/src/bin/");
+            let is_main = p.file_name().is_some_and(|n| n == "main.rs");
+            FileCtx {
+                rel_path: rel,
+                sim_state,
+                library: !in_bin && !is_main,
+                test_like: bench,
+            }
+        })?;
+        add_tree(&dir.join("tests"), &|rel: String, _: &Path| FileCtx {
+            rel_path: rel,
+            sim_state: false,
+            library: false,
+            test_like: true,
+        })?;
     }
+    add_tree(&root.join("examples"), &|rel: String, _: &Path| FileCtx {
+        rel_path: rel,
+        sim_state: false,
+        library: false,
+        test_like: true,
+    })?;
+
     files.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
     Ok(files)
 }
 
-/// Lints the whole workspace rooted at `root`. Findings come back sorted
-/// by (path, line, col, rule) so output and the CI artifact are stable.
-pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+/// Full workspace lint with optional incremental cache.
+pub fn check_full(root: &Path, use_cache: bool) -> Result<CheckOutcome, String> {
     let cfg = Config::load(root)?;
-    let mut findings = Vec::new();
+    let cached = if use_cache {
+        cache::Cache::load(root)
+    } else {
+        cache::Cache::default()
+    };
+    let mut analyses = Vec::new();
+    let mut hashes = Vec::new();
     for (path, ctx) in workspace_files(root).map_err(|e| e.to_string())? {
         let src =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {}", path.display(), e))?;
-        findings.extend(lint_source(&src, &ctx, &cfg));
+        let hash = cache::content_hash(&src);
+        let fa = cached
+            .get(&ctx.rel_path, hash, &ctx)
+            .unwrap_or_else(|| analyze_source(&src, &ctx));
+        hashes.push(hash);
+        analyses.push(fa);
     }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-    Ok(findings)
+    if use_cache {
+        let pairs: Vec<(u64, &FileAnalysis)> =
+            hashes.iter().copied().zip(analyses.iter()).collect();
+        // Cache write failure is not a lint failure.
+        let _ = cache::store(root, &pairs);
+    }
+    Ok(finalize(&analyses, &cfg))
+}
+
+/// Lints the whole workspace rooted at `root` (uncached — the hermetic
+/// library entry point used by tests). Findings come back sorted by
+/// (path, line, col, rule) so output and the CI artifact are stable.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    check_full(root, false).map(|o| o.findings)
 }

@@ -1,28 +1,46 @@
-//! CLI for simlint: `cargo run -p simlint -- check [--json] [--root DIR]`.
+//! CLI for simlint.
 //!
-//! Exit codes: 0 clean, 1 findings remain, 2 usage/config error.
+//! ```text
+//! simlint check [--json|--sarif] [--no-cache] [--root DIR]
+//! simlint fix [--dry-run] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean (or fix applied), 1 findings remain, 2
+//! usage/config error. `check` uses the incremental cache under
+//! `target/simlint/` by default; `--no-cache` forces a cold run.
 
 use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simlint check [--json] [--root DIR]\n\n  \
-         --json   machine-readable findings on stdout (one JSON array)\n  \
-         --root   workspace root to lint (default: current directory)"
+        "usage: simlint check [--json|--sarif] [--no-cache] [--root DIR]\n       \
+         simlint fix [--dry-run] [--root DIR]\n\n  \
+         --json      machine-readable findings on stdout (one JSON array)\n  \
+         --sarif     SARIF 2.1.0 findings on stdout\n  \
+         --no-cache  ignore and bypass the incremental cache\n  \
+         --dry-run   show the edits `fix` would make without writing them\n  \
+         --root      workspace root to lint (default: current directory)"
     );
     exit(2)
 }
 
 fn main() {
     let mut json = false;
+    let mut sarif = false;
+    let mut use_cache = true;
+    let mut dry_run = false;
     let mut root = PathBuf::from(".");
-    let mut saw_check = false;
+    let mut mode: Option<&str> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "check" => saw_check = true,
+            "check" => mode = Some("check"),
+            "fix" => mode = Some("fix"),
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--no-cache" => use_cache = false,
+            "--dry-run" => dry_run = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => usage(),
@@ -37,30 +55,58 @@ fn main() {
             }
         }
     }
-    if !saw_check {
-        usage()
-    }
 
-    let findings = match simlint::check(&root) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("simlint: {}", e);
-            exit(2)
+    match mode {
+        Some("check") => {
+            if json && sarif {
+                eprintln!("simlint: --json and --sarif are mutually exclusive");
+                usage()
+            }
+            let outcome = match simlint::check_full(&root, use_cache) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("simlint: {}", e);
+                    exit(2)
+                }
+            };
+            let findings = &outcome.findings;
+            if json {
+                print!("{}", simlint::findings_to_json(findings));
+            } else if sarif {
+                print!("{}", simlint::to_sarif(findings));
+            } else {
+                for f in findings {
+                    println!("{}", f.render_with_hint());
+                }
+            }
+            if findings.is_empty() {
+                eprintln!("simlint: clean");
+                exit(0)
+            } else {
+                eprintln!("simlint: {} finding(s)", findings.len());
+                exit(1)
+            }
         }
-    };
-
-    if json {
-        print!("{}", simlint::findings_to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{}", f.render_with_hint());
+        Some("fix") => {
+            let report = match simlint::fix::run(&root, dry_run) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("simlint: {}", e);
+                    exit(2)
+                }
+            };
+            for line in &report.diff {
+                println!("{}", line);
+            }
+            eprintln!(
+                "simlint: {}{} unused allow comment(s), {} stale config entr(ies) in {} file(s)",
+                if dry_run { "would remove " } else { "removed " },
+                report.allows_removed,
+                report.config_entries_removed,
+                report.files_changed,
+            );
+            exit(0)
         }
-    }
-    if findings.is_empty() {
-        eprintln!("simlint: clean");
-        exit(0)
-    } else {
-        eprintln!("simlint: {} finding(s)", findings.len());
-        exit(1)
+        _ => usage(),
     }
 }

@@ -1,0 +1,119 @@
+//! Machine-readable output: the JSON findings array (CI artifact), SARIF
+//! 2.1.0 for code-scanning consumers, and stable finding IDs.
+//!
+//! IDs are content-addressed — `fnv64(rule | path | message | k)` where
+//! `k` is the occurrence index among identical (rule, path, message)
+//! triples — so they survive unrelated edits that shift line numbers.
+//! Line/col stay in the output for humans; the ID is the join key for
+//! suppression tracking across runs.
+
+use crate::rules;
+use crate::Finding;
+
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Assigns each finding its stable ID. Call after the final sort so the
+/// occurrence index is deterministic.
+pub fn assign_ids(findings: &mut [Finding]) {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    for f in findings.iter_mut() {
+        let key = format!("{}|{}|{}", f.rule, f.path, f.message);
+        let k = match seen.iter_mut().find(|(s, _)| *s == key) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                seen.push((key.clone(), 0));
+                0
+            }
+        };
+        f.id = format!("{:016x}", fnv64(format!("{key}|{k}").as_bytes()));
+    }
+}
+
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| format!("  {}", f.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", items.join(",\n"))
+}
+
+/// SARIF 2.1.0, minimal but schema-valid: one run, the full rule table,
+/// one result per finding with the taint flow as related locations.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut rules_json = Vec::new();
+    for rule in rules::ALLOWABLE_RULES
+        .iter()
+        .chain(&[rules::RULE_ALLOW_SYNTAX, rules::RULE_UNUSED_ALLOW])
+    {
+        rules_json.push(format!(
+            r#"{{"id":{},"shortDescription":{{"text":{}}}}}"#,
+            json_str(rule),
+            json_str(rules::hint_for(rule)),
+        ));
+    }
+    let mut results = Vec::new();
+    for f in findings {
+        let mut related = Vec::new();
+        for step in &f.flow {
+            related.push(format!(
+                r#"{{"physicalLocation":{{"artifactLocation":{{"uri":{}}},"region":{{"startLine":{}}}}},"message":{{"text":{}}}}}"#,
+                json_str(&step.path),
+                step.line,
+                json_str(&step.note),
+            ));
+        }
+        let related_json = if related.is_empty() {
+            String::new()
+        } else {
+            format!(r#","relatedLocations":[{}]"#, related.join(","))
+        };
+        results.push(format!(
+            r#"{{"ruleId":{},"level":"error","message":{{"text":{}}},"partialFingerprints":{{"simlint/v1":{}}},"locations":[{{"physicalLocation":{{"artifactLocation":{{"uri":{}}},"region":{{"startLine":{},"startColumn":{}}}}}}}]{}}}"#,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.id),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            related_json,
+        ));
+    }
+    format!(
+        concat!(
+            r#"{{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","#,
+            r#""runs":[{{"tool":{{"driver":{{"name":"simlint","version":"0.2.0","#,
+            r#""rules":[{}]}}}},"#,
+            r#""results":[{}]}}]}}"#,
+            "\n"
+        ),
+        rules_json.join(","),
+        results.join(","),
+    )
+}

@@ -1,0 +1,92 @@
+//! `simlint fix`: removes unused allow comments (whole line or trailing)
+//! and stale `simlint.toml` entries, with `--dry-run` leaving everything
+//! untouched.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn mini_workspace(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates/sim/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(
+        src.join("lib.rs"),
+        "// simlint: allow(nondet-map, reason = \"nothing here uses a map any more\")\n\
+         pub fn fine() -> u32 { 7 }\n\
+         pub fn also_fine() -> u32 { 8 } // simlint: allow(unwrap, reason = \"stale trailing allow\")\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("simlint.toml"),
+        "# The harness used to read the wall clock; the entry outlived it.\n\
+         [[allow]]\n\
+         rule = \"wall-clock\"\n\
+         path = \"crates/sim/src/harness.rs\"\n\
+         reason = \"stale entry\"\n\
+         \n\
+         # Still used: suppresses the seeded violation below.\n\
+         [[allow]]\n\
+         rule = \"float-cmp\"\n\
+         path = \"crates/sim/src/cmp.rs\"\n\
+         reason = \"live entry\"\n",
+    )
+    .unwrap();
+    fs::write(
+        src.join("cmp.rs"),
+        "pub fn hot(util: f64) -> bool { util > 0.95 }\n",
+    )
+    .unwrap();
+    root
+}
+
+#[test]
+fn dry_run_reports_but_does_not_edit() {
+    let root = mini_workspace("simlint-fix-dry");
+    let lib_before = fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap();
+    let cfg_before = fs::read_to_string(root.join("simlint.toml")).unwrap();
+
+    let report = simlint::fix::run(&root, true).unwrap();
+    assert_eq!(report.allows_removed, 2, "{:?}", report.diff);
+    assert_eq!(report.config_entries_removed, 1, "{:?}", report.diff);
+    assert!(!report.diff.is_empty());
+
+    assert_eq!(
+        fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap(),
+        lib_before
+    );
+    assert_eq!(
+        fs::read_to_string(root.join("simlint.toml")).unwrap(),
+        cfg_before
+    );
+}
+
+#[test]
+fn fix_removes_unused_allows_and_stale_config_entries() {
+    let root = mini_workspace("simlint-fix-apply");
+    let report = simlint::fix::run(&root, false).unwrap();
+    assert_eq!(report.allows_removed, 2, "{:?}", report.diff);
+    assert_eq!(report.config_entries_removed, 1, "{:?}", report.diff);
+
+    let lib = fs::read_to_string(root.join("crates/sim/src/lib.rs")).unwrap();
+    assert!(!lib.contains("simlint: allow"), "{lib}");
+    // The whole standalone comment line went away; the trailing comment
+    // left its code line behind.
+    assert!(lib.starts_with("pub fn fine"), "{lib}");
+    assert!(lib.contains("pub fn also_fine() -> u32 { 8 }\n"), "{lib}");
+
+    let cfg = fs::read_to_string(root.join("simlint.toml")).unwrap();
+    assert!(!cfg.contains("wall-clock"), "{cfg}");
+    assert!(
+        !cfg.contains("outlived"),
+        "stale entry's comment kept: {cfg}"
+    );
+    assert!(cfg.contains("float-cmp"), "{cfg}");
+
+    // After the fix, the workspace is clean and a second fix is a no-op.
+    let findings = simlint::check(&root).unwrap();
+    assert!(findings.is_empty(), "{findings:?}");
+    let again = simlint::fix::run(&root, false).unwrap();
+    assert_eq!(again.allows_removed, 0);
+    assert_eq!(again.config_entries_removed, 0);
+}

@@ -1,0 +1,18 @@
+//! Regression fixture: a standalone allow comment above an attribute (or
+//! a chain of attributes) targets the *item* line, not the attribute.
+pub struct Cache {
+    // simlint: allow(nondet-map, reason = "lookup-only cache, never iterated")
+    #[allow(dead_code)]
+    map: std::collections::HashMap<u64, u64>,
+}
+
+pub struct Chained {
+    // simlint: allow(nondet-map, reason = "the allow skips the whole attribute chain")
+    #[allow(dead_code)]
+    #[doc(hidden)]
+    map: std::collections::HashMap<u64, u64>,
+}
+
+pub struct Unannotated {
+    map: std::collections::HashMap<u64, u64>,
+}

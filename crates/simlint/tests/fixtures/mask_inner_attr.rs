@@ -1,0 +1,10 @@
+#![cfg(test)]
+//! Regression fixture: an *inner* `#![cfg(test)]` marks the whole file as
+//! test code, so the sim-state rules must not fire on anything below.
+use std::collections::HashMap;
+
+pub fn lookup() -> HashMap<u64, u64> {
+    let now = std::time::Instant::now();
+    let _ = now.elapsed();
+    HashMap::new()
+}

@@ -1,0 +1,16 @@
+//! Seeded violation for R10 (`ordered-reduce`): float reductions over
+//! unordered container iteration (also trips R1 on the HashMap tokens —
+//! the golden test asserts both).
+use std::collections::HashMap;
+
+pub fn total(weights: &HashMap<u64, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn accumulate(weights: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for w in weights.values() {
+        acc += w * 0.5;
+    }
+    acc
+}

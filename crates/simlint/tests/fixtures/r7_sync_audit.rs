@@ -1,0 +1,9 @@
+//! Seeded violation for R7 (`sync-audit`): shared-state synchronization
+//! primitives in sim-state code.
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub slot: Mutex<u64>,
+    pub hits: AtomicU64,
+}

@@ -1,0 +1,14 @@
+//! Seeded violation for R9 (`wrapping-cycle-math`): wrapping arithmetic
+//! on address/cycle-typed expressions silently truncates exactly the
+//! overflow that `overflow-checks = true` exists to catch.
+pub fn advance(cycle: u64, delta: u64) -> u64 {
+    cycle.wrapping_add(delta)
+}
+
+pub fn fold(line_addr: u64) -> u64 {
+    line_addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+pub fn untyped_is_fine(x: u64) -> u64 {
+    x.wrapping_add(1)
+}

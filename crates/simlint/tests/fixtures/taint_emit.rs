@@ -1,0 +1,16 @@
+//! Half of the two-file taint pair: the result sink. `emit` reaches
+//! `write_report`, so the `stamp` source in `taint_worker.rs` is tainted;
+//! `progress` only prints to stderr, so `idle_stamp` is not.
+pub fn emit(out: &mut String) {
+    let v = crate::worker::stamp();
+    write_report(out, v);
+}
+
+pub fn progress() {
+    let v = crate::worker::idle_stamp();
+    eprintln!("idle for {v} ns");
+}
+
+fn write_report(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}

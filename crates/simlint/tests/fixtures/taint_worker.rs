@@ -1,0 +1,14 @@
+//! Half of the two-file taint pair: the nondeterminism sources. Linted as
+//! `crates/sim/src/worker.rs` together with `taint_emit.rs` — `stamp` is
+//! reachable from a sink-reaching caller over there and must be flagged;
+//! `idle_stamp` is only ever consumed by a stderr progress line and must
+//! not be.
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn idle_stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

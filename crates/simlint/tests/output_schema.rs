@@ -1,0 +1,138 @@
+//! Machine-output schema checks: `--json` and `--sarif` renderings must
+//! parse as JSON (round-tripped through the workspace's own parser) and
+//! carry the fields CI consumers rely on — the problem matcher, the
+//! artifact uploader, and SARIF ingestion.
+
+use simlint::{lint_source, Config, FileCtx, Finding};
+use xmem_sim::report_sink::JsonValue;
+
+fn findings() -> Vec<Finding> {
+    let src = "use std::collections::HashMap;\n\
+               pub struct S { pub m: HashMap<u64, u64> }\n\
+               pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+    let ctx = FileCtx {
+        rel_path: "crates/sim/src/x.rs".to_string(),
+        sim_state: true,
+        library: true,
+        test_like: false,
+    };
+    lint_source(src, &ctx, &Config::default())
+}
+
+#[test]
+fn json_output_parses_and_has_the_contracted_fields() {
+    let findings = findings();
+    assert!(!findings.is_empty());
+    let json = simlint::findings_to_json(&findings);
+    let parsed = JsonValue::parse(&json).expect("findings JSON must parse");
+    let arr = parsed.as_array().expect("top level is an array");
+    assert_eq!(arr.len(), findings.len());
+    for (v, f) in arr.iter().zip(&findings) {
+        assert_eq!(
+            v.get("path").and_then(JsonValue::as_str),
+            Some(f.path.as_str())
+        );
+        assert_eq!(
+            v.get("line").and_then(JsonValue::as_u64),
+            Some(f.line as u64)
+        );
+        assert_eq!(v.get("col").and_then(JsonValue::as_u64), Some(f.col as u64));
+        assert_eq!(v.get("rule").and_then(JsonValue::as_str), Some(f.rule));
+        assert_eq!(
+            v.get("message").and_then(JsonValue::as_str),
+            Some(f.message.as_str())
+        );
+        let id = v.get("id").and_then(JsonValue::as_str).expect("id present");
+        assert_eq!(id.len(), 16, "stable 16-hex-digit fingerprint: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+        assert!(v.get("hint").is_some());
+        assert!(v.get("flow").and_then(JsonValue::as_array).is_some());
+    }
+}
+
+#[test]
+fn sarif_output_parses_and_matches_the_2_1_0_shape() {
+    let findings = findings();
+    let sarif = simlint::to_sarif(&findings);
+    let parsed = JsonValue::parse(&sarif).expect("SARIF must parse");
+
+    assert_eq!(
+        parsed.get("version").and_then(JsonValue::as_str),
+        Some("2.1.0")
+    );
+    let runs = parsed
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(JsonValue::as_str),
+        Some("simlint")
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(JsonValue::as_array)
+        .expect("driver.rules");
+    assert!(!rules.is_empty());
+
+    let results = run
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .expect("results array");
+    assert_eq!(results.len(), findings.len());
+    for (r, f) in results.iter().zip(&findings) {
+        assert_eq!(
+            r.get("ruleId").and_then(JsonValue::as_str),
+            Some(f.rule),
+            "{r:?}"
+        );
+        // Every result's ruleId must be declared in the driver's rules.
+        assert!(
+            rules
+                .iter()
+                .any(|rule| rule.get("id").and_then(JsonValue::as_str) == Some(f.rule)),
+            "undeclared ruleId {}",
+            f.rule
+        );
+        let loc = r
+            .get("locations")
+            .and_then(JsonValue::as_array)
+            .and_then(|l| l.first())
+            .expect("one location");
+        let phys = loc.get("physicalLocation").expect("physicalLocation");
+        assert_eq!(
+            phys.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(JsonValue::as_str),
+            Some(f.path.as_str())
+        );
+        assert_eq!(
+            phys.get("region")
+                .and_then(|g| g.get("startLine"))
+                .and_then(JsonValue::as_u64),
+            Some(f.line as u64)
+        );
+        let fp = r
+            .get("partialFingerprints")
+            .and_then(|p| p.get("simlint/v1"))
+            .and_then(JsonValue::as_str)
+            .expect("stable fingerprint");
+        assert_eq!(fp, f.id);
+    }
+}
+
+/// The renderings are a pure function of the findings: two invocations
+/// produce byte-identical reports (the CI artifact is diffable).
+#[test]
+fn machine_output_is_byte_stable() {
+    let a = findings();
+    let b = findings();
+    assert_eq!(simlint::findings_to_json(&a), simlint::findings_to_json(&b));
+    assert_eq!(simlint::to_sarif(&a), simlint::to_sarif(&b));
+}

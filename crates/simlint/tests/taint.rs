@@ -1,0 +1,111 @@
+//! Cross-file pass integration tests: the two-file taint pair and a
+//! two-file `panic-in-worker` boundary, exercised through the public
+//! `analyze_source` + `finalize` pipeline exactly as `check` does.
+
+use simlint::{analyze_source, finalize, rules, Config, FileAnalysis, FileCtx, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn sim_ctx(rel_path: &str) -> FileCtx {
+    FileCtx {
+        rel_path: rel_path.to_string(),
+        sim_state: true,
+        library: true,
+        test_like: false,
+    }
+}
+
+fn lint_pair(files: &[(&str, &str)]) -> Vec<Finding> {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(fixture_name, rel)| analyze_source(&fixture(fixture_name), &sim_ctx(rel)))
+        .collect();
+    finalize(&analyses, &Config::default()).findings
+}
+
+/// `stamp` in worker.rs is reachable from `emit` in emit.rs, which calls
+/// the `write_report` sink — its wall-clock sources are flagged with a
+/// chain that names both files. `idle_stamp` only feeds a stderr progress
+/// line and stays silent.
+#[test]
+fn two_file_pair_flags_only_the_sink_reaching_source() {
+    let findings = lint_pair(&[
+        ("taint_worker.rs", "crates/sim/src/worker.rs"),
+        ("taint_emit.rs", "crates/sim/src/emit.rs"),
+    ]);
+    let taint: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == rules::RULE_TAINT)
+        .collect();
+    assert!(!taint.is_empty(), "no taint findings: {findings:?}");
+    for f in &taint {
+        assert_eq!(f.path, "crates/sim/src/worker.rs", "{f:?}");
+        // `stamp` spans lines 6..=9; `idle_stamp` (11..) must stay clean.
+        assert!((6..=9).contains(&f.line), "flagged outside `stamp`: {f:?}");
+        assert!(
+            f.message.contains("can reach result sink `write_report`"),
+            "{f:?}"
+        );
+        // The chain crosses into emit.rs and ends at the sink call.
+        assert!(
+            f.flow.iter().any(|s| s.path == "crates/sim/src/emit.rs"),
+            "flow does not cross files: {f:?}"
+        );
+        assert!(
+            f.flow
+                .iter()
+                .any(|s| s.note.contains("emits via `write_report(")),
+            "flow does not end at the sink: {f:?}"
+        );
+    }
+}
+
+/// Removing the sink call breaks the chain: the same pair with `emit`
+/// writing to stderr instead produces no taint findings at all.
+#[test]
+fn pair_without_a_sink_is_silent() {
+    let worker = analyze_source(
+        &fixture("taint_worker.rs"),
+        &sim_ctx("crates/sim/src/worker.rs"),
+    );
+    let no_sink = "pub fn emit() { let v = crate::worker::stamp(); eprintln!(\"{v}\"); }\n";
+    let emit = analyze_source(no_sink, &sim_ctx("crates/sim/src/emit.rs"));
+    let findings = finalize(&[worker, emit], &Config::default()).findings;
+    assert!(
+        findings.iter().all(|f| f.rule != rules::RULE_TAINT),
+        "{findings:?}"
+    );
+}
+
+/// A `.lock().unwrap()` hazard in a helper called from inside a
+/// `catch_unwind`-bearing function is flagged as `panic-in-worker`, with
+/// the boundary function named in the message.
+#[test]
+fn panic_hazard_across_files_is_flagged() {
+    let root = "pub fn isolate() -> u64 {\n\
+                \x20   let _ = std::panic::catch_unwind(|| 0u64);\n\
+                \x20   crate::shared::merge()\n\
+                }\n";
+    let shared = "pub fn merge() -> u64 {\n\
+                  \x20   let m = std::sync::Mutex::new(7u64);\n\
+                  \x20   let v = *m.lock().unwrap();\n\
+                  \x20   v\n\
+                  }\n";
+    let analyses = [
+        analyze_source(root, &sim_ctx("crates/sim/src/root.rs")),
+        analyze_source(shared, &sim_ctx("crates/sim/src/shared.rs")),
+    ];
+    let findings = finalize(&analyses, &Config::default()).findings;
+    let hazards: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == rules::RULE_PANIC_WORKER)
+        .collect();
+    assert_eq!(hazards.len(), 1, "{findings:?}");
+    let f = hazards[0];
+    assert_eq!(f.path, "crates/sim/src/shared.rs");
+    assert_eq!(f.line, 3);
+    assert!(f.message.contains("`isolate`"), "{f:?}");
+}
