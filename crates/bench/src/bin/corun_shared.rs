@@ -1,0 +1,266 @@
+//! Shared-data co-runs on the MESI-coherent multicore.
+//!
+//! Four scenarios exercise the snooping bus (see `workloads::shared`):
+//!
+//! * **pc** — producer/consumer over a 16KB shared buffer (migratory
+//!   lines: M ping-pongs between the two private domains);
+//! * **readers** — two readers on a read-only 24KB shared table plus a
+//!   streaming hog (lines settle in S everywhere, no invalidations);
+//! * **lock** — two cores hammering one contended counter line (the
+//!   BusRdX/BusUpgr worst case);
+//! * **mixed** — producer + consumer + table reader + hog on one L3: the
+//!   placement-policy scenario, where coherence-aware pinning exempts the
+//!   migratory buffer so the read-mostly table wins the pin budget.
+//!
+//! Each scenario runs under three machines: `none` (incoherent memory
+//! path, the pre-MESI model), `mesi` (snooping bus, coherence-aware
+//! pinning) and `mesi-naive` (snooping bus, reuse-only pinning). The
+//! closing line quantifies the aware-vs-naive placement delta on the
+//! mixed scenario's table reader.
+//!
+//! An `xmem-report-v1` document with per-core and bus-traffic statistics
+//! lands in `target/xmem-reports/corun_shared.json` (`--report-dir=DIR`
+//! redirects, `--no-report` suppresses).
+//!
+//! ```text
+//! cargo run --release -p xmem-bench --bin corun_shared [--quick]
+//! ```
+
+use std::path::PathBuf;
+use workloads::hog::stream_hog;
+use workloads::shared::{lock_counter, producer_consumer, read_mostly_reader, PcRole};
+use workloads::sink::{LogSink, TraceEvent, TraceSink};
+use xmem_bench::{print_table, quick_mode};
+use xmem_core::attrs::Reuse;
+use xmem_sim::harness::{default_workers, run_jobs, Progress};
+use xmem_sim::{
+    run_corun, CoherenceMode, CorunReport, JsonValue, MultiCoreConfig, SystemKind, JSON_SCHEMA,
+};
+
+fn record(f: impl FnOnce(&mut dyn TraceSink)) -> Vec<TraceEvent> {
+    let mut log = LogSink::new();
+    f(&mut log);
+    log.into_events()
+}
+
+struct Scenario {
+    name: &'static str,
+    /// Core whose cycles headline the table (the latency-sensitive party).
+    subject: usize,
+    logs: Vec<Vec<TraceEvent>>,
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    // The pc pair's passes are sized so the consumer's dependent sweep
+    // spans the table reader's whole run in the mixed scenario — the
+    // pin-budget contest only exists while both shared atoms are active.
+    let (passes, lookups, rounds, hog_accesses) = if quick {
+        (120, 4_000, 1_500, 6_000)
+    } else {
+        (600, 20_000, 8_000, 40_000)
+    };
+    // Sizes stage the pin-budget contest on a 32KB L3 (24KB pin budget,
+    // 16KB private L2): naive reuse-greedy pinning takes the 16KB buffer
+    // (reuse 230) and then cannot fit the 24KB table (reuse 200); aware
+    // pinning exempts the migratory buffer, so the table — too big for L2,
+    // exactly the pin budget — stays L3-resident for the reader.
+    let buffer = 16 << 10;
+    let table = 24 << 10;
+    let producer = record(|s| {
+        producer_consumer(s, PcRole::Producer, buffer, passes, 2, Reuse(230));
+    });
+    let consumer = record(|s| {
+        producer_consumer(s, PcRole::Consumer, buffer, passes, 2, Reuse(230));
+    });
+    let reader = |core: u64| {
+        record(|s| {
+            read_mostly_reader(s, core, table, lookups, 2, Reuse(200));
+        })
+    };
+    let lock = record(|s| lock_counter(s, rounds, 6));
+    let hog = record(|s| stream_hog(s, 64 << 10, hog_accesses, 8));
+    vec![
+        Scenario {
+            name: "pc",
+            subject: 1,
+            logs: vec![producer.clone(), consumer.clone()],
+        },
+        Scenario {
+            name: "readers",
+            subject: 0,
+            logs: vec![reader(0), reader(1), hog.clone()],
+        },
+        Scenario {
+            name: "lock",
+            subject: 0,
+            logs: vec![lock.clone(), lock],
+        },
+        Scenario {
+            name: "mixed",
+            subject: 2,
+            logs: vec![producer, consumer, reader(2), hog],
+        },
+    ]
+}
+
+const VARIANTS: [(&str, CoherenceMode, bool); 3] = [
+    ("none", CoherenceMode::None, true),
+    ("mesi", CoherenceMode::Mesi, true),
+    ("mesi-naive", CoherenceMode::Mesi, false),
+];
+
+fn config(cores: usize, l3: u64, mode: CoherenceMode, aware: bool) -> MultiCoreConfig {
+    let mut cfg = MultiCoreConfig::scaled_corun(cores, l3, SystemKind::Xmem).with_coherence(mode);
+    cfg.coherence_aware_pinning = aware;
+    cfg
+}
+
+fn record_json(
+    scenario: &Scenario,
+    variant: &(&str, CoherenceMode, bool),
+    r: &CorunReport,
+) -> JsonValue {
+    let (vname, mode, aware) = *variant;
+    JsonValue::object([
+        (
+            "label",
+            JsonValue::Str(format!("{}/{vname}", scenario.name)),
+        ),
+        (
+            "config",
+            JsonValue::object([
+                ("cores", JsonValue::U64(scenario.logs.len() as u64)),
+                ("l3_bytes", JsonValue::U64(32 << 10)),
+                ("coherence", JsonValue::Str(mode.to_string())),
+                ("coherence_aware_pinning", JsonValue::Bool(aware)),
+            ]),
+        ),
+        (
+            "cores",
+            JsonValue::Array(r.cores.iter().map(|c| JsonValue::from_kv(c.kv())).collect()),
+        ),
+        (
+            "l1s",
+            JsonValue::Array(r.l1s.iter().map(|c| JsonValue::from_kv(c.kv())).collect()),
+        ),
+        (
+            "l2s",
+            JsonValue::Array(r.l2s.iter().map(|c| JsonValue::from_kv(c.kv())).collect()),
+        ),
+        ("l3", JsonValue::from_kv(r.l3.kv())),
+        ("dram", JsonValue::from_kv(r.dram.kv())),
+        ("bus", JsonValue::from_kv(r.bus.kv())),
+        (
+            "extras",
+            JsonValue::object([
+                ("subject_core", JsonValue::U64(scenario.subject as u64)),
+                ("subject_cycles", JsonValue::U64(r.cycles(scenario.subject))),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut report_dir = Some(PathBuf::from("target/xmem-reports"));
+    for arg in std::env::args() {
+        if arg == "--no-report" {
+            report_dir = None;
+        } else if let Some(d) = arg.strip_prefix("--report-dir=") {
+            report_dir = Some(PathBuf::from(d));
+        }
+    }
+    let l3 = 32 << 10;
+    let scens = scenarios(quick);
+    println!(
+        "# Shared-data co-runs on a {}KB L3 (MESI snooping bus)",
+        l3 >> 10
+    );
+    println!("# subject = the latency-sensitive core of each scenario\n");
+
+    // Scenario-major jobs: (none, mesi, mesi-naive) per scenario.
+    let jobs: Vec<(MultiCoreConfig, usize, usize)> = scens
+        .iter()
+        .enumerate()
+        .flat_map(|(si, sc)| {
+            VARIANTS
+                .iter()
+                .enumerate()
+                .map(move |(vi, &(_, mode, aware))| {
+                    (config(sc.logs.len(), l3, mode, aware), si, vi)
+                })
+        })
+        .collect();
+    let progress = Progress::new("corun_shared", jobs.len());
+    let reports = run_jobs(jobs.len(), default_workers(), |i| {
+        let (cfg, si, _) = &jobs[i];
+        let r = run_corun(cfg, &scens[*si].logs);
+        progress.tick(false);
+        r
+    });
+    progress.finish();
+
+    let headers: Vec<String> = [
+        "scenario",
+        "machine",
+        "subject cyc",
+        "bus tx",
+        "c2c",
+        "inval",
+        "wb",
+        "stall",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (job, r) in jobs.iter().zip(&reports) {
+        let (_, si, vi) = job;
+        let (sc, variant) = (&scens[*si], &VARIANTS[*vi]);
+        let b = &r.bus;
+        rows.push(vec![
+            sc.name.to_string(),
+            variant.0.to_string(),
+            r.cycles(sc.subject).to_string(),
+            b.transactions().to_string(),
+            b.c2c_transfers.to_string(),
+            b.invalidations.to_string(),
+            b.writebacks.to_string(),
+            b.stall_cycles.to_string(),
+        ]);
+        records.push(record_json(sc, variant, r));
+    }
+    print_table(&headers, &rows);
+
+    // The placement delta: on the mixed scenario, aware pinning gives the
+    // read-mostly table the budget the migratory buffer would waste.
+    let mixed = scens.len() - 1;
+    let subject = scens[mixed].subject;
+    let aware = reports[mixed * VARIANTS.len() + 1].cycles(subject);
+    let naive = reports[mixed * VARIANTS.len() + 2].cycles(subject);
+    println!(
+        "\nmixed/table reader: aware {aware} cyc vs naive {naive} cyc — {:+.1}% from \
+         exempting the migratory buffer",
+        (naive as f64 / aware as f64 - 1.0) * 100.0
+    );
+
+    if let Some(dir) = report_dir {
+        let doc = JsonValue::object([
+            ("schema", JsonValue::Str(JSON_SCHEMA.to_string())),
+            ("bin", JsonValue::Str("corun_shared".to_string())),
+            ("records", JsonValue::Array(records)),
+        ])
+        .render();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("corun_shared: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let path = dir.join("corun_shared.json");
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("corun_shared: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("report: {}", path.display());
+    }
+}

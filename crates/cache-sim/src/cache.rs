@@ -11,6 +11,7 @@
 //! * when the active-atom list changes, [`Cache::age_pinned`] demotes all
 //!   pinned lines so the default policy can evict them.
 
+use crate::coherence::MesiState;
 use crate::config::{CacheConfig, ReplacementPolicy};
 use xmem_core::addr::{addr_to_index, addr_to_u16};
 
@@ -47,6 +48,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Dirty lines evicted (writebacks generated).
     pub writebacks: u64,
+    /// Lines invalidated by coherence snoops (always 0 outside MESI mode).
+    pub snoop_invalidations: u64,
+    /// Dirty lines flushed by coherence snoops (always 0 outside MESI mode).
+    pub snoop_writebacks: u64,
 }
 
 impl CacheStats {
@@ -74,9 +79,11 @@ impl CacheStats {
         }
     }
 
-    /// Exports counters and derived metrics for the report sinks.
+    /// Exports counters and derived metrics for the report sinks. The
+    /// snoop counters are emitted only when nonzero so reports from
+    /// coherence-free runs stay byte-identical to pre-MESI output.
     pub fn kv(&self) -> cpu_sim::kv::KvPairs {
-        vec![
+        let mut kv: cpu_sim::kv::KvPairs = vec![
             ("accesses", self.accesses.into()),
             ("hits", self.hits.into()),
             ("misses", self.misses().into()),
@@ -84,7 +91,14 @@ impl CacheStats {
             ("evictions", self.evictions.into()),
             ("writebacks", self.writebacks.into()),
             ("hit_rate", self.hit_rate().into()),
-        ]
+        ];
+        if self.snoop_invalidations != 0 {
+            kv.push(("snoop_invalidations", self.snoop_invalidations.into()));
+        }
+        if self.snoop_writebacks != 0 {
+            kv.push(("snoop_writebacks", self.snoop_writebacks.into()));
+        }
+        kv
     }
 }
 
@@ -157,6 +171,11 @@ pub struct Cache {
     sigs: Vec<u16>,
     /// Packed valid/dirty/pinned/outcome bits ([`META_VALID`] etc.).
     meta: Vec<u8>,
+    /// MESI state lane ([`MesiState`] as u8). Written only through
+    /// [`Cache::set_coh_state`]/[`Cache::snoop_invalidate`], so in
+    /// coherence-free runs the lane stays all-zero and costs nothing on
+    /// the hot probe/fill paths.
+    coh: Vec<u8>,
     clock: u64,
     /// DRRIP policy-select counter (positive favors BRRIP).
     psel: i32,
@@ -191,6 +210,7 @@ impl Cache {
             rrpv: vec![0; lines],
             sigs: vec![0; lines],
             meta: vec![0; lines],
+            coh: vec![0; lines],
             clock: 0,
             psel: 0,
             brrip_ctr: 0,
@@ -499,6 +519,9 @@ impl Cache {
         self.lru[victim] = lru;
         self.rrpv[victim] = rrpv;
         self.sigs[victim] = sig;
+        // A fresh line never inherits the victim's MESI state; the
+        // coherence engine assigns the real state right after the fill.
+        self.coh[victim] = 0;
         self.meta[victim] = META_VALID
             | if dirty { META_DIRTY } else { 0 }
             | if effective_priority == InsertPriority::Pinned {
@@ -566,6 +589,60 @@ impl Cache {
         false
     }
 
+    /// The MESI state of the line holding `addr`; `Invalid` when the line
+    /// is not resident. No stats or replacement-state impact.
+    pub fn coh_state(&self, addr: u64) -> MesiState {
+        let (set, tag) = self.line_index(addr);
+        let ways = self.config.ways;
+        match self.find_way(set * ways, ways, tag) {
+            Some(i) => MesiState::from_lane(self.coh[i]),
+            None => MesiState::Invalid,
+        }
+    }
+
+    /// Sets the MESI state of the resident line holding `addr`, keeping the
+    /// dirty bit in lockstep (Modified ⇔ dirty: an M line must write back
+    /// on eviction, a downgraded line must not — the snoop flush already
+    /// updated memory). Returns whether the line was found.
+    pub fn set_coh_state(&mut self, addr: u64, state: MesiState) -> bool {
+        let (set, tag) = self.line_index(addr);
+        let ways = self.config.ways;
+        if let Some(i) = self.find_way(set * ways, ways, tag) {
+            self.coh[i] = state as u8;
+            if state == MesiState::Modified {
+                self.meta[i] |= META_DIRTY;
+            } else {
+                self.meta[i] &= !META_DIRTY;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Removes the line holding `addr` in response to a coherence snoop.
+    /// Returns whether the removed line was dirty (the caller counts the
+    /// flush; memory is updated by the coherence engine, not here). No
+    /// demand-stats impact beyond the snoop counters.
+    pub fn snoop_invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.line_index(addr);
+        let ways = self.config.ways;
+        if let Some(i) = self.find_way(set * ways, ways, tag) {
+            let dirty = self.meta[i] & META_DIRTY != 0;
+            self.tags[i] = TAG_INVALID;
+            self.lru[i] = 0;
+            self.rrpv[i] = 0;
+            self.sigs[i] = 0;
+            self.meta[i] = 0;
+            self.coh[i] = 0;
+            self.stats.snoop_invalidations += 1;
+            if dirty {
+                self.stats.snoop_writebacks += 1;
+            }
+            return dirty;
+        }
+        false
+    }
+
     /// Invalidates the whole cache (contents only; stats are kept).
     pub fn flush(&mut self) {
         self.tags.fill(TAG_INVALID);
@@ -573,6 +650,7 @@ impl Cache {
         self.rrpv.fill(0);
         self.sigs.fill(0);
         self.meta.fill(0);
+        self.coh.fill(0);
     }
 }
 

@@ -1,0 +1,344 @@
+//! The MESI snooping protocol: state machine and shared-bus model.
+//!
+//! Private caches on a snooping bus keep each line in one of four states —
+//! **M**odified (sole dirty copy), **E**xclusive (sole clean copy),
+//! **S**hared (one of possibly many clean copies), **I**nvalid — and
+//! broadcast their misses so every peer can react. This module holds the
+//! *pure* protocol (the transition tables below, which the exhaustive
+//! enumeration test in `crates/sim/tests/coherence.rs` pins case by case)
+//! and the timed bus ([`SnoopBus`]): arbitration latency, cache-to-cache
+//! transfer timing, and traffic counters. The engine that drives it over
+//! real caches lives in `xmem_sim::coherence`.
+//!
+//! # The transition tables
+//!
+//! Requester side ([`local_next`]) — what a core's own access does to its
+//! line, and which bus transaction it must broadcast first:
+//!
+//! | state | read            | write            |
+//! |-------|-----------------|------------------|
+//! | I     | BusRd → E or S¹ | BusRdX → M       |
+//! | S     | hit (S)         | BusUpgr → M      |
+//! | E     | hit (E)         | silent upgrade → M |
+//! | M     | hit (M)         | hit (M)          |
+//!
+//! ¹ E when no other cache holds the line, S otherwise.
+//!
+//! Snooper side ([`snoop_transition`]) — how a cache holding the line
+//! reacts to a peer's broadcast:
+//!
+//! | state | BusRd                  | BusRdX                  | BusUpgr      |
+//! |-------|------------------------|-------------------------|--------------|
+//! | M     | → S, flush + supply    | → I, flush + supply     | *unreachable*² |
+//! | E     | → S, supply (clean)    | → I, supply (clean)     | *unreachable*² |
+//! | S     | → S                    | → I                     | → I          |
+//! | I     | → I                    | → I                     | → I          |
+//!
+//! ² A `BusUpgr` is only broadcast by a core holding the line in S; under
+//! the SWMR invariant no peer can then hold it in M or E, so these pairs
+//! are dead states. [`snoop_transition`] returns `None` for them and the
+//! enumeration test asserts exactly these two pairs are unreachable.
+
+use std::fmt;
+
+/// The MESI state of one cache line (also used as the lane encoding in
+/// [`crate::cache::Cache`]; `Invalid` is 0 so a zeroed lane is all-invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum MesiState {
+    /// No valid copy.
+    #[default]
+    Invalid = 0,
+    /// One of possibly many clean copies; memory is up to date.
+    Shared = 1,
+    /// The only cached copy, clean; memory is up to date.
+    Exclusive = 2,
+    /// The only cached copy, dirty; memory is stale.
+    Modified = 3,
+}
+
+impl MesiState {
+    /// Decodes a lane byte (inverse of `self as u8`).
+    pub const fn from_lane(v: u8) -> MesiState {
+        match v {
+            1 => MesiState::Shared,
+            2 => MesiState::Exclusive,
+            3 => MesiState::Modified,
+            _ => MesiState::Invalid,
+        }
+    }
+
+    /// Whether this state permits a local write without a bus transaction.
+    pub const fn writable(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether this is the sole-copy half of the SWMR invariant (M or E).
+    pub const fn exclusive(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MesiState::Invalid => "I",
+            MesiState::Shared => "S",
+            MesiState::Exclusive => "E",
+            MesiState::Modified => "M",
+        })
+    }
+}
+
+/// A broadcast bus transaction (the events a snooper can observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Read miss: the requester wants a readable copy.
+    Rd,
+    /// Write miss: the requester wants the sole writable copy.
+    RdX,
+    /// Write hit on a Shared line: invalidate peers, no data needed.
+    Upgr,
+}
+
+/// What a snooping cache must do alongside its state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopAction {
+    /// Nothing beyond the state change.
+    None,
+    /// Supply the (clean) line cache-to-cache; memory already has it.
+    Supply,
+    /// Write the dirty line back to memory *and* supply it cache-to-cache.
+    FlushSupply,
+}
+
+/// Requester-side transition: `(next state, bus transaction to broadcast)`
+/// for an access in `state`. `others` reports whether any peer holds the
+/// line (it only matters for the I-read → E/S split).
+///
+/// Total over all `(state, is_write, others)` triples; the enumeration
+/// test asserts every cell of the table in the module docs.
+pub const fn local_next(
+    state: MesiState,
+    is_write: bool,
+    others: bool,
+) -> (MesiState, Option<BusOp>) {
+    match (state, is_write) {
+        (MesiState::Invalid, false) => {
+            if others {
+                (MesiState::Shared, Some(BusOp::Rd))
+            } else {
+                (MesiState::Exclusive, Some(BusOp::Rd))
+            }
+        }
+        (MesiState::Invalid, true) => (MesiState::Modified, Some(BusOp::RdX)),
+        (MesiState::Shared, false) => (MesiState::Shared, None),
+        (MesiState::Shared, true) => (MesiState::Modified, Some(BusOp::Upgr)),
+        (MesiState::Exclusive, false) => (MesiState::Exclusive, None),
+        // The silent E→M upgrade: sole clean copy becomes sole dirty copy
+        // with no bus traffic at all.
+        (MesiState::Exclusive, true) => (MesiState::Modified, None),
+        (MesiState::Modified, _) => (MesiState::Modified, None),
+    }
+}
+
+/// Snooper-side transition: the `(next state, action)` a cache holding the
+/// line in `state` performs on observing `op` from a peer, or `None` for
+/// the two pairs unreachable under SWMR (M/E observing a `BusUpgr` — an
+/// upgrade is only sent by an S holder, which excludes any M/E peer).
+pub const fn snoop_transition(state: MesiState, op: BusOp) -> Option<(MesiState, SnoopAction)> {
+    match (state, op) {
+        (MesiState::Modified, BusOp::Rd) => Some((MesiState::Shared, SnoopAction::FlushSupply)),
+        (MesiState::Modified, BusOp::RdX) => Some((MesiState::Invalid, SnoopAction::FlushSupply)),
+        (MesiState::Modified, BusOp::Upgr) => None,
+        (MesiState::Exclusive, BusOp::Rd) => Some((MesiState::Shared, SnoopAction::Supply)),
+        (MesiState::Exclusive, BusOp::RdX) => Some((MesiState::Invalid, SnoopAction::Supply)),
+        (MesiState::Exclusive, BusOp::Upgr) => None,
+        (MesiState::Shared, BusOp::Rd) => Some((MesiState::Shared, SnoopAction::None)),
+        (MesiState::Shared, BusOp::RdX) => Some((MesiState::Invalid, SnoopAction::None)),
+        (MesiState::Shared, BusOp::Upgr) => Some((MesiState::Invalid, SnoopAction::None)),
+        (MesiState::Invalid, _) => Some((MesiState::Invalid, SnoopAction::None)),
+    }
+}
+
+/// Timing parameters of the snooping bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles to win arbitration and broadcast one transaction.
+    pub arb_latency: u64,
+    /// Extra cycles for a cache-to-cache (M/E → requester) data transfer.
+    /// Cheaper than DRAM, dearer than an L3 hit.
+    pub c2c_latency: u64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        // Between the scaled L3 (27 cycles) and DRAM (~100+): arbitration
+        // alone costs half an L3 hit; a full cache-to-cache transfer lands
+        // at L3-hit-plus-bus territory.
+        BusConfig {
+            arb_latency: 12,
+            c2c_latency: 30,
+        }
+    }
+}
+
+/// Traffic and timing counters of the snooping bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// `BusRd` transactions (read misses broadcast).
+    pub bus_rd: u64,
+    /// `BusRdX` transactions (write misses broadcast).
+    pub bus_rdx: u64,
+    /// `BusUpgr` transactions (S→M upgrades broadcast).
+    pub bus_upgr: u64,
+    /// Cache-to-cache data transfers (an M/E peer supplied the line).
+    pub c2c_transfers: u64,
+    /// Writebacks caused by coherence (M flushed on a snoop, or an M line
+    /// evicted from a private hierarchy).
+    pub writebacks: u64,
+    /// Peer lines invalidated by `BusRdX`/`BusUpgr` broadcasts.
+    pub invalidations: u64,
+    /// Cycles requesters spent waiting for bus arbitration.
+    pub stall_cycles: u64,
+}
+
+impl BusStats {
+    /// Total transactions broadcast.
+    pub fn transactions(&self) -> u64 {
+        self.bus_rd + self.bus_rdx + self.bus_upgr
+    }
+
+    /// Exports counters for the report sinks.
+    pub fn kv(&self) -> cpu_sim::kv::KvPairs {
+        vec![
+            ("bus_rd", self.bus_rd.into()),
+            ("bus_rdx", self.bus_rdx.into()),
+            ("bus_upgr", self.bus_upgr.into()),
+            ("transactions", self.transactions().into()),
+            ("c2c_transfers", self.c2c_transfers.into()),
+            ("writebacks", self.writebacks.into()),
+            ("invalidations", self.invalidations.into()),
+            ("stall_cycles", self.stall_cycles.into()),
+        ]
+    }
+}
+
+/// The timed snooping bus: one transaction at a time, FCFS in simulated
+/// time. A requester arriving while the bus is busy waits for the previous
+/// transaction to drain (counted in [`BusStats::stall_cycles`]).
+#[derive(Debug, Clone)]
+pub struct SnoopBus {
+    config: BusConfig,
+    busy_until: u64,
+    stats: BusStats,
+}
+
+impl SnoopBus {
+    /// An idle bus.
+    pub fn new(config: BusConfig) -> Self {
+        SnoopBus {
+            config,
+            busy_until: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// The timing parameters.
+    pub fn config(&self) -> BusConfig {
+        self.config
+    }
+
+    /// Accumulated traffic counters.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Broadcasts `op` at time `now`: waits for the bus, occupies it for
+    /// the arbitration slot, and returns the cycles from `now` until the
+    /// broadcast is complete (wait + arbitration).
+    pub fn transact(&mut self, op: BusOp, now: u64) -> u64 {
+        let start = self.busy_until.max(now);
+        let wait = start - now;
+        self.stats.stall_cycles += wait;
+        self.busy_until = start + self.config.arb_latency;
+        match op {
+            BusOp::Rd => self.stats.bus_rd += 1,
+            BusOp::RdX => self.stats.bus_rdx += 1,
+            BusOp::Upgr => self.stats.bus_upgr += 1,
+        }
+        wait + self.config.arb_latency
+    }
+
+    /// Extends the current transaction with a cache-to-cache data transfer
+    /// and returns its latency. Call after [`SnoopBus::transact`] when an
+    /// M/E peer supplies the line.
+    pub fn cache_to_cache(&mut self) -> u64 {
+        self.stats.c2c_transfers += 1;
+        self.busy_until += self.config.c2c_latency;
+        self.config.c2c_latency
+    }
+
+    /// Records a coherence writeback (snoop flush or M-line eviction).
+    pub fn note_writeback(&mut self) {
+        self.stats.writebacks += 1;
+    }
+
+    /// Records a peer-line invalidation.
+    pub fn note_invalidation(&mut self) {
+        self.stats.invalidations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_round_trip() {
+        for st in [
+            MesiState::Invalid,
+            MesiState::Shared,
+            MesiState::Exclusive,
+            MesiState::Modified,
+        ] {
+            assert_eq!(MesiState::from_lane(st as u8), st);
+        }
+        assert_eq!(MesiState::from_lane(0xFF), MesiState::Invalid);
+    }
+
+    #[test]
+    fn silent_upgrade_needs_no_bus() {
+        let (next, bus) = local_next(MesiState::Exclusive, true, false);
+        assert_eq!(next, MesiState::Modified);
+        assert_eq!(bus, None);
+    }
+
+    #[test]
+    fn bus_serializes_back_to_back_transactions() {
+        let mut bus = SnoopBus::new(BusConfig {
+            arb_latency: 10,
+            c2c_latency: 20,
+        });
+        // First transaction at t=0 occupies [0, 10).
+        assert_eq!(bus.transact(BusOp::Rd, 0), 10);
+        // Second at t=4 waits 6, then arbitrates: 16 cycles total.
+        assert_eq!(bus.transact(BusOp::RdX, 4), 16);
+        assert_eq!(bus.stats().stall_cycles, 6);
+        // A c2c transfer extends the occupancy.
+        assert_eq!(bus.cache_to_cache(), 20);
+        assert_eq!(bus.transact(BusOp::Upgr, 0), 40 + 10);
+        let s = bus.stats();
+        assert_eq!((s.bus_rd, s.bus_rdx, s.bus_upgr), (1, 1, 1));
+        assert_eq!(s.transactions(), 3);
+        assert_eq!(s.c2c_transfers, 1);
+    }
+
+    #[test]
+    fn idle_bus_costs_only_arbitration() {
+        let mut bus = SnoopBus::new(BusConfig::default());
+        let lat = bus.transact(BusOp::Rd, 1_000_000);
+        assert_eq!(lat, BusConfig::default().arb_latency);
+        assert_eq!(bus.stats().stall_cycles, 0);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod coherence;
 pub mod config;
 pub mod dram_cache;
 pub mod hierarchy;
@@ -35,6 +36,9 @@ pub mod pin;
 pub mod prefetch;
 
 pub use crate::cache::{Cache, CacheStats, Eviction, InsertPriority};
+pub use crate::coherence::{
+    local_next, snoop_transition, BusConfig, BusOp, BusStats, MesiState, SnoopAction, SnoopBus,
+};
 pub use crate::config::{CacheConfig, ReplacementPolicy};
 pub use crate::dram_cache::{DramCache, DramCacheConfig, DramCacheStats};
 pub use crate::hierarchy::{Hierarchy, HierarchyConfig, XmemContext, XmemMode};

@@ -1,7 +1,7 @@
 //! Full-system configuration (Table 3 of the paper, plus the scaled
 //! variants the harness uses — see DESIGN.md's scaling note).
 
-use cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy, XmemMode};
+use cache_sim::{BusConfig, CacheConfig, HierarchyConfig, ReplacementPolicy, XmemMode};
 use cpu_sim::CoreConfig;
 use dram_sim::{AddressMapping, DramConfig};
 use std::fmt;
@@ -272,6 +272,29 @@ impl SystemConfigBuilder {
     }
 }
 
+/// Coherence protocol selection for a multi-core machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceMode {
+    /// No coherence: private hierarchies never observe each other's
+    /// writes. Correct only for disjoint working sets (the original
+    /// co-run model); kept as the default so existing scenarios stay
+    /// byte-identical.
+    #[default]
+    None,
+    /// MESI snooping over a shared bus (see `cache_sim::coherence` and
+    /// DESIGN.md "Coherence").
+    Mesi,
+}
+
+impl fmt::Display for CoherenceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CoherenceMode::None => "none",
+            CoherenceMode::Mesi => "mesi",
+        })
+    }
+}
+
 /// Configuration of a multi-core machine: private L1/L2 per core, shared
 /// L3 and DRAM (the Table 3 shape; see [`crate::multicore`]).
 #[derive(Debug, Clone, Copy)]
@@ -305,6 +328,14 @@ pub struct MultiCoreConfig {
     /// OS frame policy (shared allocator; the XMem policy sees the merged
     /// atom set of all co-running workloads, per §6.2).
     pub frame_policy: FramePolicyKind,
+    /// Coherence protocol over the private hierarchies.
+    pub coherence: CoherenceMode,
+    /// Snooping-bus timing (only consulted under [`CoherenceMode::Mesi`]).
+    pub bus: BusConfig,
+    /// Under MESI, exempt read-write shared (migratory) atoms from L3
+    /// pinning so the pin budget goes to read-mostly/private data whose
+    /// lines actually stay put (see DESIGN.md "Coherence").
+    pub coherence_aware_pinning: bool,
 }
 
 impl MultiCoreConfig {
@@ -328,6 +359,9 @@ impl MultiCoreConfig {
             mapping: AddressMapping::scheme1(),
             phys_bytes,
             frame_policy: FramePolicyKind::Sequential,
+            coherence: CoherenceMode::None,
+            bus: BusConfig::default(),
+            coherence_aware_pinning: true,
         }
     }
 
@@ -351,7 +385,17 @@ impl MultiCoreConfig {
             mapping: single.mapping,
             phys_bytes: single.phys_bytes,
             frame_policy: single.frame_policy,
+            coherence: CoherenceMode::None,
+            bus: BusConfig::default(),
+            coherence_aware_pinning: true,
         }
+    }
+
+    /// Derives a MESI-coherent variant of this machine (default bus
+    /// timing; see [`CoherenceMode`]).
+    pub fn with_coherence(mut self, mode: CoherenceMode) -> Self {
+        self.coherence = mode;
+        self
     }
 }
 

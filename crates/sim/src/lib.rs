@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coherence;
 pub mod config;
 pub mod experiments;
 pub mod harness;
@@ -39,8 +40,9 @@ pub mod report_sink;
 pub mod sampling;
 pub mod telemetry;
 
+pub use crate::coherence::{mesi_access, CoherentAccess, CoherentCluster, MesiDomains};
 pub use crate::config::{
-    FramePolicyKind, MultiCoreConfig, SystemConfig, SystemConfigBuilder, SystemKind,
+    CoherenceMode, FramePolicyKind, MultiCoreConfig, SystemConfig, SystemConfigBuilder, SystemKind,
 };
 pub use crate::experiments::{placement_specs, run_placement, KernelRun, Uc2System};
 pub use crate::harness::{

@@ -8,12 +8,37 @@
 //! Each core replays a pre-recorded workload log
 //! ([`workloads::sink::LogSink`]); the driver advances whichever core is
 //! earliest in simulated time, so accesses from different cores interleave
-//! at the shared L3 and memory controller in timestamp order. Atom IDs and
-//! virtual addresses from different workloads are disjointly renamed into
-//! one shared space (one AMU serves the machine, as in the paper).
+//! at the shared L3 and memory controller in timestamp order.
+//!
+//! # Renaming and shared segments
+//!
+//! Atom IDs and virtual addresses from different workloads are renamed
+//! into one shared space (one AMU serves the machine, as in the paper).
+//! By default the renaming is *disjoint*: every `Create`/`Alloc` in every
+//! log gets its own global atom and physical allocation, so co-runners
+//! never touch each other's data. Workloads opt into sharing explicitly
+//! through [`workloads::sink::TraceSink::create_atom_shared`] and
+//! [`workloads::sink::TraceSink::alloc_shared`]: events carrying the same
+//! `key` resolve to *one* global atom / one physical segment across all
+//! cores (the first replayed event creates it, later ones alias it, and
+//! their XMem map/activate hints are reference-counted so the shared atom
+//! is mapped once and stays active while any core uses it). Shared atoms
+//! must use linear (1-D) maps.
+//!
+//! # Coherence
+//!
+//! Under [`CoherenceMode::None`] (the default) the private hierarchies
+//! never observe each other's writes — only correct for disjoint data,
+//! and byte-identical to the original co-run model. Shared-data scenarios
+//! require [`CoherenceMode::Mesi`], which routes every access through the
+//! MESI snooping engine ([`crate::coherence`]) before falling through to
+//! the shared L3/DRAM; coherence writebacks and invalidations surface in
+//! [`CorunReport::bus`] and the per-cache snoop counters.
 
-use crate::config::{FramePolicyKind, MultiCoreConfig};
+use crate::coherence::{mesi_access, MesiDomains};
+use crate::config::{CoherenceMode, FramePolicyKind, MultiCoreConfig};
 use cache_sim::cache::{Cache, CacheStats, Eviction, InsertPriority};
+use cache_sim::coherence::{BusStats, SnoopBus};
 use cache_sim::pin::{select_pinned, PinCandidate};
 use cache_sim::prefetch::MultiStridePrefetcher;
 use cache_sim::XmemMode;
@@ -23,13 +48,14 @@ use dram_sim::{Dram, DramStats};
 use os_sim::loader::load_segment;
 use os_sim::os::Os;
 use os_sim::placement::FramePolicy;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use workloads::sink::TraceEvent;
 use xmem_core::aam::AamConfig;
 use xmem_core::addr::{PhysAddr, VirtAddr};
 use xmem_core::alb::AlbStats;
 use xmem_core::amu::{AmuConfig, AtomManagementUnit, Mmu};
 use xmem_core::atom::{AtomId, StaticAtom};
+use xmem_core::attrs::{DataProps, RwChar};
 use xmem_core::pat::Pat;
 use xmem_core::process::ProcessId;
 use xmem_core::segment::AtomSegment;
@@ -41,6 +67,9 @@ use xmem_core::xmemlib::{CallSite, XMemLib};
 pub struct CorunReport {
     /// Per-core execution statistics, in core order.
     pub cores: Vec<CoreStats>,
+    /// Per-core L1 statistics (private caches; includes snoop counters
+    /// under MESI).
+    pub l1s: Vec<CacheStats>,
     /// Per-core L2 statistics (private caches).
     pub l2s: Vec<CacheStats>,
     /// The shared L3.
@@ -49,6 +78,8 @@ pub struct CorunReport {
     pub dram: DramStats,
     /// The shared AMU's lookaside buffer.
     pub alb: AlbStats,
+    /// Snooping-bus traffic (all zero under [`CoherenceMode::None`]).
+    pub bus: BusStats,
 }
 
 impl CorunReport {
@@ -71,7 +102,12 @@ struct SharedMem {
     pf_pat: Pat<PrefetcherPrimitive>,
     os: Os,
     mode: XmemMode,
+    coherence: CoherenceMode,
+    bus: SnoopBus,
     pinned: Vec<AtomId>,
+    /// Atoms excluded from pinning (coherence-aware placement: migratory
+    /// shared data whose lines bounce between private caches anyway).
+    pin_exempt: BTreeSet<AtomId>,
     last_epoch: u64,
     inflight_prefetches: BTreeSet<u64>,
     l1_lat: u64,
@@ -98,6 +134,9 @@ impl SharedMem {
             .active_atoms()
             .into_iter()
             .filter_map(|atom| {
+                if self.pin_exempt.contains(&atom) {
+                    return None;
+                }
                 let prim = self.cache_pat.get(atom)?;
                 prim.pin_candidate.then_some(PinCandidate {
                     atom,
@@ -176,6 +215,9 @@ impl SharedMem {
     /// [`cache_sim::hierarchy::Hierarchy`], with private L1/L2/prefetcher
     /// and shared L3/DRAM/AMU).
     fn serve_core(&mut self, core: usize, pa: u64, is_write: bool, now: u64) -> u64 {
+        if self.coherence == CoherenceMode::Mesi {
+            return self.serve_core_mesi(core, pa, is_write, now);
+        }
         let line_addr = pa & !(self.line_bytes - 1);
         if self.l1s[core].probe(pa, is_write) {
             return self.l1_lat;
@@ -240,6 +282,85 @@ impl SharedMem {
             }
         }
 
+        let guided = match (self.mode, atom) {
+            (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => {
+                self.guided_prefetch(pa, a, t_mem);
+                true
+            }
+            (XmemMode::PrefetchOnly, Some(a)) => {
+                let reuse = self.cache_pat.get(a).map(|p| p.reuse).unwrap_or(0);
+                if reuse > 0 {
+                    self.guided_prefetch(pa, a, t_mem);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !guided {
+            self.issue_stride(stride_reqs, t_mem);
+        }
+        l3_total + dram_lat
+    }
+
+    /// The MESI variant of [`SharedMem::serve_core`]: the coherence engine
+    /// owns the private L1/L2 levels and the bus; this wrapper sinks the
+    /// coherence writebacks toward L3/DRAM and runs the shared-level
+    /// (L3/DRAM/prefetch/pinning) policy for accesses the peers could not
+    /// supply. Cache-to-cache transfers bypass the L3 entirely, and the
+    /// stride prefetchers train only on the memory path (bus-satisfied
+    /// accesses carry no locality the L3 could exploit).
+    fn serve_core_mesi(&mut self, core: usize, pa: u64, is_write: bool, now: u64) -> u64 {
+        let line_addr = pa & !(self.line_bytes - 1);
+        let mut domains = MesiDomains {
+            l1s: &mut self.l1s,
+            l2s: &mut self.l2s,
+            bus: &mut self.bus,
+            l1_lat: self.l1_lat,
+            l2_lat: self.l2_lat,
+            line_bytes: self.line_bytes,
+        };
+        let acc = mesi_access(&mut domains, core, pa, is_write, now);
+        for &(_, wb) in &acc.writebacks {
+            if !self.l3.set_dirty(wb) {
+                let _ = self.dram.serve(wb, OpAttrs::write(), now);
+            }
+        }
+        if !acc.from_memory {
+            return acc.latency;
+        }
+
+        if self.mode != XmemMode::Off {
+            self.refresh_pinning();
+        }
+        let atom = if self.mode != XmemMode::Off {
+            self.amu.active_atom_at(PhysAddr::new(pa))
+        } else {
+            None
+        };
+        let l3_total = acc.latency + self.l3_lat;
+        let l3_hit = self.l3.probe(pa, false);
+        let stride_reqs = self.stride_pfs[core]
+            .as_mut()
+            .map(|pf| pf.train(pa))
+            .unwrap_or_default();
+
+        if l3_hit {
+            self.inflight_prefetches.remove(&line_addr);
+            self.issue_stride(stride_reqs, now + l3_total);
+            return l3_total;
+        }
+
+        let t_mem = now + l3_total;
+        let dram_lat = self.dram.serve(line_addr, OpAttrs::read(), t_mem);
+        let priority = match (self.mode, atom) {
+            (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => InsertPriority::Pinned,
+            _ => InsertPriority::Normal,
+        };
+        if let Some(ev) = self.l3.fill(line_addr, false, priority) {
+            self.writeback_shared(ev, t_mem);
+        }
         let guided = match (self.mode, atom) {
             (XmemMode::Full, Some(a)) if self.pinned.contains(&a) => {
                 self.guided_prefetch(pa, a, t_mem);
@@ -328,33 +449,79 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
     assert_eq!(logs.len(), config.cores, "one workload log per core");
 
     // ── pass 1: merge every core's atoms into one shared ID space ───────
+    // Private `Create`s get a fresh global atom each; `CreateShared`s with
+    // the same key resolve to one global atom for all cores. `atom_maps`
+    // records each core's (local creation index → global id) renaming.
     let mut lib = XMemLib::new();
-    let mut atom_base = vec![0u8; config.cores];
     let mut segment = AtomSegment::new();
+    let mut atom_maps: Vec<BTreeMap<u8, AtomId>> = vec![BTreeMap::new(); config.cores];
+    let mut shared_atoms: BTreeMap<u64, AtomId> = BTreeMap::new();
+    let mut shared_ids: BTreeSet<AtomId> = BTreeSet::new();
+    let coherence_aware = config.coherence == CoherenceMode::Mesi && config.coherence_aware_pinning;
+    let mut pin_exempt: BTreeSet<AtomId> = BTreeSet::new();
     for (core, log) in logs.iter().enumerate() {
-        let mut count = 0u32;
+        let mut count = 0u8;
         for ev in log {
-            if let TraceEvent::Create { label, attrs } = ev {
-                let id = lib
-                    .create_atom(
-                        CallSite {
-                            file: "<corun>",
-                            line: (core as u32) << 16 | count,
-                        },
+            match ev {
+                TraceEvent::Create { label, attrs } => {
+                    let id = lib
+                        .create_atom(
+                            CallSite {
+                                file: "<corun>",
+                                line: (core as u32) << 16 | count as u32,
+                            },
+                            format!("c{core}:{label}"),
+                            attrs.clone(),
+                        )
+                        // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
+                        .expect("combined atom space exhausted");
+                    atom_maps[core].insert(count, id);
+                    segment.push(StaticAtom::new(
+                        id,
                         format!("c{core}:{label}"),
                         attrs.clone(),
-                    )
-                    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
-                    .expect("combined atom space exhausted");
-                if count == 0 {
-                    atom_base[core] = id.raw();
+                    ));
+                    count += 1;
                 }
-                segment.push(StaticAtom::new(
-                    id,
-                    format!("c{core}:{label}"),
-                    attrs.clone(),
-                ));
-                count += 1;
+                TraceEvent::CreateShared { key, label, attrs } => {
+                    let id = match shared_atoms.get(key) {
+                        Some(&id) => id,
+                        None => {
+                            let id = lib
+                                .create_atom(
+                                    CallSite {
+                                        file: "<corun-shared>",
+                                        line: *key as u32,
+                                    },
+                                    format!("shared:{label}"),
+                                    attrs.clone(),
+                                )
+                                // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
+                                .expect("combined atom space exhausted");
+                            shared_atoms.insert(*key, id);
+                            shared_ids.insert(id);
+                            segment.push(StaticAtom::new(
+                                id,
+                                format!("shared:{label}"),
+                                attrs.clone(),
+                            ));
+                            // Coherence-aware placement: a read-write shared
+                            // atom is migratory — its lines ping-pong between
+                            // private caches, so L3 pin budget spent on it is
+                            // wasted. Read-only shared tables stay pinnable.
+                            if coherence_aware
+                                && attrs.props().contains(DataProps::SHARED)
+                                && attrs.rw() != RwChar::ReadOnly
+                            {
+                                pin_exempt.insert(id);
+                            }
+                            id
+                        }
+                    };
+                    atom_maps[core].insert(count, id);
+                    count += 1;
+                }
+                _ => {}
             }
         }
     }
@@ -412,6 +579,9 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
         l3_lat: config.l3.latency,
         xmem_prefetch_degree: config.xmem_prefetch_degree,
         line_bytes: config.l1.line_bytes,
+        coherence: config.coherence,
+        bus: SnoopBus::new(config.bus),
+        pin_exempt,
     };
 
     // ── replay ───────────────────────────────────────────────────────────
@@ -419,6 +589,12 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
     let mut pos = vec![0usize; config.cores];
     let mut created = vec![0u32; config.cores]; // creates seen during replay
     let mut ranges: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); config.cores];
+    // Shared-segment replay state: one physical allocation per key, and
+    // reference counts so only the first mapper/activator (and last
+    // unmapper/deactivator) touches the AMU for a shared atom.
+    let mut shared_bases: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut shared_map_rc: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+    let mut act_rc: BTreeMap<AtomId, u32> = BTreeMap::new();
 
     loop {
         // Pick the live core earliest in simulated time.
@@ -429,7 +605,12 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
 
         // Apply hint events until the next op (hints are "free" in time).
         while pos[i] < logs[i].len() {
-            let rename = |core: usize, id: AtomId| AtomId::new(atom_base[core] + id.raw());
+            let rename = |core: usize, id: AtomId| {
+                *atom_maps[core]
+                    .get(&id.raw())
+                    // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
+                    .expect("atom referenced before creation")
+            };
             let ev = logs[i][pos[i]].clone();
             pos[i] += 1;
             match ev {
@@ -442,7 +623,7 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                     cores[i].step(op, &mut view);
                     break;
                 }
-                TraceEvent::Create { .. } => {
+                TraceEvent::Create { .. } | TraceEvent::CreateShared { .. } => {
                     created[i] += 1; // already merged in pass 1
                 }
                 TraceEvent::Alloc { bytes, atom, base } => {
@@ -456,13 +637,46 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                     ranges[i].push((base, bytes.next_multiple_of(4096).max(4096), actual));
                     ranges[i].sort_unstable();
                 }
+                TraceEvent::AllocShared {
+                    key,
+                    bytes,
+                    atom,
+                    base,
+                } => {
+                    // One physical allocation per key; every core's local VA
+                    // range for it translates to the same frames.
+                    let actual = match shared_bases.get(&key) {
+                        Some(&pa) => pa,
+                        None => {
+                            let global_atom = atom.map(|a| rename(i, a));
+                            let pa = mem
+                                .os
+                                .malloc(bytes, global_atom)
+                                // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
+                                .expect("physical memory exhausted")
+                                .raw();
+                            shared_bases.insert(key, pa);
+                            pa
+                        }
+                    };
+                    ranges[i].push((base, bytes.next_multiple_of(4096).max(4096), actual));
+                    ranges[i].sort_unstable();
+                }
                 TraceEvent::Map { atom, start, len } => {
                     if xmem_enabled {
+                        let global = rename(i, atom);
                         let actual = translate_va(&ranges[i], start);
+                        if shared_ids.contains(&global) {
+                            let rc = shared_map_rc.entry((actual, len)).or_insert(0);
+                            *rc += 1;
+                            if *rc > 1 {
+                                continue; // later mappers: range already live
+                            }
+                        }
                         lib.atom_map(
                             &mut mem.amu,
                             mem.os.page_table(),
-                            rename(i, atom),
+                            global,
                             VirtAddr::new(actual),
                             len,
                         )
@@ -473,6 +687,12 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                 TraceEvent::Unmap { start, len } => {
                     if xmem_enabled {
                         let actual = translate_va(&ranges[i], start);
+                        if let Some(rc) = shared_map_rc.get_mut(&(actual, len)) {
+                            *rc -= 1;
+                            if *rc > 0 {
+                                continue; // other cores still map this range
+                            }
+                        }
                         lib.atom_unmap(
                             &mut mem.amu,
                             mem.os.page_table(),
@@ -527,14 +747,29 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
                 }
                 TraceEvent::Activate(atom) => {
                     if xmem_enabled {
-                        lib.atom_activate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                        let global = rename(i, atom);
+                        if shared_ids.contains(&global) {
+                            let rc = act_rc.entry(global).or_insert(0);
+                            *rc += 1;
+                            if *rc > 1 {
+                                continue; // already active on another core's behalf
+                            }
+                        }
+                        lib.atom_activate(&mut mem.amu, mem.os.page_table(), global)
                             // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                             .expect("activate");
                     }
                 }
                 TraceEvent::Deactivate(atom) => {
                     if xmem_enabled {
-                        lib.atom_deactivate(&mut mem.amu, mem.os.page_table(), rename(i, atom))
+                        let global = rename(i, atom);
+                        if let Some(rc) = act_rc.get_mut(&global) {
+                            *rc -= 1;
+                            if *rc > 0 {
+                                continue; // other cores still want it active
+                            }
+                        }
+                        lib.atom_deactivate(&mut mem.amu, mem.os.page_table(), global)
                             // simlint: allow(unwrap, reason = "workload-invariant violation; the sweep's catch_unwind surfaces it as RunOutcome::Failed")
                             .expect("deactivate");
                     }
@@ -545,10 +780,12 @@ pub fn run_corun(config: &MultiCoreConfig, logs: &[Vec<TraceEvent>]) -> CorunRep
 
     CorunReport {
         cores: cores.iter().map(|c| c.stats()).collect(),
+        l1s: mem.l1s.iter().map(|c| c.stats()).collect(),
         l2s: mem.l2s.iter().map(|c| c.stats()).collect(),
         l3: mem.l3.stats(),
         dram: mem.dram.stats(),
         alb: mem.amu.alb_stats(),
+        bus: mem.bus.stats(),
     }
 }
 

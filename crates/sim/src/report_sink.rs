@@ -697,6 +697,9 @@ fn cache_stats_from_json(v: &JsonValue) -> Option<CacheStats> {
         fills: u64_field(v, "fills")?,
         evictions: u64_field(v, "evictions")?,
         writebacks: u64_field(v, "writebacks")?,
+        // Emitted only when nonzero (coherent runs), so absence means 0.
+        snoop_invalidations: u64_field(v, "snoop_invalidations").unwrap_or(0),
+        snoop_writebacks: u64_field(v, "snoop_writebacks").unwrap_or(0),
     })
 }
 
@@ -1031,6 +1034,8 @@ mod tests {
             fills: accesses / 3,
             evictions: accesses / 4,
             writebacks: accesses / 5,
+            snoop_invalidations: 0,
+            snoop_writebacks: 0,
         };
         RunRecord {
             label: "unit/synthetic point".to_string(),

@@ -31,11 +31,13 @@
 pub mod hog;
 pub mod placement;
 pub mod polybench;
+pub mod shared;
 pub mod sink;
 pub mod trace_file;
 
 pub use crate::hog::{random_hog, stream_hog};
 pub use crate::placement::{AccessKind, PlacementWorkload, StructSpec};
 pub use crate::polybench::{KernelParams, PolybenchKernel};
+pub use crate::shared::{lock_counter, producer_consumer, read_mostly_reader, PcRole};
 pub use crate::sink::{CollectSink, HintEvent, LogSink, TraceEvent, TraceSink};
 pub use crate::trace_file::{read_trace, write_trace};

@@ -43,6 +43,25 @@ pub trait TraceSink {
     /// `CreateAtom`: creates (or returns the existing) atom for `label`.
     fn create_atom(&mut self, label: &str, attrs: AtomAttributes) -> AtomId;
 
+    /// `CreateAtom` for data *shared between co-running workloads*: logs
+    /// recorded from different generators that use the same `key` refer to
+    /// one atom when co-run (see `xmem_sim::multicore`). The default
+    /// delegates to [`TraceSink::create_atom`], so on a single-core sink a
+    /// shared atom degenerates to an ordinary private one.
+    fn create_atom_shared(&mut self, key: u64, label: &str, attrs: AtomAttributes) -> AtomId {
+        let _ = key;
+        self.create_atom(label, attrs)
+    }
+
+    /// Allocation of a *shared segment*: co-run logs using the same `key`
+    /// map to one physical allocation (first replayer allocates, the rest
+    /// alias it). The default delegates to [`TraceSink::alloc`] — private
+    /// memory on a single-core sink.
+    fn alloc_shared(&mut self, key: u64, bytes: u64, atom: Option<AtomId>) -> u64 {
+        let _ = key;
+        self.alloc(bytes, atom)
+    }
+
     /// `AtomMap` over a linear range.
     fn map(&mut self, atom: AtomId, start: u64, len: u64);
 
@@ -215,6 +234,16 @@ impl<S: TraceSink + ?Sized> TraceSink for BatchEmitter<'_, S> {
         self.sink.create_atom(label, attrs)
     }
 
+    fn create_atom_shared(&mut self, key: u64, label: &str, attrs: AtomAttributes) -> AtomId {
+        self.flush();
+        self.sink.create_atom_shared(key, label, attrs)
+    }
+
+    fn alloc_shared(&mut self, key: u64, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.flush();
+        self.sink.alloc_shared(key, bytes, atom)
+    }
+
     fn map(&mut self, atom: AtomId, start: u64, len: u64) {
         self.flush();
         self.sink.map(atom, start, len);
@@ -279,6 +308,14 @@ impl<S: TraceSink + ?Sized> TraceSink for Scalarize<'_, S> {
         self.sink.create_atom(label, attrs)
     }
 
+    fn create_atom_shared(&mut self, key: u64, label: &str, attrs: AtomAttributes) -> AtomId {
+        self.sink.create_atom_shared(key, label, attrs)
+    }
+
+    fn alloc_shared(&mut self, key: u64, bytes: u64, atom: Option<AtomId>) -> u64 {
+        self.sink.alloc_shared(key, bytes, atom)
+    }
+
     fn map(&mut self, atom: AtomId, start: u64, len: u64) {
         self.sink.map(atom, start, len);
     }
@@ -320,6 +357,17 @@ pub enum TraceEvent {
         /// Its attributes.
         attrs: AtomAttributes,
     },
+    /// `CreateAtom` for cross-workload shared data: co-run logs using the
+    /// same `key` resolve to one atom (the first replayed creation wins;
+    /// later ones alias it).
+    CreateShared {
+        /// Cross-log sharing key.
+        key: u64,
+        /// Label of the atom.
+        label: String,
+        /// Its attributes.
+        attrs: AtomAttributes,
+    },
     /// An allocation; `base` is the VA the generator observed.
     Alloc {
         /// Requested size.
@@ -327,6 +375,19 @@ pub enum TraceEvent {
         /// Owning atom.
         atom: Option<AtomId>,
         /// VA handed out during recording.
+        base: u64,
+    },
+    /// A shared-segment allocation: co-run logs using the same `key` alias
+    /// one physical allocation.
+    AllocShared {
+        /// Cross-log sharing key.
+        key: u64,
+        /// Requested size.
+        bytes: u64,
+        /// Owning atom.
+        atom: Option<AtomId>,
+        /// VA handed out during recording (still per-log private VA space;
+        /// the replayer maps all of them onto the one shared segment).
         base: u64,
     },
     /// `AtomMap`.
@@ -439,6 +500,32 @@ impl TraceSink for LogSink {
             attrs,
         });
         id
+    }
+
+    fn create_atom_shared(&mut self, key: u64, label: &str, attrs: AtomAttributes) -> AtomId {
+        if let Some(i) = self.atoms.iter().position(|l| l == label) {
+            return AtomId::new(i as u8);
+        }
+        let id = AtomId::new(self.atoms.len() as u8);
+        self.atoms.push(label.to_owned());
+        self.events.push(TraceEvent::CreateShared {
+            key,
+            label: label.to_owned(),
+            attrs,
+        });
+        id
+    }
+
+    fn alloc_shared(&mut self, key: u64, bytes: u64, atom: Option<AtomId>) -> u64 {
+        let base = self.next_va;
+        self.next_va += bytes.next_multiple_of(4096).max(4096);
+        self.events.push(TraceEvent::AllocShared {
+            key,
+            bytes,
+            atom,
+            base,
+        });
+        base
     }
 
     fn map(&mut self, atom: AtomId, start: u64, len: u64) {

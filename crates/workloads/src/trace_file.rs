@@ -16,7 +16,9 @@ use xmem_core::segment::{decode_attrs_bytes, encode_attrs};
 pub const TRACE_MAGIC: &[u8; 8] = b"XMEMTRC\0";
 
 /// Format version written (and highest read).
-pub const TRACE_VERSION: u32 = 1;
+///
+/// v2 added the shared-segment events (`CreateShared`/`AllocShared`).
+pub const TRACE_VERSION: u32 = 2;
 
 const TAG_COMPUTE: u8 = 0;
 const TAG_LOAD: u8 = 1;
@@ -30,6 +32,8 @@ const TAG_MAP2D: u8 = 8;
 const TAG_UNMAP2D: u8 = 9;
 const TAG_ACTIVATE: u8 = 10;
 const TAG_DEACTIVATE: u8 = 11;
+const TAG_CREATE_SHARED: u8 = 12;
+const TAG_ALLOC_SHARED: u8 = 13;
 
 /// Writes `events` as a trace to `w`.
 ///
@@ -110,6 +114,26 @@ pub fn write_trace<W: Write>(events: &[TraceEvent], mut w: W) -> io::Result<()> 
             TraceEvent::Deactivate(a) => {
                 buf.push(TAG_DEACTIVATE);
                 buf.push(a.raw());
+            }
+            TraceEvent::CreateShared { key, label, attrs } => {
+                buf.push(TAG_CREATE_SHARED);
+                buf.extend_from_slice(&key.to_le_bytes());
+                let bytes = label.as_bytes();
+                buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                buf.extend_from_slice(bytes);
+                encode_attrs(attrs, &mut buf);
+            }
+            TraceEvent::AllocShared {
+                key,
+                bytes,
+                atom,
+                base,
+            } => {
+                buf.push(TAG_ALLOC_SHARED);
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&bytes.to_le_bytes());
+                buf.push(atom.map(|a| a.raw()).unwrap_or(u8::MAX));
+                buf.extend_from_slice(&base.to_le_bytes());
             }
         }
     }
@@ -221,6 +245,30 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<TraceEvent>> {
             },
             TAG_ACTIVATE => TraceEvent::Activate(AtomId::new(c.u8()?)),
             TAG_DEACTIVATE => TraceEvent::Deactivate(AtomId::new(c.u8()?)),
+            TAG_CREATE_SHARED => {
+                let key = c.u64()?;
+                let len = c.u16()? as usize;
+                let label = std::str::from_utf8(c.take(len)?)
+                    .map_err(|_| bad("label not utf-8"))?
+                    .to_owned();
+                let (attrs, used) =
+                    decode_attrs_bytes(&c.bytes[c.pos..]).map_err(|e| bad(&e.to_string()))?;
+                c.pos += used;
+                TraceEvent::CreateShared { key, label, attrs }
+            }
+            TAG_ALLOC_SHARED => {
+                let key = c.u64()?;
+                let bytes = c.u64()?;
+                let raw = c.u8()?;
+                let atom = (raw != u8::MAX).then(|| AtomId::new(raw));
+                let base = c.u64()?;
+                TraceEvent::AllocShared {
+                    key,
+                    bytes,
+                    atom,
+                    base,
+                }
+            }
             other => return Err(bad(&format!("unknown event tag {other}"))),
         };
         events.push(ev);
@@ -289,6 +337,19 @@ pub fn replay(events: &[TraceEvent], sink: &mut dyn crate::sink::TraceSink) {
             } => sink.unmap_2d(translate(&ranges, *base), *size_x, *size_y, *len_x),
             TraceEvent::Activate(a) => sink.activate(*a),
             TraceEvent::Deactivate(a) => sink.deactivate(*a),
+            TraceEvent::CreateShared { key, label, attrs } => {
+                let _ = sink.create_atom_shared(*key, label, attrs.clone());
+            }
+            TraceEvent::AllocShared {
+                key,
+                bytes,
+                atom,
+                base,
+            } => {
+                let actual = sink.alloc_shared(*key, *bytes, *atom);
+                ranges.push((*base, bytes.next_multiple_of(4096).max(4096), actual));
+                ranges.sort_unstable();
+            }
         }
     }
 }
@@ -406,6 +467,17 @@ mod tests {
             TraceEvent::Unmap {
                 start: 0x10000,
                 len: 4096,
+            },
+            TraceEvent::CreateShared {
+                key: 42,
+                label: "shared".into(),
+                attrs: AtomAttributes::default(),
+            },
+            TraceEvent::AllocShared {
+                key: 42,
+                bytes: 8192,
+                atom: Some(AtomId::new(4)),
+                base: 0x30000,
             },
         ];
         let mut buf = Vec::new();
